@@ -1,0 +1,48 @@
+// Command datagen emits the synthetic evaluation corpora (one string per
+// line) so they can be inspected or reused by external tooling.
+//
+// Usage:
+//
+//	datagen -kind words -n 106704 > bible-words.txt
+//	datagen -kind titles -n 66349 -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "words", "corpus kind: words or titles")
+		n     = flag.Int("n", 1000, "number of strings")
+		seed  = flag.Int64("seed", 1, "random seed")
+		stats = flag.Bool("stats", false, "print corpus statistics to stderr")
+	)
+	flag.Parse()
+
+	var corpus []string
+	switch *kind {
+	case "words":
+		corpus = dataset.BibleWords(*n, *seed)
+	case "titles":
+		corpus = dataset.PaintingTitles(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q (want words or titles)\n", *kind)
+		os.Exit(1)
+	}
+	if *stats {
+		s := dataset.Describe(corpus)
+		fmt.Fprintf(os.Stderr, "count=%d distinct=%d len=[%d..%d] mean=%.2f\n",
+			s.Count, s.Distinct, s.MinLen, s.MaxLen, s.MeanLen)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, s := range corpus {
+		fmt.Fprintln(w, s)
+	}
+}

@@ -1,0 +1,128 @@
+// Command figures regenerates the paper's evaluation figures (Figure 1 a-d):
+// messages and data volume of the query mix versus network size, for the
+// naive string method, q-grams and q-samples, on the bible-words and
+// painting-titles corpora.
+//
+// The defaults run a laptop-scale sweep; pass -words/-titles/-peers/-repeats
+// to approach the paper's full scale (106,704 words / 66,349 titles /
+// 100-100,000 peers / 40 repeats).
+//
+// Usage:
+//
+//	figures -fig 1a                        # one panel
+//	figures -fig all -csv                  # every panel, CSV output
+//	figures -fig 1c -peers 100,1000,10000 -titles 66349 -repeats 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure panel: 1a, 1b, 1c, 1d or all")
+		peersFlag = flag.String("peers", "128,512,2048,8192", "comma-separated network sizes")
+		words     = flag.Int("words", 8000, "bible-words corpus size")
+		titles    = flag.Int("titles", 4000, "painting-titles corpus size")
+		repeats   = flag.Int("repeats", 5, "mix initiations per point (paper: 40)")
+		leftLimit = flag.Int("leftlimit", 10, "join left-side cardinality")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	wl := bench.Workload{Repeats: *repeats, JoinLeftLimit: *leftLimit, Seed: *seed}
+
+	panels := []string{"1a", "1b", "1c", "1d"}
+	if *fig != "all" {
+		panels = []string{*fig}
+	}
+	var bible, paintings []string
+	for _, panel := range panels {
+		var corpus []string
+		var metric, caption string
+		switch panel {
+		case "1a", "1b":
+			if bible == nil {
+				bible = dataset.BibleWords(*words, *seed)
+			}
+			corpus = bible
+			caption = "bible words"
+		case "1c", "1d":
+			if paintings == nil {
+				paintings = dataset.PaintingTitles(*titles, *seed)
+			}
+			corpus = paintings
+			caption = "painting titles"
+		default:
+			fatal(fmt.Errorf("unknown figure %q (want 1a, 1b, 1c, 1d or all)", panel))
+		}
+		switch panel {
+		case "1a", "1c":
+			metric = "messages"
+		default:
+			metric = "bytes"
+		}
+
+		e := &bench.Experiment{
+			Corpus:   corpus,
+			Attr:     attrFor(panel),
+			Peers:    peers,
+			Workload: wl,
+		}
+		if !*quiet {
+			e.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+			st := dataset.Describe(corpus)
+			fmt.Fprintf(os.Stderr, "figure %s: %s (%d strings, len %d-%d, mean %.2f)\n",
+				panel, caption, st.Count, st.MinLen, st.MaxLen, st.MeanLen)
+		}
+		points, err := e.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# Figure %s: %s (%s) — query mix: top-N {5,10,15} maxdist 5 + self-joins d={1,2,3} leftlimit %d, %d repeats\n",
+			panel, metric, caption, *leftLimit, *repeats)
+		if *csv {
+			fmt.Print(bench.CSV(points))
+		} else {
+			fmt.Print(bench.FormatSeries(points, metric))
+		}
+		fmt.Println()
+	}
+}
+
+func attrFor(panel string) string {
+	if panel == "1a" || panel == "1b" {
+		return "word"
+	}
+	return "title"
+}
+
+func parsePeers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid peer count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command gridsim builds P-Grid overlays across a sweep of network sizes and
+// reports construction statistics; with -validate it additionally measures
+// routing cost against the paper's Section 2 claim that expected search cost
+// is ~0.5*log2(N) messages (experiment E2).
+//
+// Usage:
+//
+//	gridsim -peers 100,1000,10000 -items 20000 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		peersFlag = flag.String("peers", "100,1000,10000", "comma-separated network sizes")
+		items     = flag.Int("items", 20000, "corpus size used to balance and load the grid")
+		lookups   = flag.Int("lookups", 500, "random lookups per size for -validate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		validate  = flag.Bool("validate", false, "measure routing hops vs 0.5*log2(N)")
+	)
+	flag.Parse()
+
+	peers, err := parseInts(*peersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	corpus := dataset.BibleWords(*items, *seed)
+	tuples := dataset.StringTuples("word", "o", corpus)
+
+	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s\n",
+		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part")
+	for _, n := range peers {
+		eng, err := core.Open(tuples, core.Config{Peers: n})
+		if err != nil {
+			fatal(err)
+		}
+		s := eng.Stats().Grid
+		fmt.Printf("%-10d %-11d %2d / %5.1f / %2d     %-12.1f %-10d %-10d\n",
+			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
+			s.AvgRefs, s.StoredItems, s.MaxLeafItems)
+	}
+
+	if *validate {
+		fmt.Printf("\nE2: routing cost vs 0.5*log2(partitions) (%d lookups each)\n", *lookups)
+		points, err := bench.SearchCost(corpus, peers, *lookups, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %-11s %-10s %-12s\n", "peers", "partitions", "avg hops", "0.5*log2(P)")
+		for _, p := range points {
+			fmt.Printf("%-10d %-11d %-10.2f %-12.2f\n", p.Peers, p.Leaves, p.AvgHops, p.HalfLogN)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridsim:", err)
+	os.Exit(1)
+}

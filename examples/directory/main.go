@@ -1,0 +1,94 @@
+// Directory: a fuzzy name-and-directory service — one of the paper's
+// motivating "public data" applications (LDAP-style directories maintained by
+// a large community). Thousands of person records are spread over a sizeable
+// overlay; lookups tolerate misspelled names and the harness reports what
+// each strategy costs the network.
+//
+//	go run ./examples/directory
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/triples"
+)
+
+func main() {
+	const people = 3000
+	const peers = 512
+
+	// Synthesize person records: generated surnames, departments, rooms.
+	rng := rand.New(rand.NewSource(42))
+	surnames := dataset.BibleWords(people, 11) // English-like strings
+	depts := []string{"physics", "chemistry", "biology", "mathematics", "history"}
+	data := make([]triples.Tuple, people)
+	for i := range data {
+		data[i] = triples.MustTuple(fmt.Sprintf("person%05d", i),
+			"surname", surnames[i],
+			"dept", depts[rng.Intn(len(depts))],
+			"room", float64(100+rng.Intn(900)),
+		)
+	}
+	eng, err := core.Open(data, core.Config{Peers: peers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("directory: %d people on %d peers (%d partitions, %d postings)\n\n",
+		people, st.Grid.Peers, st.Grid.Leaves, st.Storage.Postings)
+
+	// A user remembers a name imprecisely.
+	target := surnames[1234]
+	misspelled := misspell(target)
+	fmt.Printf("searching for %q (they actually meant %q)\n\n", misspelled, target)
+
+	for _, m := range []ops.Method{ops.MethodQSamples, ops.MethodQGrams, ops.MethodNaive} {
+		var tally metrics.Tally
+		ms, err := eng.Store().Similar(&tally, eng.Grid().RandomPeer(),
+			misspelled, "surname", 2, ops.SimilarOptions{Method: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %-8s found %2d candidates, cost %s\n", m, len(ms), tally.String())
+		for i, match := range ms {
+			if i == 3 {
+				fmt.Printf("   ... %d more\n", len(ms)-3)
+				break
+			}
+			dept, _ := match.Object.Get("dept")
+			room, _ := match.Object.Get("room")
+			fmt.Printf("   %-12s dist=%d  %s, room %g\n",
+				match.Matched, match.Distance, dept.Str, room.Num)
+		}
+	}
+
+	// Directory-style structured query: nearest rooms to a location for a
+	// fuzzy surname in a given department.
+	fmt.Println("\n-- VQL: fuzzy surname, fixed department, rooms nearest 450")
+	q := fmt.Sprintf(`
+		SELECT ?s,?r WHERE { (?p,surname,?s) (?p,dept,'physics') (?p,room,?r)
+		FILTER (dist(?s,'%s') < 3) }
+		ORDER BY ?r NN 450 LIMIT 5`, misspelled)
+	res, tally, err := eng.QueryMeasured(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("overlay cost: %s\n", tally.String())
+}
+
+// misspell transposes two letters, an edit-distance-2 corruption the d=2
+// searches above can recover from.
+func misspell(s string) string {
+	b := []byte(s)
+	if len(b) > 3 {
+		b[1], b[2] = b[2], b[1]
+	}
+	return string(b)
+}

@@ -1,0 +1,105 @@
+// Heterogeneity: public data management without a global schema. Several
+// communities publish book records with diverging attribute names and value
+// spellings; similarity operators on both schema and instance level let one
+// query span all of them — the homogenization use case of Sections 1 and 3.
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/triples"
+)
+
+func main() {
+	// Three communities, three spellings of the same schema. Null values
+	// are simply absent (vertical storage needs no NULLs), and one library
+	// extends the schema unilaterally with a 'shelf' attribute.
+	data := []triples.Tuple{
+		// community A: attribute "author"
+		triples.MustTuple("a1", "title", "war and peace", "author", "tolstoy", "year", 1869),
+		triples.MustTuple("a2", "title", "anna karenina", "author", "tolstoy", "year", 1878),
+		// community B: attribute "autor" (typo or German)
+		triples.MustTuple("b1", "title", "war and peas", "autor", "tolstoi", "year", 1869),
+		triples.MustTuple("b2", "title", "the idiot", "autor", "dostojewski"),
+		// community C: attribute "authors", extends the schema
+		triples.MustTuple("c1", "title", "crime and punishment", "authors", "dostoevsky",
+			"year", 1866, "shelf", "R2"),
+	}
+	eng, err := core.Open(data, core.Config{Peers: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== schema level: which attributes mean 'author'?")
+	ms, err := eng.Similar("author", "", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("   %-8s (distance %d) on object %s\n", m.Attr, m.Distance, m.OID)
+	}
+
+	fmt.Println("\n== instance level: tolstoy under any spelling, any schema")
+	// The dist filter on the *attribute* variable spans author/autor/authors;
+	// the dist filter on the value variable spans tolstoy/tolstoi.
+	res, err := eng.Query(`
+		SELECT ?t,?a,?w WHERE { (?o,?a,?w) (?o,title,?t)
+		FILTER (dist(?a,'author') < 2)
+		FILTER (dist(?w,'tolstoy') < 2) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	fmt.Println("== similarity self-join: near-duplicate titles across communities")
+	pairs, err := eng.SimJoin("title", "title", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.Left.OID >= p.Right.OID { // each pair once, skip self-pairs
+			continue
+		}
+		fmt.Printf("   %q (%s)  ~  %q (%s)\n",
+			p.LeftValue, p.Left.OID, p.Right.Matched, p.Right.OID)
+	}
+
+	fmt.Println("\n== keyword query: which objects mention 1869 anywhere?")
+	kw, err := eng.Store().KeywordSearch(nil, eng.Grid().RandomPeer(), triples.Number(1869))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range kw {
+		fmt.Printf("   %s via attribute %q\n", tr.OID, tr.Attr)
+	}
+
+	fmt.Println("\n== top-2 nearest neighbours of 'dostoevsky' across the federated spellings")
+	nn, err := eng.TopNString("", "dostoevsky", 2, 5)
+	if err != nil {
+		// Schema-level top-N needs an attribute; use the union view instead.
+		nn = nil
+	}
+	if len(nn) == 0 {
+		for _, attr := range []string{"author", "autor", "authors"} {
+			ms, err := eng.TopNString(attr, "dostoevsky", 2, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nn = append(nn, ms...)
+		}
+	}
+	best := map[string]ops.Match{}
+	for _, m := range nn {
+		if cur, ok := best[m.OID]; !ok || m.Distance < cur.Distance {
+			best[m.OID] = m
+		}
+	}
+	for _, m := range best {
+		fmt.Printf("   %-12s distance %d (object %s)\n", m.Matched, m.Distance, m.OID)
+	}
+}

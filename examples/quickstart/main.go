@@ -1,0 +1,76 @@
+// Quickstart: stand up a simulated P-Grid deployment, store a handful of
+// tuples vertically, and run exact, similarity and rank-aware VQL queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/triples"
+)
+
+func main() {
+	// Tuples are plain rows; Open decomposes them into (oid, attr, value)
+	// triples and spreads them over the overlay (Section 3 of the paper:
+	// each triple is hashed by oid, by attr#value and by value, plus q-gram
+	// postings for similarity).
+	data := []triples.Tuple{
+		triples.MustTuple("car1", "name", "BMW 320d", "hp", 190, "price", 42000),
+		triples.MustTuple("car2", "name", "BMW 330e", "hp", 292, "price", 55000),
+		triples.MustTuple("car3", "name", "Audi A4", "hp", 204, "price", 46000),
+		triples.MustTuple("car4", "name", "Opel Astra", "hp", 130, "price", 28000),
+		triples.MustTuple("car5", "name", "Volvo V60", "hp", 250, "price", 51000),
+		// The schema is open: anyone may add attributes to their tuples.
+		triples.MustTuple("car6", "name", "Audi A6", "hp", 265, "price", 61000, "color", "gray"),
+	}
+
+	eng, err := core.Open(data, core.Config{Peers: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("loaded %d triples as %d postings on %d peers (%d partitions)\n\n",
+		st.Storage.Triples, st.Storage.Postings, st.Grid.Peers, st.Grid.Leaves)
+
+	run := func(title, q string) {
+		fmt.Println("--", title)
+		fmt.Println(q)
+		res, tally, err := eng.QueryMeasured(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("overlay cost: %s\n\n", tally)
+	}
+
+	run("exact match (hash on attr#value)",
+		`SELECT ?o,?p WHERE { (?o,name,'Audi A4') (?o,price,?p) }`)
+
+	run("similarity on instance level (typo-tolerant, edit distance)",
+		`SELECT ?n,?p WHERE { (?o,name,?n) (?o,price,?p)
+		 FILTER (dist(?n,'BMW 320') < 2) }`)
+
+	run("numeric similarity maps to a range query",
+		`SELECT ?n,?h WHERE { (?o,name,?n) (?o,hp,?h)
+		 FILTER (dist(?h,200) <= 15) }`)
+
+	run("rank-aware: the 3 most powerful cars below 60000 (top-N)",
+		`SELECT ?n,?h,?p WHERE { (?o,name,?n) (?o,hp,?h) (?o,price,?p)
+		 FILTER (?p < 60000) } ORDER BY ?h DESC LIMIT 3`)
+
+	run("keyword search: any attribute = 'gray'",
+		`SELECT ?o,?a WHERE { (?o,?a,'gray') }`)
+
+	// The same operators are available programmatically.
+	matches, err := eng.Similar("Awdi A4", "name", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- direct operator call: Similar(\"Awdi A4\", name, 2)")
+	for _, m := range matches {
+		fmt.Printf("   %s (distance %d): %v\n", m.OID, m.Distance, m.Object.Fields)
+	}
+}

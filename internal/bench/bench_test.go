@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+)
+
+func smallExperiment(t *testing.T, corpus []string, peers []int) []Point {
+	t.Helper()
+	e := &Experiment{
+		Corpus: corpus,
+		Attr:   "word",
+		Peers:  peers,
+		Workload: Workload{
+			Repeats:       2,
+			JoinLeftLimit: 4,
+			TopNs:         []int{3},
+			JoinDists:     []int{1},
+			MaxDist:       3,
+		},
+	}
+	points, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestExperimentProducesAllPoints(t *testing.T) {
+	corpus := dataset.BibleWords(400, 1)
+	points := smallExperiment(t, corpus, []int{16, 64})
+	if len(points) != 6 { // 2 peer counts x 3 methods
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Messages <= 0 || p.Bytes <= 0 {
+			t.Errorf("point %+v has no cost", p)
+		}
+		if p.Queries != 4 { // (1 topN + 1 join) x 2 repeats
+			t.Errorf("point %+v ran %d queries", p, p.Queries)
+		}
+	}
+}
+
+func TestExperimentShape(t *testing.T) {
+	// The headline shape at two scales: the naive method's cost grows much
+	// faster than the gram methods'.
+	corpus := dataset.BibleWords(600, 2)
+	points := smallExperiment(t, corpus, []int{32, 512})
+	get := func(peers int, m ops.Method) Point {
+		for _, p := range points {
+			if p.Peers == peers && p.Method == m {
+				return p
+			}
+		}
+		t.Fatalf("missing point %d/%v", peers, m)
+		return Point{}
+	}
+	naiveGrowth := get(512, ops.MethodNaive).Messages / get(32, ops.MethodNaive).Messages
+	gramGrowth := get(512, ops.MethodQGrams).Messages / get(32, ops.MethodQGrams).Messages
+	if naiveGrowth <= gramGrowth {
+		t.Errorf("naive growth %.2f <= gram growth %.2f", naiveGrowth, gramGrowth)
+	}
+	// q-samples cheaper than q-grams at both scales.
+	for _, peers := range []int{32, 512} {
+		if get(peers, ops.MethodQSamples).Messages > get(peers, ops.MethodQGrams).Messages {
+			t.Errorf("qsamples above qgrams at %d peers", peers)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	corpus := dataset.BibleWords(200, 3)
+	a := smallExperiment(t, corpus, []int{16})
+	b := smallExperiment(t, corpus, []int{16})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestFormatSeriesAndCSV(t *testing.T) {
+	corpus := dataset.BibleWords(200, 4)
+	points := smallExperiment(t, corpus, []int{16})
+	table := FormatSeries(points, "messages")
+	if !strings.Contains(table, "peers") || !strings.Contains(table, "qsamples") {
+		t.Errorf("table = %q", table)
+	}
+	table = FormatSeries(points, "bytes")
+	if !strings.Contains(table, "16") {
+		t.Errorf("bytes table = %q", table)
+	}
+	csv := CSV(points)
+	if !strings.HasPrefix(csv, "peers,method,messages,bytes\n") {
+		t.Errorf("csv = %q", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 4 {
+		t.Errorf("csv rows = %q", csv)
+	}
+}
+
+func TestSearchCost(t *testing.T) {
+	corpus := dataset.BibleWords(800, 5)
+	points, err := SearchCost(corpus, []int{16, 128}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.AvgHops > math.Log2(float64(p.Leaves))+1 {
+			t.Errorf("peers=%d: avg hops %.2f above log2(leaves)+1", p.Peers, p.AvgHops)
+		}
+		// The 0.5*log2 N claim: within a factor ~3 of the prediction.
+		if p.HalfLogN > 0 && (p.AvgHops < p.HalfLogN/3 || p.AvgHops > p.HalfLogN*3) {
+			t.Errorf("peers=%d: avg hops %.2f far from 0.5log2=%.2f", p.Peers, p.AvgHops, p.HalfLogN)
+		}
+	}
+	if points[1].AvgHops <= points[0].AvgHops {
+		t.Error("hops did not grow with network size")
+	}
+}
+
+func TestRowReconstructionLinear(t *testing.T) {
+	points, err := RowReconstruction([]int{1, 4, 8}, 64, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Transferred bytes grow roughly linearly with tuple width; messages
+	// stay ~constant thanks to the oid index answering whole rows (an
+	// improvement over the paper's per-column bound, see EXPERIMENTS.md).
+	if points[2].Bytes <= 2*points[0].Bytes {
+		t.Errorf("8-attr reconstruction bytes (%.1f) not clearly above 1-attr (%.1f)",
+			points[2].Bytes, points[0].Bytes)
+	}
+	if points[2].Messages > 3*points[0].Messages {
+		t.Errorf("messages grew with width: %.2f vs %.2f", points[2].Messages, points[0].Messages)
+	}
+}
+
+func TestQueryMixDefaults(t *testing.T) {
+	w := QueryMix()
+	if len(w.TopNs) != 3 || w.TopNs[1] != 10 || w.MaxDist != 5 ||
+		len(w.JoinDists) != 3 || w.Repeats != 40 {
+		t.Errorf("defaults = %+v", w)
+	}
+}

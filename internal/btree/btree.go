@@ -1,0 +1,458 @@
+// Package btree provides the in-memory ordered index every simulated peer
+// uses as its local datastore.
+//
+// P-Grid peers must answer prefix and range scans over their key-space
+// partition (Section 2 of the paper: order-preserving hashing "clusters
+// related data items" so that "range queries can be implemented very
+// efficiently"). A peer-local store therefore needs ordered iteration, not
+// just point lookups. This package implements a classic B-tree over keys.Key
+// with duplicate keys allowed (one key can carry many postings: several
+// triples may hash to the same key, e.g. all triples sharing a q-gram).
+//
+// The tree is not safe for concurrent mutation; peers guard their store with
+// their own mutex (see internal/pgrid).
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/keys"
+)
+
+// degree is the minimum branching factor t: nodes other than the root hold
+// between t-1 and 2t-1 entries. 16 keeps nodes within a few cache lines while
+// staying shallow for the corpus sizes the experiments use.
+const degree = 16
+
+const (
+	maxEntries = 2*degree - 1
+	minEntries = degree - 1
+)
+
+type entry[V any] struct {
+	key keys.Key
+	val V
+}
+
+type node[V any] struct {
+	entries  []entry[V]
+	children []*node[V] // nil for leaves, len(entries)+1 otherwise
+}
+
+func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree multimap from keys.Key to values of type V.
+// The zero value is not usable; call New.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{}}
+}
+
+// Len reports the number of stored entries (duplicates counted).
+func (t *Tree[V]) Len() int { return t.size }
+
+// upperBound returns the index of the first entry in n whose key sorts
+// strictly after k. Inserting there keeps duplicates adjacent and preserves
+// insertion order among equals.
+func upperBound[V any](n *node[V], k keys.Key) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].key.Compare(k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the index of the first entry in n whose key sorts at or
+// after k.
+func lowerBound[V any](n *node[V], k keys.Key) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].key.Compare(k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds an entry. Duplicate keys are allowed.
+func (t *Tree[V]) Insert(k keys.Key, v V) {
+	if len(t.root.entries) == maxEntries {
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.root.splitChild(0)
+	}
+	t.insertNonFull(t.root, k, v)
+	t.size++
+}
+
+func (t *Tree[V]) insertNonFull(n *node[V], k keys.Key, v V) {
+	for {
+		i := upperBound(n, k)
+		if n.leaf() {
+			n.entries = append(n.entries, entry[V]{})
+			copy(n.entries[i+1:], n.entries[i:])
+			n.entries[i] = entry[V]{key: k, val: v}
+			return
+		}
+		if len(n.children[i].entries) == maxEntries {
+			n.splitChild(i)
+			if n.entries[i].key.Compare(k) <= 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i, hoisting its median entry.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	median := child.entries[degree-1]
+
+	right := &node[V]{}
+	right.entries = append(right.entries, child.entries[degree:]...)
+	if !child.leaf() {
+		right.children = append(right.children, child.children[degree:]...)
+		child.children = child.children[:degree]
+	}
+	child.entries = child.entries[:degree-1]
+
+	n.entries = append(n.entries, entry[V]{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Get returns all values stored under k.
+func (t *Tree[V]) Get(k keys.Key) []V {
+	var out []V
+	t.AscendGreaterOrEqual(k, func(key keys.Key, v V) bool {
+		if !key.Equal(k) {
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Ascend visits every entry in key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(k keys.Key, v V) bool) {
+	t.root.ascendGE(keys.Empty, fn)
+}
+
+// AscendGreaterOrEqual visits entries with key >= lo in key order until fn
+// returns false.
+func (t *Tree[V]) AscendGreaterOrEqual(lo keys.Key, fn func(k keys.Key, v V) bool) {
+	t.root.ascendGE(lo, fn)
+}
+
+func (n *node[V]) ascendGE(lo keys.Key, fn func(k keys.Key, v V) bool) bool {
+	i := lowerBound(n, lo)
+	if n.leaf() {
+		for ; i < len(n.entries); i++ {
+			if !fn(n.entries[i].key, n.entries[i].val) {
+				return false
+			}
+		}
+		return true
+	}
+	// Entries equal to lo may also live in the subtree left of the first
+	// >=lo separator (duplicates straddle separators), so descend there too.
+	if !n.children[i].ascendGE(lo, fn) {
+		return false
+	}
+	for ; i < len(n.entries); i++ {
+		if !fn(n.entries[i].key, n.entries[i].val) {
+			return false
+		}
+		if !n.children[i+1].ascendGE(lo, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// AscendRange visits, in key order, every entry inside the closed interval iv
+// using the interval's prefix-extension convention (keys extending iv.Hi are
+// included). It stops early if fn returns false.
+func (t *Tree[V]) AscendRange(iv keys.Interval, fn func(k keys.Key, v V) bool) {
+	t.AscendGreaterOrEqual(iv.Lo, func(k keys.Key, v V) bool {
+		if k.Compare(iv.Hi) > 0 && !k.HasPrefix(iv.Hi) {
+			return false
+		}
+		if !iv.Contains(k) {
+			return true // between Lo and its extensions; keep scanning
+		}
+		return fn(k, v)
+	})
+}
+
+// AscendPrefix visits, in key order, every entry whose key has prefix p.
+// All such keys form one contiguous run under the bit-lexicographic order.
+func (t *Tree[V]) AscendPrefix(p keys.Key, fn func(k keys.Key, v V) bool) {
+	t.AscendGreaterOrEqual(p, func(k keys.Key, v V) bool {
+		if !k.HasPrefix(p) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// DeleteFunc removes the first entry (in key order, then insertion order)
+// with key k for which match returns true, and reports whether an entry was
+// removed. A nil match removes the first entry with key k.
+func (t *Tree[V]) DeleteFunc(k keys.Key, match func(V) bool) bool {
+	if match == nil {
+		match = func(V) bool { return true }
+	}
+	if !t.root.delete(k, match) {
+		return false
+	}
+	if len(t.root.entries) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+// delete removes one matching entry with key k from the subtree rooted at n.
+// Callers guarantee n has more than minEntries entries (except the root).
+func (n *node[V]) delete(k keys.Key, match func(V) bool) bool {
+	if n.leaf() {
+		for i := lowerBound(n, k); i < len(n.entries) && n.entries[i].key.Equal(k); i++ {
+			if match(n.entries[i].val) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	i := lowerBound(n, k)
+	for {
+		// Candidate child i first (it holds keys <= separator i).
+		if i < len(n.children) {
+			child := n.children[i]
+			if len(child.entries) > 0 &&
+				child.minKey().Compare(k) <= 0 && child.maxKey().Compare(k) >= 0 {
+				i = n.ensureChildCapacity(i)
+				if n.children[i].delete(k, match) {
+					return true
+				}
+			}
+		}
+		// Then the separator at i.
+		if i >= len(n.entries) || !n.entries[i].key.Equal(k) {
+			return false
+		}
+		if match(n.entries[i].val) {
+			n.deleteEntryAt(i)
+			return true
+		}
+		i++
+	}
+}
+
+func (n *node[V]) minKey() keys.Key {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.entries[0].key
+}
+
+func (n *node[V]) maxKey() keys.Key {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.entries[len(n.entries)-1].key
+}
+
+// deleteEntryAt removes the separator entry at index i of internal node n,
+// replacing it with its in-order predecessor or successor, or merging.
+func (n *node[V]) deleteEntryAt(i int) {
+	left, right := n.children[i], n.children[i+1]
+	switch {
+	case len(left.entries) > minEntries:
+		n.entries[i] = left.popMax()
+	case len(right.entries) > minEntries:
+		n.entries[i] = right.popMin()
+	default:
+		// Merge left + separator + right; the separator lands at index
+		// minEntries of the merged child, remove it there.
+		n.mergeChildren(i)
+		m := n.children[i]
+		if m.leaf() {
+			m.entries = append(m.entries[:minEntries], m.entries[minEntries+1:]...)
+		} else {
+			m.deleteEntryAt(minEntries)
+		}
+	}
+}
+
+// popMax removes and returns the maximum entry of the subtree rooted at n,
+// keeping every node on the path above minimum occupancy.
+func (n *node[V]) popMax() entry[V] {
+	if n.leaf() {
+		e := n.entries[len(n.entries)-1]
+		n.entries = n.entries[:len(n.entries)-1]
+		return e
+	}
+	i := n.ensureChildCapacity(len(n.children) - 1)
+	_ = i // the rightmost child stays rightmost after any rebalance
+	return n.children[len(n.children)-1].popMax()
+}
+
+// popMin removes and returns the minimum entry of the subtree rooted at n.
+func (n *node[V]) popMin() entry[V] {
+	if n.leaf() {
+		e := n.entries[0]
+		n.entries = append(n.entries[:0], n.entries[1:]...)
+		return e
+	}
+	n.ensureChildCapacity(0)
+	return n.children[0].popMin()
+}
+
+// ensureChildCapacity guarantees the child at index i has more than
+// minEntries entries by rotating from a sibling or merging with one. It
+// returns the (possibly shifted) index at which that child now lives: merging
+// with the left sibling moves it to i-1.
+func (n *node[V]) ensureChildCapacity(i int) int {
+	child := n.children[i]
+	if len(child.entries) > minEntries {
+		return i
+	}
+	if i > 0 && len(n.children[i-1].entries) > minEntries {
+		// Rotate right: separator moves down, left sibling's max moves up.
+		left := n.children[i-1]
+		child.entries = append(child.entries, entry[V]{})
+		copy(child.entries[1:], child.entries)
+		child.entries[0] = n.entries[i-1]
+		n.entries[i-1] = left.entries[len(left.entries)-1]
+		left.entries = left.entries[:len(left.entries)-1]
+		if !child.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].entries) > minEntries {
+		// Rotate left: separator moves down, right sibling's min moves up.
+		right := n.children[i+1]
+		child.entries = append(child.entries, n.entries[i])
+		n.entries[i] = right.entries[0]
+		right.entries = append(right.entries[:0], right.entries[1:]...)
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges child i, separator i, and child i+1 into one node.
+func (n *node[V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.entries = append(left.entries, n.entries[i])
+	left.entries = append(left.entries, right.entries...)
+	left.children = append(left.children, right.children...)
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Height reports the tree height (a single leaf root has height 1).
+func (t *Tree[V]) Height() int {
+	h := 0
+	for n := t.root; ; n = n.children[0] {
+		h++
+		if n.leaf() {
+			return h
+		}
+	}
+}
+
+// checkInvariants verifies B-tree structural invariants; tests use it via
+// export_test.go. It returns a descriptive error on the first violation.
+func (t *Tree[V]) checkInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("btree: nil root")
+	}
+	_, err := check(t.root, true)
+	if err != nil {
+		return err
+	}
+	// Keys must be globally sorted.
+	prev := keys.Key{}
+	first := true
+	ok := true
+	t.Ascend(func(k keys.Key, _ V) bool {
+		if !first && prev.Compare(k) > 0 {
+			ok = false
+			return false
+		}
+		prev, first = k, false
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("btree: entries out of order")
+	}
+	n := 0
+	t.Ascend(func(keys.Key, V) bool { n++; return true })
+	if n != t.size {
+		return fmt.Errorf("btree: size %d but traversal saw %d", t.size, n)
+	}
+	return nil
+}
+
+// check validates occupancy and uniform depth; it returns the subtree depth.
+func check[V any](n *node[V], isRoot bool) (int, error) {
+	if !isRoot && len(n.entries) < minEntries {
+		return 0, fmt.Errorf("btree: node underflow: %d entries", len(n.entries))
+	}
+	if len(n.entries) > maxEntries {
+		return 0, fmt.Errorf("btree: node overflow: %d entries", len(n.entries))
+	}
+	if n.leaf() {
+		return 1, nil
+	}
+	if len(n.children) != len(n.entries)+1 {
+		return 0, fmt.Errorf("btree: %d entries but %d children", len(n.entries), len(n.children))
+	}
+	depth := -1
+	for _, c := range n.children {
+		d, err := check(c, false)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, fmt.Errorf("btree: uneven depth %d vs %d", d, depth)
+		}
+	}
+	return depth + 1, nil
+}

@@ -1,0 +1,212 @@
+// Package core is the public facade of the reproduction: an Engine bundles a
+// simulated P-Grid network, the vertical triple store of Sections 3 and 4,
+// the physical similarity operators, and the VQL query processor into one
+// handle.
+//
+// Typical use:
+//
+//	data := []triples.Tuple{
+//	    triples.MustTuple("car1", "name", "BMW", "hp", 210, "price", 48000),
+//	}
+//	eng, err := core.Open(data, core.Config{Peers: 64})
+//	...
+//	res, err := eng.Query(`SELECT ?n WHERE { (?o,name,?n)
+//	                       FILTER (dist(?n,'BMW') < 2) }`)
+//
+// The engine is safe for concurrent queries; loading happens in Open.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/pgrid"
+	"repro/internal/plan"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+	"repro/internal/vql"
+)
+
+// Config assembles the sub-system configurations.
+type Config struct {
+	// Peers is the number of simulated peers (default 64).
+	Peers int
+	// Grid configures overlay construction (replication, routing
+	// redundancy, seed).
+	Grid pgrid.Config
+	// Store configures the storage scheme (gram size, short-string limit).
+	Store ops.StoreConfig
+	// Plan configures query planning, notably the similarity method
+	// (q-grams, q-samples, or the naive scan).
+	Plan plan.Options
+}
+
+func (c *Config) normalize() {
+	if c.Peers <= 0 {
+		c.Peers = 64
+	}
+	if c.Grid.RefsPerLevel == 0 && c.Grid.Replication == 0 && c.Grid.MaxDepth == 0 {
+		seed := c.Grid.Seed
+		c.Grid = pgrid.DefaultConfig()
+		if seed != 0 {
+			c.Grid.Seed = seed
+		}
+	}
+}
+
+// Engine is a loaded, queryable deployment.
+type Engine struct {
+	cfg   Config
+	net   *simnet.Network
+	grid  *pgrid.Grid
+	store *ops.Store
+}
+
+// Open builds the overlay balanced against the dataset's index keys, loads
+// every tuple, and resets the message counters so subsequent accounting
+// covers queries only (the paper does not measure the load phase).
+func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
+	cfg.normalize()
+	net := simnet.New(cfg.Peers)
+	sampler := ops.NewStore(nil, cfg.Store)
+	sample, err := sampler.CollectKeys(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: collecting keys: %w", err)
+	}
+	grid, err := pgrid.Build(net, cfg.Peers, sample, cfg.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("core: building grid: %w", err)
+	}
+	store := ops.NewStore(grid, cfg.Store)
+	for _, tu := range data {
+		if err := store.LoadTuple(tu); err != nil {
+			return nil, fmt.Errorf("core: loading %s: %w", tu.OID, err)
+		}
+	}
+	net.Collector().Reset()
+	return &Engine{cfg: cfg, net: net, grid: grid, store: store}, nil
+}
+
+// Net exposes the simulated network (metrics, failure injection).
+func (e *Engine) Net() *simnet.Network { return e.net }
+
+// Grid exposes the overlay.
+func (e *Engine) Grid() *pgrid.Grid { return e.grid }
+
+// Store exposes the triple store and its operators.
+func (e *Engine) Store() *ops.Store { return e.store }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Query parses, plans and executes a VQL query from a random initiating peer
+// (the paper chooses initiators randomly), returning the materialized result.
+func (e *Engine) Query(query string) (*plan.Result, error) {
+	return e.QueryFrom(e.grid.RandomPeer(), nil, query)
+}
+
+// QueryMeasured runs a query and returns its message/byte cost.
+func (e *Engine) QueryMeasured(query string) (*plan.Result, metrics.Tally, error) {
+	var tally metrics.Tally
+	res, err := e.QueryFrom(e.grid.RandomPeer(), &tally, query)
+	return res, tally, err
+}
+
+// QueryFrom runs a query from a specific initiating peer with optional
+// per-query accounting.
+func (e *Engine) QueryFrom(from simnet.NodeID, tally *metrics.Tally, query string) (*plan.Result, error) {
+	return plan.Run(e.store, from, tally, query, e.cfg.Plan)
+}
+
+// Explain returns the physical plan of a query without executing it.
+func (e *Engine) Explain(query string) (string, error) {
+	q, err := vql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(q, e.cfg.Plan)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Similar runs the basic similarity operator (Algorithm 2) from a random
+// initiator: instance level when attr is non-empty, schema level otherwise.
+func (e *Engine) Similar(needle, attr string, d int) ([]ops.Match, error) {
+	return e.store.Similar(nil, e.grid.RandomPeer(), needle, attr, d, e.cfg.Plan.Similar)
+}
+
+// SimJoin runs a similarity join (Algorithm 3) from a random initiator.
+func (e *Engine) SimJoin(ln, rn string, d int) ([]ops.JoinPair, error) {
+	return e.store.SimJoin(nil, e.grid.RandomPeer(), ln, rn, d,
+		ops.JoinOptions{Similar: e.cfg.Plan.Similar})
+}
+
+// TopN runs a numeric rank-aware query (Algorithm 4) from a random initiator.
+func (e *Engine) TopN(attr string, n int, rank ops.Rank, ref float64) ([]ops.NumMatch, error) {
+	return e.store.TopN(nil, e.grid.RandomPeer(), attr, n, rank, ref,
+		ops.TopNOptions{Similar: e.cfg.Plan.Similar})
+}
+
+// TopNString runs a nearest-neighbour string query from a random initiator.
+func (e *Engine) TopNString(attr, needle string, n, maxDist int) ([]ops.Match, error) {
+	return e.store.TopNString(nil, e.grid.RandomPeer(), attr, needle, n, maxDist,
+		ops.TopNOptions{Similar: e.cfg.Plan.Similar})
+}
+
+// Insert adds a tuple at runtime with routed, accounted messages.
+func (e *Engine) Insert(tu triples.Tuple) error {
+	return e.store.InsertTuple(nil, e.grid.RandomPeer(), tu)
+}
+
+// Delete removes one triple at runtime.
+func (e *Engine) Delete(tr triples.Triple) error {
+	return e.store.DeleteTriple(nil, e.grid.RandomPeer(), tr)
+}
+
+// Join adds a new peer to the running overlay (P-Grid's self-organizing
+// construction): the newcomer either splits the most loaded partition or
+// becomes a further replica. Handover messages are accounted on the returned
+// tally.
+func (e *Engine) Join() (simnet.NodeID, metrics.Tally, error) {
+	var tally metrics.Tally
+	id, err := e.grid.Join(&tally)
+	return id, tally, err
+}
+
+// Leave removes a peer gracefully; its partition must keep at least one
+// member (crash failures are injected via Net().SetDown instead).
+func (e *Engine) Leave(id simnet.NodeID) error {
+	return e.grid.Leave(nil, id)
+}
+
+// Stats aggregates overlay and storage statistics.
+type Stats struct {
+	Grid    pgrid.Stats
+	Storage ops.StorageStats
+	Network metrics.Tally
+}
+
+// Stats snapshots engine statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Grid:    e.grid.Stats(),
+		Storage: e.store.Stats(),
+		Network: e.net.Collector().Total(),
+	}
+}
+
+// ErrNoData reports an Open call without tuples; an empty engine is almost
+// always a caller bug (the overlay would have no balancing sample).
+var ErrNoData = errors.New("core: no tuples to load")
+
+// OpenStrict is Open but rejects empty datasets.
+func OpenStrict(data []triples.Tuple, cfg Config) (*Engine, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	return Open(data, cfg)
+}

@@ -1,0 +1,294 @@
+// Package dataset generates the evaluation corpora.
+//
+// The paper evaluates on two string datasets that are not redistributable:
+// 106,704 single words from the English bible (lengths 5-14, average 6.46)
+// and 66,349 painting titles (lengths 1-132 including spaces, average 37.08).
+// This package substitutes deterministic synthetic generators calibrated to
+// those published statistics: a first-order Markov letter model produces
+// English-like words with the bible corpus's length distribution, and a
+// multi-word composer produces painting-title-like strings with the title
+// corpus's length distribution. The experiments depend on corpus size and
+// string-length distribution (gram counts scale with length), both of which
+// the generators match; DESIGN.md records the substitution.
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/triples"
+)
+
+// Paper corpus sizes, exposed so full-scale runs can request exactly them.
+const (
+	// BibleWordCount is the size of the paper's first corpus.
+	BibleWordCount = 106704
+	// PaintingTitleCount is the size of the paper's second corpus.
+	PaintingTitleCount = 66349
+)
+
+// letterModel is a first-order Markov chain over 'a'..'z'.
+type letterModel struct {
+	start [26]int
+	trans [26][26]int
+	// cumulative sums for sampling
+	startSum int
+	transSum [26]int
+}
+
+var vowels = map[byte]bool{'a': true, 'e': true, 'i': true, 'o': true, 'u': true}
+
+// commonBigrams receive extra weight so generated words look English-like;
+// their exact values only shape gram collision rates, not correctness.
+var commonBigrams = []string{
+	"th", "he", "in", "er", "an", "re", "nd", "on", "en", "at",
+	"ou", "ed", "ha", "to", "or", "it", "is", "hi", "es", "ng",
+	"st", "ar", "te", "se", "le", "al", "ve", "ra", "ri", "ro",
+}
+
+// englishFreq approximates initial-letter frequency (per mille).
+var englishFreq = map[byte]int{
+	'a': 8, 'b': 5, 'c': 6, 'd': 5, 'e': 4, 'f': 5, 'g': 3, 'h': 6,
+	'i': 4, 'j': 1, 'k': 1, 'l': 4, 'm': 5, 'n': 3, 'o': 4, 'p': 5,
+	'q': 1, 'r': 4, 's': 9, 't': 10, 'u': 2, 'v': 1, 'w': 5, 'x': 1,
+	'y': 1, 'z': 1,
+}
+
+func newLetterModel() *letterModel {
+	m := &letterModel{}
+	for c := byte('a'); c <= 'z'; c++ {
+		m.start[c-'a'] = englishFreq[c]
+	}
+	for from := byte('a'); from <= 'z'; from++ {
+		for to := byte('a'); to <= 'z'; to++ {
+			w := 1
+			if vowels[from] && !vowels[to] {
+				w += 6
+			}
+			if !vowels[from] && vowels[to] {
+				w += 8
+			}
+			m.trans[from-'a'][to-'a'] = w
+		}
+	}
+	for _, bg := range commonBigrams {
+		m.trans[bg[0]-'a'][bg[1]-'a'] += 20
+	}
+	for i := 0; i < 26; i++ {
+		m.startSum += m.start[i]
+		for j := 0; j < 26; j++ {
+			m.transSum[i] += m.trans[i][j]
+		}
+	}
+	return m
+}
+
+func sample26(rng *rand.Rand, weights *[26]int, sum int) byte {
+	x := rng.Intn(sum)
+	for i := 0; i < 26; i++ {
+		x -= weights[i]
+		if x < 0 {
+			return byte('a' + i)
+		}
+	}
+	return 'z'
+}
+
+// word generates one word of exactly n letters.
+func (m *letterModel) word(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.Grow(n)
+	c := sample26(rng, &m.start, m.startSum)
+	b.WriteByte(c)
+	for i := 1; i < n; i++ {
+		c = sample26(rng, &m.trans[c-'a'], m.transSum[c-'a'])
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// bibleLengthWeights targets the published statistics: lengths 5-14 with
+// mean 6.46.
+var bibleLengthWeights = []struct {
+	length, weight int
+}{
+	{5, 44}, {6, 22}, {7, 13}, {8, 8}, {9, 5}, {10, 3}, {11, 2}, {12, 1}, {13, 1}, {14, 1},
+}
+
+func sampleLength(rng *rand.Rand) int {
+	total := 0
+	for _, lw := range bibleLengthWeights {
+		total += lw.weight
+	}
+	x := rng.Intn(total)
+	for _, lw := range bibleLengthWeights {
+		x -= lw.weight
+		if x < 0 {
+			return lw.length
+		}
+	}
+	return 5
+}
+
+// BibleWords generates n English-like words with the bible corpus's length
+// statistics (5-14 letters, mean ~6.46). Deterministic per seed. Like the
+// original word list, the output may contain occasional duplicates.
+func BibleWords(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	m := newLetterModel()
+	out := make([]string, n)
+	for i := range out {
+		out[i] = m.word(rng, sampleLength(rng))
+	}
+	return out
+}
+
+// PaintingTitles generates n multi-word titles with the painting corpus's
+// length statistics (1-132 characters including spaces, mean ~37.08).
+// Deterministic per seed.
+func PaintingTitles(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	m := newLetterModel()
+	out := make([]string, n)
+	for i := range out {
+		out[i] = title(rng, m)
+	}
+	return out
+}
+
+// title composes one painting title. Word counts follow a rounded normal
+// around 6.3 words of mean length ~5, yielding ~37 characters; a small share
+// of very short titles reproduces the corpus's minimum length of 1.
+func title(rng *rand.Rand, m *letterModel) string {
+	if rng.Intn(100) < 2 { // untitled sketches: 1-3 characters
+		return m.word(rng, 1+rng.Intn(3))
+	}
+	words := int(rng.NormFloat64()*2.6 + 6.3)
+	if words < 1 {
+		words = 1
+	}
+	if words > 21 {
+		words = 21
+	}
+	parts := make([]string, words)
+	for i := range parts {
+		parts[i] = m.word(rng, 2+rng.Intn(8))
+	}
+	t := strings.Join(parts, " ")
+	if len(t) > 132 {
+		t = strings.TrimRight(t[:132], " ")
+	}
+	return t
+}
+
+// Stats summarizes a string corpus for calibration tests and tools.
+type Stats struct {
+	Count    int
+	MinLen   int
+	MaxLen   int
+	MeanLen  float64
+	Distinct int
+}
+
+// Describe computes corpus statistics.
+func Describe(corpus []string) Stats {
+	s := Stats{Count: len(corpus)}
+	if len(corpus) == 0 {
+		return s
+	}
+	s.MinLen = len(corpus[0])
+	seen := make(map[string]bool, len(corpus))
+	total := 0
+	for _, w := range corpus {
+		l := len(w)
+		total += l
+		if l < s.MinLen {
+			s.MinLen = l
+		}
+		if l > s.MaxLen {
+			s.MaxLen = l
+		}
+		seen[w] = true
+	}
+	s.MeanLen = float64(total) / float64(len(corpus))
+	s.Distinct = len(seen)
+	return s
+}
+
+// StringTuples wraps a string corpus as single-attribute tuples, the form the
+// evaluation loads: (oid, attr, value).
+func StringTuples(attr, oidPrefix string, corpus []string) []triples.Tuple {
+	out := make([]triples.Tuple, len(corpus))
+	for i, w := range corpus {
+		out[i] = triples.Tuple{
+			OID:    oidString(oidPrefix, i),
+			Fields: []triples.Field{{Name: attr, Val: triples.String(w)}},
+		}
+	}
+	return out
+}
+
+func oidString(prefix string, i int) string {
+	// Fixed-width suffix keeps oid keys uniform.
+	const digits = "0123456789"
+	buf := [8]byte{}
+	for p := len(buf) - 1; p >= 0; p-- {
+		buf[p] = digits[i%10]
+		i /= 10
+	}
+	return prefix + string(buf[:])
+}
+
+// Car makes and models for the example scenario of Section 3.
+var (
+	carMakes  = []string{"BMW", "Audi", "Mercedes", "Opel", "Volvo", "Skoda", "Seat", "Fiat", "Renault", "Peugeot"}
+	carModels = []string{"Roadster", "Estate", "Coupe", "Cabrio", "Sedan", "Sport", "Touring", "City"}
+)
+
+// Cars generates n car tuples (name, hp, price, dealer) referencing nDealers
+// dealer ids, mirroring the paper's motivating example.
+func Cars(n, nDealers int, seed int64) []triples.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]triples.Tuple, n)
+	for i := range out {
+		name := carMakes[rng.Intn(len(carMakes))] + " " + carModels[rng.Intn(len(carModels))]
+		out[i] = triples.MustTuple(oidString("car", i),
+			"name", name,
+			"hp", float64(60+rng.Intn(400)),
+			"price", float64(8000+rng.Intn(92000)),
+			"dealer", oidString("dl", rng.Intn(maxInt(nDealers, 1))),
+		)
+	}
+	return out
+}
+
+// Dealers generates n dealer tuples (dlrid, name, addr). A typoRate fraction
+// of them misspell the dlrid attribute name (dleid, dlrjd, ...), producing
+// the schema heterogeneity the paper's similarity operators target.
+func Dealers(n int, typoRate float64, seed int64) []triples.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	m := newLetterModel()
+	typos := []string{"dleid", "dlrjd", "dlride", "drlid"}
+	out := make([]triples.Tuple, n)
+	for i := range out {
+		idAttr := "dlrid"
+		if rng.Float64() < typoRate {
+			idAttr = typos[rng.Intn(len(typos))]
+		}
+		name := m.word(rng, 4+rng.Intn(5))
+		name = strings.ToUpper(name[:1]) + name[1:]
+		out[i] = triples.MustTuple(oidString("dealer", i),
+			idAttr, oidString("dl", i),
+			"name", name+" Motors",
+			"addr", m.word(rng, 5+rng.Intn(6))+" street "+oidString("", rng.Intn(200)),
+		)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBibleWordsCalibration(t *testing.T) {
+	words := BibleWords(20000, 1)
+	s := Describe(words)
+	if s.Count != 20000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Published statistics: lengths 5-14, mean 6.46.
+	if s.MinLen < 5 || s.MaxLen > 14 {
+		t.Errorf("length range [%d,%d], want within [5,14]", s.MinLen, s.MaxLen)
+	}
+	if math.Abs(s.MeanLen-6.46) > 0.25 {
+		t.Errorf("mean length %.3f, want ~6.46", s.MeanLen)
+	}
+	// Words must be lowercase letters only (they become key components).
+	for _, w := range words[:500] {
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("word %q contains non-letter", w)
+			}
+		}
+	}
+	// Mostly distinct, duplicates allowed.
+	if s.Distinct < 10000 {
+		t.Errorf("only %d distinct of 20000", s.Distinct)
+	}
+}
+
+func TestPaintingTitlesCalibration(t *testing.T) {
+	titles := PaintingTitles(20000, 2)
+	s := Describe(titles)
+	// Published statistics: lengths 1-132, mean 37.08, with spaces.
+	if s.MinLen < 1 || s.MaxLen > 132 {
+		t.Errorf("length range [%d,%d], want within [1,132]", s.MinLen, s.MaxLen)
+	}
+	if math.Abs(s.MeanLen-37.08) > 3 {
+		t.Errorf("mean length %.2f, want ~37.08", s.MeanLen)
+	}
+	withSpace := 0
+	for _, ti := range titles {
+		if strings.Contains(ti, " ") {
+			withSpace++
+		}
+	}
+	if float64(withSpace)/float64(len(titles)) < 0.9 {
+		t.Errorf("only %d/%d titles contain spaces", withSpace, len(titles))
+	}
+	// Some very short titles must exist (corpus min is 1).
+	if s.MinLen > 3 {
+		t.Errorf("no short titles generated: min %d", s.MinLen)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := BibleWords(100, 7)
+	b := BibleWords(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("words diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := BibleWords(100, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical corpora")
+	}
+	t1 := PaintingTitles(50, 7)
+	t2 := PaintingTitles(50, 7)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("titles not deterministic")
+		}
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(nil)
+	if s.Count != 0 || s.MeanLen != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestStringTuples(t *testing.T) {
+	tus := StringTuples("word", "b", []string{"alpha", "beta"})
+	if len(tus) != 2 {
+		t.Fatalf("tuples = %d", len(tus))
+	}
+	if tus[0].OID != "b00000000" || tus[1].OID != "b00000001" {
+		t.Errorf("oids = %q, %q", tus[0].OID, tus[1].OID)
+	}
+	if v, ok := tus[1].Get("word"); !ok || v.Str != "beta" {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestCarsAndDealers(t *testing.T) {
+	cars := Cars(50, 10, 3)
+	if len(cars) != 50 {
+		t.Fatalf("cars = %d", len(cars))
+	}
+	for _, c := range cars {
+		if _, ok := c.Get("name"); !ok {
+			t.Fatal("car without name")
+		}
+		hp, _ := c.Get("hp")
+		if hp.Num < 60 || hp.Num >= 460 {
+			t.Errorf("hp = %g", hp.Num)
+		}
+		d, _ := c.Get("dealer")
+		if !strings.HasPrefix(d.Str, "dl") {
+			t.Errorf("dealer ref = %q", d.Str)
+		}
+	}
+	dealers := Dealers(40, 0.25, 3)
+	typos := 0
+	for _, d := range dealers {
+		if _, ok := d.Get("dlrid"); !ok {
+			typos++
+		}
+	}
+	if typos == 0 || typos == 40 {
+		t.Errorf("typo count = %d, want some but not all", typos)
+	}
+}
+
+func TestDealersNoTypos(t *testing.T) {
+	for _, d := range Dealers(20, 0, 1) {
+		if _, ok := d.Get("dlrid"); !ok {
+			t.Error("typo at rate 0")
+		}
+	}
+}
+
+func TestPaperScaleConstantsPresent(t *testing.T) {
+	if BibleWordCount != 106704 || PaintingTitleCount != 66349 {
+		t.Error("paper corpus constants wrong")
+	}
+}

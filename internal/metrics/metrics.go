@@ -1,0 +1,111 @@
+// Package metrics implements the cost accounting used throughout the
+// reproduction. The paper's evaluation (Section 6) measures exactly two
+// quantities — "the number of messages and bandwidth usage, because these are
+// the limiting factors for overlay networks" — so every simulated message is
+// recorded here, both globally (per network) and per query (per Tally).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tally accumulates message and byte counts. The zero value is ready to use.
+// A Tally is not safe for concurrent use; the evaluation harness runs queries
+// sequentially, as the paper's simulator did.
+type Tally struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Add records one message of the given payload size.
+func (t *Tally) Add(bytes int) {
+	t.Messages++
+	t.Bytes += int64(bytes)
+}
+
+// AddTally merges another tally into t.
+func (t *Tally) AddTally(o Tally) {
+	t.Messages += o.Messages
+	t.Bytes += o.Bytes
+}
+
+// Sub returns t minus o, useful for diffing snapshots.
+func (t Tally) Sub(o Tally) Tally {
+	return Tally{Messages: t.Messages - o.Messages, Bytes: t.Bytes - o.Bytes}
+}
+
+// String renders the tally for logs and reports.
+func (t Tally) String() string {
+	return fmt.Sprintf("%d msgs / %d bytes", t.Messages, t.Bytes)
+}
+
+// Collector aggregates tallies per message kind. It is safe for concurrent
+// use so that examples and tests may drive the simulator from several
+// goroutines.
+type Collector struct {
+	mu     sync.Mutex
+	total  Tally
+	byKind map[string]Tally
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byKind: make(map[string]Tally)}
+}
+
+// Record counts one message of the given kind and payload size.
+func (c *Collector) Record(kind string, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total.Add(bytes)
+	t := c.byKind[kind]
+	t.Add(bytes)
+	c.byKind[kind] = t
+}
+
+// Total returns a snapshot of the aggregate tally.
+func (c *Collector) Total() Tally {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// ByKind returns a snapshot of the per-kind tallies.
+func (c *Collector) ByKind() map[string]Tally {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Tally, len(c.byKind))
+	for k, v := range c.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters; the harness calls it between the load phase and
+// the measured query phase.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = Tally{}
+	c.byKind = make(map[string]Tally)
+}
+
+// Report renders a deterministic multi-line per-kind breakdown, sorted by
+// kind, for tools and EXPERIMENTS.md appendices.
+func (c *Collector) Report() string {
+	byKind := c.ByKind()
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "total: %s\n", c.Total())
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-24s %s\n", k, byKind[k])
+	}
+	return b.String()
+}

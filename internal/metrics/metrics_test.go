@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTallyAdd(t *testing.T) {
+	var ta Tally
+	ta.Add(10)
+	ta.Add(20)
+	if ta.Messages != 2 || ta.Bytes != 30 {
+		t.Errorf("tally = %+v", ta)
+	}
+}
+
+func TestTallyAddTallyAndSub(t *testing.T) {
+	a := Tally{Messages: 5, Bytes: 100}
+	b := Tally{Messages: 2, Bytes: 30}
+	a.AddTally(b)
+	if a.Messages != 7 || a.Bytes != 130 {
+		t.Errorf("AddTally = %+v", a)
+	}
+	d := a.Sub(b)
+	if d.Messages != 5 || d.Bytes != 100 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestTallyString(t *testing.T) {
+	s := Tally{Messages: 3, Bytes: 42}.String()
+	if !strings.Contains(s, "3") || !strings.Contains(s, "42") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCollectorRecordAndTotals(t *testing.T) {
+	c := NewCollector()
+	c.Record("lookup", 10)
+	c.Record("lookup", 15)
+	c.Record("result", 100)
+	total := c.Total()
+	if total.Messages != 3 || total.Bytes != 125 {
+		t.Errorf("total = %+v", total)
+	}
+	byKind := c.ByKind()
+	if byKind["lookup"].Messages != 2 || byKind["lookup"].Bytes != 25 {
+		t.Errorf("lookup = %+v", byKind["lookup"])
+	}
+	if byKind["result"].Messages != 1 {
+		t.Errorf("result = %+v", byKind["result"])
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.Record("x", 1)
+	c.Reset()
+	if c.Total().Messages != 0 || len(c.ByKind()) != 0 {
+		t.Error("Reset did not clear collector")
+	}
+}
+
+func TestCollectorByKindIsSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Record("x", 1)
+	snap := c.ByKind()
+	c.Record("x", 1)
+	if snap["x"].Messages != 1 {
+		t.Error("ByKind returned a live map")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Record("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total().Messages; got != 8000 {
+		t.Errorf("concurrent total = %d, want 8000", got)
+	}
+}
+
+func TestCollectorReport(t *testing.T) {
+	c := NewCollector()
+	c.Record("b", 2)
+	c.Record("a", 1)
+	r := c.Report()
+	if !strings.Contains(r, "total") || !strings.Contains(r, "a") || !strings.Contains(r, "b") {
+		t.Errorf("Report = %q", r)
+	}
+	// Deterministic ordering: "a" before "b".
+	if strings.Index(r, "  a") > strings.Index(r, "  b") {
+		t.Errorf("Report not sorted: %q", r)
+	}
+}

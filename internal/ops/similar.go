@@ -1,0 +1,345 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/pgrid"
+	"repro/internal/simnet"
+	"repro/internal/strdist"
+	"repro/internal/triples"
+)
+
+// Match is one result of a similarity operator: an object whose attribute
+// value (instance level) or attribute name (schema level) lies within the
+// requested edit distance of the needle.
+type Match struct {
+	// OID identifies the matching object.
+	OID string
+	// Attr is the attribute whose value matched (instance level) or the
+	// matching attribute name itself (schema level).
+	Attr string
+	// Matched is the string that satisfied the distance predicate.
+	Matched string
+	// Distance is its edit distance to the needle.
+	Distance int
+	// Object is the reconstructed complete tuple (Algorithm 2 builds the
+	// "complete object o from T'").
+	Object triples.Tuple
+}
+
+// SimilarOptions tunes the Similar operator.
+type SimilarOptions struct {
+	// Method selects naive / q-grams / q-samples (default q-grams).
+	Method Method
+	// NoShortFallback disables the short-string side scans even when the
+	// store maintains them, reproducing the paper's Algorithm 2 verbatim
+	// (which can miss matches below the guarantee threshold).
+	NoShortFallback bool
+	// NoBatchedRouting issues one routed lookup per gram and per candidate
+	// oid instead of the shower-style multicast, undoing the second
+	// optimization Section 4 describes ("we collect the calls to Retrieve()
+	// and contact peers only once"). Used by the delegation ablation.
+	NoBatchedRouting bool
+	// NoFilters disables the length and position filters of Algorithm 2
+	// line 8, letting every gram hit become a candidate. Used by the filter
+	// ablation.
+	NoFilters bool
+}
+
+// Similar implements Algorithm 2: it returns all objects with a value of
+// attribute attr within edit distance d of needle (instance level), or — when
+// attr is empty — all objects having an attribute whose *name* is within
+// distance d (schema level). from is the initiating peer p.
+func (s *Store) Similar(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, opts SimilarOptions) ([]Match, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("ops: negative distance %d", d)
+	}
+	schema := attr == ""
+	var oids map[string]bool
+	var err error
+	if opts.Method == MethodNaive {
+		return s.similarNaive(t, from, needle, attr, d)
+	}
+	oids, err = s.gramCandidates(t, from, needle, attr, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoShortFallback && !s.cfg.DisableShortIndex &&
+		len(needle) < strdist.GuaranteeThreshold(s.cfg.Q, d) {
+		if err := s.shortCandidates(t, from, needle, attr, d, oids); err != nil {
+			return nil, err
+		}
+	}
+	objects, err := s.reconstructOpt(t, from, setToSlice(oids), opts.NoBatchedRouting)
+	if err != nil {
+		return nil, err
+	}
+	return verifyMatches(objects, needle, attr, d, schema), nil
+}
+
+// gramCandidates performs lines 1-9 of Algorithm 2: decompose the needle into
+// q-grams (or a q-sample), retrieve all postings matching any gram with one
+// batched multicast, and keep the oids passing the position and length
+// filters.
+func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, opts SimilarOptions) (map[string]bool, error) {
+	var grams []strdist.Gram
+	if opts.Method == MethodQSamples {
+		grams = strdist.Samples(needle, s.cfg.Q, d)
+	} else {
+		grams = strdist.PaddedGrams(needle, s.cfg.Q)
+	}
+	// Several query grams can share text at different positions; the filter
+	// must accept a posting if ANY of them is position-compatible.
+	posByText := make(map[string][]int)
+	for _, g := range grams {
+		posByText[g.Text] = append(posByText[g.Text], g.Pos)
+	}
+	ks := make([]keys.Key, 0, len(posByText))
+	for text := range posByText {
+		if attr == "" {
+			ks = append(ks, triples.SchemaGramKey(text))
+		} else {
+			ks = append(ks, triples.GramKey(attr, text))
+		}
+	}
+	// Deterministic key order keeps message traces reproducible.
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+
+	postings, err := s.fetch(t, from, ks, opts.NoBatchedRouting)
+	if err != nil {
+		return nil, err
+	}
+	wantKind := triples.IndexGram
+	if attr == "" {
+		wantKind = triples.IndexSchemaGram
+	}
+	oids := make(map[string]bool)
+	for _, p := range postings {
+		if p.Index != wantKind {
+			continue
+		}
+		if !opts.NoFilters {
+			if !strdist.LengthFilter(p.SrcLen, len(needle), d) {
+				continue
+			}
+			ok := false
+			for _, qp := range posByText[p.GramText] {
+				if strdist.PositionFilter(strdist.Gram{Pos: qp}, strdist.Gram{Pos: p.GramPos}, d) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		oids[p.Triple.OID] = true
+	}
+	return oids, nil
+}
+
+// fetch retrieves postings for a key batch, either with the shower-style
+// multicast (default) or with one routed lookup per key (ablation).
+func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key, unbatched bool) ([]triples.Posting, error) {
+	if !unbatched {
+		return s.grid.MultiLookup(t, from, ks)
+	}
+	var out []triples.Posting
+	for _, k := range ks {
+		ps, err := s.grid.Lookup(t, from, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// shortCandidates adds oids from the short-value index (instance level) or
+// the attribute catalog (schema level), closing the completeness gap for
+// needles below the q-gram guarantee threshold.
+func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, oids map[string]bool) error {
+	if attr != "" {
+		filter := func(p triples.Posting) bool {
+			return p.Index == triples.IndexShort &&
+				p.Triple.Val.Kind == triples.KindString &&
+				strdist.LengthFilter(len(p.Triple.Val.Str), len(needle), d) &&
+				strdist.WithinDistance(needle, p.Triple.Val.Str, d)
+		}
+		res, err := s.grid.PrefixQuery(t, from, triples.ShortValuePrefix(attr),
+			pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+		if err != nil {
+			return err
+		}
+		for _, p := range res {
+			oids[p.Triple.OID] = true
+		}
+		return nil
+	}
+	// Schema level: find short attribute names within distance via the
+	// catalog, then collect the objects carrying them.
+	filter := func(p triples.Posting) bool {
+		return p.Index == triples.IndexCatalog &&
+			strdist.WithinDistance(needle, p.Triple.Attr, d)
+	}
+	cat, err := s.grid.PrefixQuery(t, from, triples.CatalogPrefix(),
+		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+	if err != nil {
+		return err
+	}
+	for _, c := range cat {
+		res, err := s.grid.PrefixQuery(t, from, triples.AttrPrefix(c.Triple.Attr), pgrid.RangeOptions{})
+		if err != nil {
+			return err
+		}
+		for _, p := range res {
+			oids[p.Triple.OID] = true
+		}
+	}
+	return nil
+}
+
+// similarNaive implements the baseline of Section 4: "send a query to each
+// peer which is responsible for a part of the strings to be compared. The
+// contacted peers then compare the queried string to the data available
+// locally and send matching results back." Instance level scans the
+// attribute's value partitions; schema level scans the whole attribute-value
+// family and compares attribute names.
+func (s *Store) similarNaive(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int) ([]Match, error) {
+	var prefix keys.Key
+	var filter func(triples.Posting) bool
+	schema := attr == ""
+	if schema {
+		prefix = triples.AllAttrsPrefix()
+		filter = func(p triples.Posting) bool {
+			return p.Index == triples.IndexAttrValue &&
+				strdist.WithinDistance(needle, p.Triple.Attr, d)
+		}
+	} else {
+		prefix = triples.AttrStringPrefix(attr)
+		filter = func(p triples.Posting) bool {
+			return p.Index == triples.IndexAttrValue &&
+				p.Triple.Val.Kind == triples.KindString &&
+				strdist.WithinDistance(needle, p.Triple.Val.Str, d)
+		}
+	}
+	res, err := s.grid.PrefixQuery(t, from, prefix,
+		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+	if err != nil {
+		return nil, err
+	}
+	oids := make(map[string]bool, len(res))
+	for _, p := range res {
+		oids[p.Triple.OID] = true
+	}
+	objects, err := s.reconstruct(t, from, setToSlice(oids))
+	if err != nil {
+		return nil, err
+	}
+	return verifyMatches(objects, needle, attr, d, schema), nil
+}
+
+// reconstruct fetches the complete objects for a set of oids with one batched
+// multicast over the oid index (lines 10-11 of Algorithm 2, using the
+// shower-style batching the paper lists as an implemented optimization).
+func (s *Store) reconstruct(t *metrics.Tally, from simnet.NodeID, oids []string) ([]triples.Tuple, error) {
+	return s.reconstructOpt(t, from, oids, false)
+}
+
+func (s *Store) reconstructOpt(t *metrics.Tally, from simnet.NodeID, oids []string, unbatched bool) ([]triples.Tuple, error) {
+	if len(oids) == 0 {
+		return nil, nil
+	}
+	sort.Strings(oids)
+	ks := make([]keys.Key, len(oids))
+	for i, oid := range oids {
+		ks[i] = triples.OIDKey(oid)
+	}
+	postings, err := s.fetch(t, from, ks, unbatched)
+	if err != nil {
+		return nil, err
+	}
+	byOID := make(map[string][]triples.Triple)
+	for _, p := range postings {
+		if p.Index == triples.IndexOID {
+			byOID[p.Triple.OID] = append(byOID[p.Triple.OID], p.Triple)
+		}
+	}
+	out := make([]triples.Tuple, 0, len(byOID))
+	for _, oid := range oids {
+		if ts := byOID[oid]; len(ts) > 0 {
+			out = append(out, triples.Recompose(oid, ts))
+		}
+	}
+	return out, nil
+}
+
+// verifyMatches performs the final edit-distance verification (line 23 of
+// Algorithm 2) on reconstructed objects and assembles Match results. At
+// instance level every string value of attr is checked; at schema level every
+// attribute name is.
+func verifyMatches(objects []triples.Tuple, needle, attr string, d int, schema bool) []Match {
+	var out []Match
+	seen := make(map[string]bool)
+	for _, o := range objects {
+		for _, f := range o.Fields {
+			var candidate string
+			if schema {
+				candidate = f.Name
+			} else {
+				if f.Name != attr || f.Val.Kind != triples.KindString {
+					continue
+				}
+				candidate = f.Val.Str
+			}
+			dist, ok := strdist.LevenshteinBounded(needle, candidate, d)
+			if !ok {
+				continue
+			}
+			key := o.OID + "\x00" + f.Name + "\x00" + candidate
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Match{
+				OID:      o.OID,
+				Attr:     f.Name,
+				Matched:  candidate,
+				Distance: dist,
+				Object:   o,
+			})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// sortMatches orders results deterministically: by distance, then matched
+// string, then oid, then attribute.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.Matched != b.Matched {
+			return a.Matched < b.Matched
+		}
+		if a.OID != b.OID {
+			return a.OID < b.OID
+		}
+		return a.Attr < b.Attr
+	})
+}
+
+func setToSlice(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,338 @@
+// Package ops implements the paper's physical operators over a P-Grid
+// overlay: the basic string-similarity operator of Algorithm 2 in its three
+// variants (naive full-string scan, q-grams, q-samples), similarity joins
+// (Algorithm 3), top-N queries with MIN/MAX/NN ranking (Algorithms 4 and 5),
+// and the exact/range selections the VQL executor composes them with.
+//
+// A Store wraps a constructed grid with the vertical storage scheme of
+// Sections 3 and 4: every triple (oid, A, v) is indexed by oid, by A#v and by
+// v, plus one posting per positional q-gram of v (instance level) and of A
+// (schema level). Two small side indexes — short values and the attribute
+// catalog — close the completeness gap of pure q-gram lookups for strings
+// below the guarantee threshold (see strdist.GuaranteeThreshold); they are a
+// documented extension of this reproduction.
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/pgrid"
+	"repro/internal/simnet"
+	"repro/internal/strdist"
+	"repro/internal/triples"
+)
+
+// Method selects the string-similarity evaluation strategy compared in the
+// paper's Figure 1.
+type Method int
+
+const (
+	// MethodQGrams probes every overlapping positional q-gram of the needle.
+	MethodQGrams Method = iota
+	// MethodQSamples probes only d+1 non-overlapping q-grams (the q-sample),
+	// trading more candidates for fewer lookups.
+	MethodQSamples
+	// MethodNaive ships the needle to every partition holding values of the
+	// attribute and compares locally ("strings" in Figure 1).
+	MethodNaive
+)
+
+// String names the method as in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case MethodQGrams:
+		return "qgrams"
+	case MethodQSamples:
+		return "qsamples"
+	case MethodNaive:
+		return "strings"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// StoreConfig fixes the storage-scheme parameters.
+type StoreConfig struct {
+	// Q is the gram size (default 3).
+	Q int
+	// MaxDistance is the largest similarity distance the store is tuned
+	// for; it sizes the short-value index (default 5, the maximum distance
+	// of the paper's evaluation queries).
+	MaxDistance int
+	// ShortLimit overrides the short-value index limit; 0 derives it from Q
+	// and MaxDistance via strdist.GuaranteeThreshold.
+	ShortLimit int
+	// DisableShortIndex turns the completeness extension off entirely,
+	// reproducing the paper's storage scheme verbatim.
+	DisableShortIndex bool
+}
+
+func (c *StoreConfig) normalize() {
+	if c.Q <= 0 {
+		c.Q = 3
+	}
+	if c.MaxDistance <= 0 {
+		c.MaxDistance = 5
+	}
+	if c.ShortLimit <= 0 {
+		c.ShortLimit = strdist.GuaranteeThreshold(c.Q, c.MaxDistance)
+	}
+}
+
+// Store is the vertical triple store over a P-Grid overlay.
+type Store struct {
+	grid *pgrid.Grid
+	cfg  StoreConfig
+
+	mu        sync.Mutex
+	attrsSeen map[string]bool
+	counts    map[triples.IndexKind]int64
+	loaded    int64
+}
+
+// NewStore wraps a constructed grid. The grid should have been built with a
+// key sample from IndexKeys over the data to be loaded, so partitions balance.
+func NewStore(grid *pgrid.Grid, cfg StoreConfig) *Store {
+	cfg.normalize()
+	return &Store{
+		grid:      grid,
+		cfg:       cfg,
+		attrsSeen: make(map[string]bool),
+		counts:    make(map[triples.IndexKind]int64),
+	}
+}
+
+// Grid exposes the underlying overlay.
+func (s *Store) Grid() *pgrid.Grid { return s.grid }
+
+// Config returns the normalized store configuration.
+func (s *Store) Config() StoreConfig { return s.cfg }
+
+// indexEntry pairs a storage key with its posting.
+type indexEntry struct {
+	key     keys.Key
+	posting triples.Posting
+}
+
+// entriesForTriple computes every index entry of one triple per the storage
+// scheme: oid, attr#value and value postings carrying the full triple; one
+// slim posting per padded q-gram of a string value (keyed attr#gram) and per
+// padded q-gram of the attribute name (keyed by the gram alone); a
+// short-value posting when the value is below the guarantee threshold; and a
+// catalog posting the first time an attribute name is seen.
+func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []indexEntry {
+	full := triples.Posting{Triple: tr}
+	out := make([]indexEntry, 0, 8)
+
+	add := func(kind triples.IndexKind, k keys.Key, p triples.Posting) {
+		p.Index = kind
+		out = append(out, indexEntry{key: k, posting: p})
+	}
+
+	add(triples.IndexOID, triples.OIDKey(tr.OID), full)
+	add(triples.IndexAttrValue, triples.AttrValueKey(tr.Attr, tr.Val), full)
+	add(triples.IndexValue, triples.ValueKey(tr.Val), full)
+
+	if tr.Val.Kind == triples.KindString {
+		v := tr.Val.Str
+		slim := triples.Posting{Triple: triples.Triple{OID: tr.OID, Attr: tr.Attr}}
+		for _, g := range strdist.PaddedGrams(v, s.cfg.Q) {
+			p := slim
+			p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(v)
+			add(triples.IndexGram, triples.GramKey(tr.Attr, g.Text), p)
+		}
+		if !s.cfg.DisableShortIndex && len(v) < s.cfg.ShortLimit {
+			add(triples.IndexShort, triples.ShortValueKey(tr.Attr, tr.Val), full)
+		}
+	}
+
+	// Schema-level grams: one posting per q-gram of the attribute name, per
+	// triple (Section 4: key(q_j^Ai) -> (oid, q_j^Ai, vi)). The posting
+	// carries the oid; the full object is reconstructed via the oid index.
+	slimAttr := triples.Posting{Triple: triples.Triple{OID: tr.OID}}
+	for _, g := range strdist.PaddedGrams(tr.Attr, s.cfg.Q) {
+		p := slimAttr
+		p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(tr.Attr)
+		add(triples.IndexSchemaGram, triples.SchemaGramKey(g.Text), p)
+	}
+
+	if newAttr && !s.cfg.DisableShortIndex {
+		add(triples.IndexCatalog, triples.CatalogKey(tr.Attr),
+			triples.Posting{Triple: triples.Triple{Attr: tr.Attr}})
+	}
+	return out
+}
+
+// markAttr records an attribute name, reporting whether it is new.
+func (s *Store) markAttr(attr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrsSeen[attr] {
+		return false
+	}
+	s.attrsSeen[attr] = true
+	return true
+}
+
+func (s *Store) recordEntries(es []indexEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range es {
+		s.counts[e.posting.Index]++
+	}
+	s.loaded++
+}
+
+// validateTriple applies the model validations plus the value byte rules the
+// key encoding requires.
+func validateTriple(tr triples.Triple) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	return triples.ValidateValue(tr.Val)
+}
+
+// IndexKeys returns the storage keys a triple will occupy; grid construction
+// uses them as the balancing sample.
+func (s *Store) IndexKeys(tr triples.Triple) ([]keys.Key, error) {
+	if err := validateTriple(tr); err != nil {
+		return nil, err
+	}
+	// Catalog entries are negligible for balancing; pass newAttr=false so
+	// sampling stays independent of call order.
+	es := s.entriesForTriple(tr, false)
+	ks := make([]keys.Key, len(es))
+	for i, e := range es {
+		ks[i] = e.key
+	}
+	return ks, nil
+}
+
+// CollectKeys returns the balancing sample for a whole dataset: every index
+// key of every triple of every tuple.
+func (s *Store) CollectKeys(tuples []triples.Tuple) ([]keys.Key, error) {
+	var out []keys.Key
+	for _, tu := range tuples {
+		ts, err := triples.Decompose(tu)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ts {
+			ks, err := s.IndexKeys(tr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ks...)
+		}
+	}
+	return out, nil
+}
+
+// LoadTriple stores one triple without message accounting (the bulk-load
+// phase, whose cost the paper does not measure).
+func (s *Store) LoadTriple(tr triples.Triple) error {
+	if err := validateTriple(tr); err != nil {
+		return err
+	}
+	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
+	for _, e := range es {
+		if err := s.grid.BulkInsert(e.key, e.posting); err != nil {
+			return fmt.Errorf("ops: loading %s: %w", tr, err)
+		}
+	}
+	s.recordEntries(es)
+	return nil
+}
+
+// LoadTuple bulk-loads a whole tuple.
+func (s *Store) LoadTuple(tu triples.Tuple) error {
+	ts, err := triples.Decompose(tu)
+	if err != nil {
+		return err
+	}
+	for _, tr := range ts {
+		if err := s.LoadTriple(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertTriple stores one triple with routed, fully accounted messages (one
+// routed insert per index entry), from the given initiating peer. The paper
+// notes this "overhead of storing, publishing and maintaining relations as
+// triples" in Section 8; the StorageOverhead benchmark measures it.
+func (s *Store) InsertTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Triple) error {
+	if err := validateTriple(tr); err != nil {
+		return err
+	}
+	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
+	for _, e := range es {
+		if err := s.grid.Insert(t, from, e.key, e.posting); err != nil {
+			return fmt.Errorf("ops: inserting %s: %w", tr, err)
+		}
+	}
+	s.recordEntries(es)
+	return nil
+}
+
+// InsertTuple inserts a whole tuple with accounting.
+func (s *Store) InsertTuple(t *metrics.Tally, from simnet.NodeID, tu triples.Tuple) error {
+	ts, err := triples.Decompose(tu)
+	if err != nil {
+		return err
+	}
+	for _, tr := range ts {
+		if err := s.InsertTriple(t, from, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteTriple removes every index entry of the triple, routed and accounted.
+func (s *Store) DeleteTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Triple) error {
+	if err := validateTriple(tr); err != nil {
+		return err
+	}
+	es := s.entriesForTriple(tr, false)
+	for _, e := range es {
+		match := func(p triples.Posting) bool {
+			return p.Triple.OID == tr.OID && p.GramText == e.posting.GramText &&
+				p.GramPos == e.posting.GramPos
+		}
+		if _, err := s.grid.Delete(t, from, e.key, match); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	for _, e := range es {
+		s.counts[e.posting.Index]--
+	}
+	s.loaded--
+	s.mu.Unlock()
+	return nil
+}
+
+// StorageStats reports posting counts per index family; the storage-overhead
+// experiment (E4) reads them.
+type StorageStats struct {
+	Triples  int64
+	ByIndex  map[triples.IndexKind]int64
+	Postings int64
+}
+
+// Stats snapshots the storage statistics.
+func (s *Store) Stats() StorageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := StorageStats{Triples: s.loaded, ByIndex: make(map[triples.IndexKind]int64, len(s.counts))}
+	for k, v := range s.counts {
+		out.ByIndex[k] = v
+		out.Postings += v
+	}
+	return out
+}

@@ -1,0 +1,679 @@
+// Package pgrid implements the P-Grid structured overlay (Aberer et al.) that
+// the paper builds its similarity operators on.
+//
+// Peers refer to a common underlying binary trie: each peer p is associated
+// with a leaf of the trie, a key-space partition identified by the binary
+// string pi(p), the peer's path. For every prefix pi(p,l) of its path the
+// peer keeps references rho(p,l) to peers in the complementary subtrie
+// (pi(p,l) with the last bit inverted), which enables prefix routing in
+// O(log N) messages (Algorithm 1 of the paper). Multiple peers may share one
+// partition (structural replication).
+//
+// The construction algorithm reproduces the storage balancing of Aberer et
+// al. (VLDB 2005, reference [2]): the trie is split greedily on the densest
+// partitions of a key sample, so each leaf carries a roughly equal share of
+// the data regardless of key skew — the property Section 6 of the paper
+// relies on ("we achieve a reasonable uniform distribution of data items
+// among peers regardless of the actual data distribution").
+package pgrid
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// Config controls grid construction and query behaviour.
+type Config struct {
+	// Replication is the target number of peers per key-space partition
+	// (structural replication). The number of partitions is approximately
+	// Peers/Replication.
+	Replication int
+	// RefsPerLevel is the number of redundant routing references kept per
+	// trie level (the paper's "randomized choice of routing references from
+	// the complementary subtrie" plus redundancy for fault tolerance).
+	RefsPerLevel int
+	// MaxDepth caps trie depth during construction.
+	MaxDepth int
+	// Seed drives all randomized choices (construction shuffles and routing
+	// reference selection), making experiments reproducible.
+	Seed int64
+	// ReplyEmpty, if set, makes contacted peers send result messages even
+	// when they hold no matches. The default (false) matches cost models in
+	// which silence means "no results".
+	ReplyEmpty bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Replication:  1,
+		RefsPerLevel: 2,
+		MaxDepth:     64,
+		Seed:         1,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Replication < 1 {
+		c.Replication = 1
+	}
+	if c.RefsPerLevel < 1 {
+		c.RefsPerLevel = 1
+	}
+	if c.MaxDepth < 1 {
+		c.MaxDepth = 64
+	}
+}
+
+// Peer is one simulated node: a trie leaf assignment, a routing table, and a
+// local ordered store of postings.
+type Peer struct {
+	id   simnet.NodeID
+	path keys.Key
+	// refs[l] holds routing references into the complementary subtrie at
+	// level l, i.e. peers q with pi(q, l+1) = pi(p, l+1) with last bit
+	// inverted.
+	refs [][]simnet.NodeID
+	// replicas are the other peers responsible for the same partition
+	// (sigma(p) in the paper).
+	replicas []simnet.NodeID
+
+	mu    sync.RWMutex
+	store *btree.Tree[triples.Posting]
+}
+
+// ID returns the peer's node id.
+func (p *Peer) ID() simnet.NodeID { return p.id }
+
+// Path returns the peer's trie path pi(p).
+func (p *Peer) Path() keys.Key { return p.path }
+
+// Replicas returns the other peers sharing this peer's partition.
+func (p *Peer) Replicas() []simnet.NodeID { return p.replicas }
+
+// Responsible reports whether the peer's partition can hold data for key k:
+// pi(p) is a prefix of k, or k is a (strict) prefix of pi(p) — the test of
+// Algorithm 1, line 1.
+func (p *Peer) Responsible(k keys.Key) bool {
+	return k.HasPrefix(p.path) || p.path.HasPrefix(k)
+}
+
+// StoreLen reports the number of postings held locally.
+func (p *Peer) StoreLen() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store.Len()
+}
+
+func (p *Peer) localPut(k keys.Key, posting triples.Posting) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store.Insert(k, posting)
+}
+
+func (p *Peer) localDelete(k keys.Key, match func(triples.Posting) bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.DeleteFunc(k, match)
+}
+
+// LocalPrefix returns the peer's local postings whose key extends k, without
+// any network cost. Operators use it where the paper reads local state, e.g.
+// the data-density estimate of Algorithm 4 (lines 1-2).
+func (p *Peer) LocalPrefix(k keys.Key) []triples.Posting { return p.localPrefix(k) }
+
+// localPrefix returns postings whose key extends k (Algorithm 1, line 2:
+// {d in delta(p) | key(d) contains key as prefix}).
+func (p *Peer) localPrefix(k keys.Key) []triples.Posting {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []triples.Posting
+	p.store.AscendPrefix(k, func(_ keys.Key, v triples.Posting) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// postingSet is a materialized snapshot of stored entries, used during
+// membership changes (data handover).
+type postingSet struct {
+	keys     []keys.Key
+	postings []triples.Posting
+	size     int
+}
+
+// allPostings snapshots the peer's whole store.
+func (p *Peer) allPostings() postingSet {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var s postingSet
+	p.store.Ascend(func(k keys.Key, v triples.Posting) bool {
+		s.keys = append(s.keys, k)
+		s.postings = append(s.postings, v)
+		s.size++
+		return true
+	})
+	return s
+}
+
+// adoptStore replaces the peer's store contents with the snapshot.
+func (p *Peer) adoptStore(s postingSet) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := btree.New[triples.Posting]()
+	for i := range s.keys {
+		t.Insert(s.keys[i], s.postings[i])
+	}
+	p.store = t
+}
+
+// partitionByHashedBit splits the peer's store by the given bit of the hashed
+// key: entries with the bit set form `moved` (the 1-side a splitting joiner
+// takes over), the rest `kept`.
+func (p *Peer) partitionByHashedBit(h *hasher, level int) (moved, kept postingSet) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.store.Ascend(func(k keys.Key, v triples.Posting) bool {
+		hk := h.hash(k)
+		dst := &kept
+		if hk.Len() > level && hk.Bit(level) == 1 {
+			dst = &moved
+		}
+		dst.keys = append(dst.keys, k)
+		dst.postings = append(dst.postings, v)
+		dst.size++
+		return true
+	})
+	return moved, kept
+}
+
+// localRange returns postings inside the interval, optionally filtered.
+func (p *Peer) localRange(iv keys.Interval, filter func(triples.Posting) bool) []triples.Posting {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []triples.Posting
+	p.store.AscendRange(iv, func(_ keys.Key, v triples.Posting) bool {
+		if filter == nil || filter(v) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// leafInfo describes one key-space partition.
+type leafInfo struct {
+	path  keys.Key // prefix in hashed (rank) space
+	peers []simnet.NodeID
+	items int // construction-sample item count, for stats
+}
+
+// hasher is the order-preserving hash function calibrated against the data
+// distribution, as P-Grid's construction prescribes (Aberer et al., VLDB
+// 2005, reference [2]: "indexing data-oriented overlay networks"). A key maps
+// to its rank among the sorted distinct sample keys, rendered as a fixed-width
+// bit string. The mapping is monotone, so range and prefix locality carry
+// over to hashed space, and it is distribution-calibrated, so the trie over
+// hashed space balances regardless of key skew — the property Section 6 of
+// the paper relies on. Keys between anchors share a rank; peers disambiguate
+// locally because their stores are keyed by original keys.
+type hasher struct {
+	anchors []keys.Key // sorted, distinct
+	width   int        // output bits
+}
+
+func newHasher(sortedSample []keys.Key) *hasher {
+	anchors := make([]keys.Key, 0, len(sortedSample))
+	for i, k := range sortedSample {
+		if i == 0 || !k.Equal(sortedSample[i-1]) {
+			anchors = append(anchors, k)
+		}
+	}
+	width := 1
+	for (1 << uint(width)) <= len(anchors)+1 {
+		width++
+	}
+	return &hasher{anchors: anchors, width: width}
+}
+
+// rankKey renders rank as a big-endian key of h.width bits.
+func (h *hasher) rankKey(rank int) keys.Key {
+	k := keys.Empty
+	for b := h.width - 1; b >= 0; b-- {
+		k = k.AppendBit((rank >> uint(b)) & 1)
+	}
+	return k
+}
+
+// hash maps a key to the rank key of |{anchors <= k}|. Monotone: a <= b
+// implies hash(a) <= hash(b).
+func (h *hasher) hash(k keys.Key) keys.Key {
+	n := sort.Search(len(h.anchors), func(i int) bool {
+		return h.anchors[i].Compare(k) > 0
+	})
+	return h.rankKey(n)
+}
+
+// hashHiPrefix maps the upper bound of an interval, counting anchors that are
+// <= k or extend k, matching the prefix-extension convention of
+// keys.Interval: every original key inside [lo, hi] hashes into
+// [hash(lo), hashHiPrefix(hi)].
+func (h *hasher) hashHiPrefix(k keys.Key) keys.Key {
+	n := sort.Search(len(h.anchors), func(i int) bool {
+		a := h.anchors[i]
+		return a.Compare(k) > 0 && !a.HasPrefix(k)
+	})
+	return h.rankKey(n)
+}
+
+// Grid is a fully constructed P-Grid overlay.
+type Grid struct {
+	net    *simnet.Network
+	cfg    Config
+	h      *hasher
+	peers  []*Peer
+	leaves []leafInfo // sorted by path
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// Errors returned by grid operations.
+var (
+	ErrNoPeers          = errors.New("pgrid: grid needs at least one peer")
+	ErrUnreachable      = errors.New("pgrid: partition unreachable (all routes down)")
+	ErrRoutingExhausted = errors.New("pgrid: routing did not converge")
+)
+
+// Build constructs a grid of nPeers peers over the given network. sample is a
+// representative multiset of the keys the grid will store; the trie is
+// balanced against it. The network must have capacity for nPeers nodes.
+func Build(net *simnet.Network, nPeers int, sample []keys.Key, cfg Config) (*Grid, error) {
+	cfg.normalize()
+	if nPeers < 1 {
+		return nil, ErrNoPeers
+	}
+	if net.Size() < nPeers {
+		net.Grow(nPeers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sorted := make([]keys.Key, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+
+	h := newHasher(sorted)
+	// A monotone hash keeps the sorted order, so the hashed sample is sorted.
+	hashed := make([]keys.Key, len(sorted))
+	for i, k := range sorted {
+		hashed[i] = h.hash(k)
+	}
+
+	targetLeaves := nPeers / cfg.Replication
+	if targetLeaves < 1 {
+		targetLeaves = 1
+	}
+	leafPaths := splitTrie(hashed, targetLeaves, cfg.MaxDepth)
+
+	g := &Grid{net: net, cfg: cfg, h: h, rng: rng}
+	g.leaves = make([]leafInfo, len(leafPaths))
+	for i, lp := range leafPaths {
+		g.leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
+	}
+	sort.Slice(g.leaves, func(i, j int) bool { return g.leaves[i].path.Less(g.leaves[j].path) })
+
+	g.assignPeers(nPeers, rng)
+	g.buildRoutingTables(rng)
+	return g, nil
+}
+
+// buildLeaf is a leaf under construction: a path plus the half-open range of
+// the sorted sample it covers.
+type buildLeaf struct {
+	path   keys.Key
+	lo, hi int
+}
+
+// leafHeap orders build leaves by descending item count so the densest
+// partition splits first.
+type leafHeap []buildLeaf
+
+func (h leafHeap) Len() int           { return len(h) }
+func (h leafHeap) Less(i, j int) bool { return h[i].hi-h[i].lo > h[j].hi-h[j].lo }
+func (h leafHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *leafHeap) Push(x any)        { *h = append(*h, x.(buildLeaf)) }
+func (h *leafHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h leafHeap) peekCount() int     { return h[0].hi - h[0].lo }
+
+// splitTrie greedily splits the densest leaf until the target leaf count is
+// reached or no leaf can split further (all keys equal, or depth cap). Every
+// split creates both children so the trie stays complete: search can always
+// make progress toward any key (Section 2: "the algorithm always terminates
+// successfully, if the P-Grid is complete").
+func splitTrie(sorted []keys.Key, target, maxDepth int) []buildLeaf {
+	var done []buildLeaf
+	h := &leafHeap{{path: keys.Empty, lo: 0, hi: len(sorted)}}
+	for len(done)+h.Len() < target && h.Len() > 0 {
+		leaf := heap.Pop(h).(buildLeaf)
+		if !splittable(sorted, leaf, maxDepth) {
+			done = append(done, leaf)
+			continue
+		}
+		level := leaf.path.Len()
+		mid := leaf.lo + sort.Search(leaf.hi-leaf.lo, func(i int) bool {
+			k := sorted[leaf.lo+i]
+			return k.Len() > level && k.Bit(level) == 1
+		})
+		heap.Push(h, buildLeaf{path: leaf.path.AppendBit(0), lo: leaf.lo, hi: mid})
+		heap.Push(h, buildLeaf{path: leaf.path.AppendBit(1), lo: mid, hi: leaf.hi})
+	}
+	done = append(done, *h...)
+	// The greedy loop may stop with only unsplittable leaves left on the
+	// heap while some heap leaves were splittable; the loop above already
+	// handles that by re-pushing. Nothing further to do.
+	return done
+}
+
+// splittable reports whether a leaf can still be divided: below the depth
+// cap, holding at least one item, and not all keys equal.
+func splittable(sorted []keys.Key, l buildLeaf, maxDepth int) bool {
+	if l.path.Len() >= maxDepth || l.hi-l.lo < 2 {
+		return false
+	}
+	return !sorted[l.lo].Equal(sorted[l.hi-1])
+}
+
+// assignPeers distributes nPeers over the leaves: one peer per leaf first
+// (the trie must stay complete), then the remainder proportionally to each
+// leaf's data share (hot partitions get more structural replicas).
+func (g *Grid) assignPeers(nPeers int, rng *rand.Rand) {
+	ids := rng.Perm(nPeers)
+	counts := make([]int, len(g.leaves))
+	total := 0
+	for i := range g.leaves {
+		counts[i] = 1
+		total += g.leaves[i].items
+	}
+	extra := nPeers - len(g.leaves)
+	if extra > 0 && total > 0 {
+		assigned := 0
+		for i := range g.leaves {
+			share := extra * g.leaves[i].items / total
+			counts[i] += share
+			assigned += share
+		}
+		// Distribute the remainder round-robin over the densest leaves.
+		order := make([]int, len(g.leaves))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return g.leaves[order[a]].items > g.leaves[order[b]].items
+		})
+		for i := 0; assigned < extra; i = (i + 1) % len(order) {
+			counts[order[i]]++
+			assigned++
+		}
+	} else if extra > 0 {
+		// No sample data: spread evenly.
+		for i := 0; extra > 0; i = (i + 1) % len(g.leaves) {
+			counts[i]++
+			extra--
+		}
+	}
+
+	g.peers = make([]*Peer, nPeers)
+	next := 0
+	for li := range g.leaves {
+		for c := 0; c < counts[li]; c++ {
+			id := simnet.NodeID(ids[next])
+			next++
+			p := &Peer{id: id, path: g.leaves[li].path, store: btree.New[triples.Posting]()}
+			g.peers[id] = p
+			g.leaves[li].peers = append(g.leaves[li].peers, id)
+		}
+	}
+	for li := range g.leaves {
+		members := g.leaves[li].peers
+		for _, id := range members {
+			p := g.peers[id]
+			for _, other := range members {
+				if other != id {
+					p.replicas = append(p.replicas, other)
+				}
+			}
+		}
+	}
+}
+
+// buildRoutingTables fills rho(p, l) for every peer: RefsPerLevel random
+// peers from the complementary subtrie at each level of the peer's path.
+func (g *Grid) buildRoutingTables(rng *rand.Rand) {
+	for _, p := range g.peers {
+		p.refs = make([][]simnet.NodeID, p.path.Len())
+		for l := 0; l < p.path.Len(); l++ {
+			sibling := p.path.Prefix(l + 1).FlipLast()
+			lo, hi := g.leafRange(sibling)
+			if lo >= hi {
+				// Cannot happen in a complete trie; keep the level empty
+				// rather than panicking so a corrupted build surfaces as
+				// ErrUnreachable at query time.
+				continue
+			}
+			seen := make(map[simnet.NodeID]bool)
+			want := g.cfg.RefsPerLevel
+			for attempt := 0; attempt < want*4 && len(p.refs[l]) < want; attempt++ {
+				leaf := &g.leaves[lo+rng.Intn(hi-lo)]
+				id := leaf.peers[rng.Intn(len(leaf.peers))]
+				if !seen[id] {
+					seen[id] = true
+					p.refs[l] = append(p.refs[l], id)
+				}
+			}
+		}
+	}
+}
+
+// RefreshRefs replaces routing references that point at failed peers with
+// live peers from the same complementary subtrie, modelling the continuous
+// routing-table maintenance of a self-organizing P-Grid (the redundancy that
+// keeps "the expected search cost ... logarithmic" under churn). It returns
+// the number of references replaced; references whose whole subtrie is down
+// are left in place.
+func (g *Grid) RefreshRefs() int {
+	changed := 0
+	for _, p := range g.peers {
+		for l := range p.refs {
+			hasDown := false
+			for _, id := range p.refs[l] {
+				if g.net.IsDown(id) {
+					hasDown = true
+					break
+				}
+			}
+			if !hasDown {
+				continue
+			}
+			sibling := p.path.Prefix(l + 1).FlipLast()
+			lo, hi := g.leafRange(sibling)
+			if lo >= hi {
+				continue
+			}
+			kept := p.refs[l][:0:0]
+			for _, id := range p.refs[l] {
+				if !g.net.IsDown(id) {
+					kept = append(kept, id)
+				}
+			}
+			// Refill up to the configured redundancy with fresh live peers;
+			// drop dead entries that cannot be replaced. If the whole
+			// subtrie is down, keep the old table (no better information).
+			for len(kept) < g.cfg.RefsPerLevel {
+				alt, ok := g.pickLiveInRange(lo, hi, kept)
+				if !ok {
+					break
+				}
+				kept = append(kept, alt)
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			p.refs[l] = kept
+			changed++
+		}
+	}
+	return changed
+}
+
+// pickLiveInRange draws a live peer from the leaves in [lo, hi) that is not
+// already present in exclude.
+func (g *Grid) pickLiveInRange(lo, hi int, exclude []simnet.NodeID) (simnet.NodeID, bool) {
+	isExcluded := func(id simnet.NodeID) bool {
+		if g.net.IsDown(id) {
+			return true
+		}
+		for _, e := range exclude {
+			if e == id {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		leaf := &g.leaves[lo+g.randIntn(hi-lo)]
+		id := leaf.peers[g.randIntn(len(leaf.peers))]
+		if !isExcluded(id) {
+			return id, true
+		}
+	}
+	// Random probing failed (dense failures); fall back to a linear sweep.
+	for li := lo; li < hi; li++ {
+		for _, id := range g.leaves[li].peers {
+			if !isExcluded(id) {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// leafRange returns the half-open index range of leaves whose path has the
+// given prefix.
+func (g *Grid) leafRange(prefix keys.Key) (int, int) {
+	lo := sort.Search(len(g.leaves), func(i int) bool {
+		return g.leaves[i].path.Compare(prefix) >= 0
+	})
+	hi := sort.Search(len(g.leaves), func(i int) bool {
+		return g.leaves[i].path.Compare(prefix) > 0 && !g.leaves[i].path.HasPrefix(prefix)
+	})
+	return lo, hi
+}
+
+// leafForHashed returns the index of the leaf responsible for a hashed key:
+// the single leaf whose path is a prefix of it, or, if the hashed key is
+// shorter than the trie at that point, the first leaf below it.
+func (g *Grid) leafForHashed(hk keys.Key) int {
+	lo, hi := g.leafRange(hk)
+	if lo < hi {
+		return lo
+	}
+	// hk extends some leaf path: the leaf with the longest path that is a
+	// prefix of hk sorts immediately at or before hk.
+	i := sort.Search(len(g.leaves), func(i int) bool {
+		return g.leaves[i].path.Compare(hk) > 0
+	})
+	if i > 0 && hk.HasPrefix(g.leaves[i-1].path) {
+		return i - 1
+	}
+	return -1
+}
+
+// Net returns the underlying network.
+func (g *Grid) Net() *simnet.Network { return g.net }
+
+// Config returns the build configuration.
+func (g *Grid) Config() Config { return g.cfg }
+
+// PeerCount returns the number of peers.
+func (g *Grid) PeerCount() int { return len(g.peers) }
+
+// LeafCount returns the number of key-space partitions.
+func (g *Grid) LeafCount() int { return len(g.leaves) }
+
+// Peer returns the peer with the given id.
+func (g *Grid) Peer(id simnet.NodeID) (*Peer, error) {
+	if int(id) < 0 || int(id) >= len(g.peers) {
+		return nil, fmt.Errorf("pgrid: no peer %d", id)
+	}
+	return g.peers[id], nil
+}
+
+// RandomPeer returns a uniformly random peer id, e.g. to act as a query
+// initiator (the paper chooses initiating peers randomly in Section 6).
+func (g *Grid) RandomPeer() simnet.NodeID {
+	g.rngMu.Lock()
+	defer g.rngMu.Unlock()
+	return g.peers[g.rng.Intn(len(g.peers))].id
+}
+
+// randIntn returns a random int below n using the grid's seeded source.
+func (g *Grid) randIntn(n int) int {
+	g.rngMu.Lock()
+	defer g.rngMu.Unlock()
+	return g.rng.Intn(n)
+}
+
+// Stats summarizes the constructed overlay for tools and tests.
+type Stats struct {
+	Peers        int
+	Leaves       int
+	MinDepth     int
+	MaxDepth     int
+	AvgDepth     float64
+	MaxLeafItems int
+	AvgRefs      float64
+	StoredItems  int
+}
+
+// Stats computes overlay statistics.
+func (g *Grid) Stats() Stats {
+	s := Stats{Peers: len(g.peers), Leaves: len(g.leaves), MinDepth: 1 << 30}
+	depthSum := 0
+	for _, l := range g.leaves {
+		d := l.path.Len()
+		if d < s.MinDepth {
+			s.MinDepth = d
+		}
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		depthSum += d
+		if l.items > s.MaxLeafItems {
+			s.MaxLeafItems = l.items
+		}
+	}
+	if len(g.leaves) > 0 {
+		s.AvgDepth = float64(depthSum) / float64(len(g.leaves))
+	}
+	refSum := 0
+	for _, p := range g.peers {
+		for _, level := range p.refs {
+			refSum += len(level)
+		}
+		s.StoredItems += p.StoreLen()
+	}
+	if len(g.peers) > 0 {
+		s.AvgRefs = float64(refSum) / float64(len(g.peers))
+	}
+	return s
+}

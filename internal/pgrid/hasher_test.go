@@ -1,0 +1,123 @@
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func randomKeys(rng *rand.Rand, n int) []keys.Key {
+	out := make([]keys.Key, n)
+	for i := range out {
+		out[i] = keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(3000)))
+	}
+	return out
+}
+
+func TestHasherMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := randomKeys(rng, 500)
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	h := newHasher(sample)
+	for i := 0; i < 2000; i++ {
+		a := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(4000)))
+		b := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(4000)))
+		ha, hb := h.hash(a), h.hash(b)
+		if a.Compare(b) < 0 && ha.Compare(hb) > 0 {
+			t.Fatalf("hash not monotone: %s < %s but %s > %s", a, b, ha, hb)
+		}
+		if a.Equal(b) && !ha.Equal(hb) {
+			t.Fatalf("equal keys hash differently")
+		}
+	}
+}
+
+func TestHasherFixedWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := randomKeys(rng, 300)
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	h := newHasher(sample)
+	for i := 0; i < 100; i++ {
+		k := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(4000)))
+		if got := h.hash(k); got.Len() != h.width {
+			t.Fatalf("hash width %d, want %d", got.Len(), h.width)
+		}
+	}
+	// Width must be able to represent ranks 0..len(anchors).
+	if 1<<uint(h.width) <= len(h.anchors)+1 {
+		t.Errorf("width %d cannot represent %d ranks", h.width, len(h.anchors)+1)
+	}
+}
+
+func TestHasherBalances(t *testing.T) {
+	// Highly skewed keys (long shared prefixes) must still map to evenly
+	// spread ranks — this is the property that keeps the trie balanced.
+	var sample []keys.Key
+	for i := 0; i < 1024; i++ {
+		sample = append(sample, keys.StringKey(fmt.Sprintf("A#word#s-%06d", i)))
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	h := newHasher(sample)
+	// Hash of the i-th distinct key must be rank i+1.
+	for i, k := range sample {
+		want := h.rankKey(i + 1)
+		if !h.hash(k).Equal(want) {
+			t.Fatalf("hash(anchor %d) = %s, want %s", i, h.hash(k), want)
+		}
+	}
+}
+
+func TestHasherIntervalMapping(t *testing.T) {
+	// Every key inside an original interval must hash into the hashed
+	// interval [hash(lo), hashHiPrefix(hi)].
+	rng := rand.New(rand.NewSource(3))
+	sample := randomKeys(rng, 400)
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	h := newHasher(sample)
+	for trial := 0; trial < 500; trial++ {
+		lo := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(3000)))
+		hi := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(3000)))
+		if hi.Less(lo) {
+			lo, hi = hi, lo
+		}
+		iv := keys.Interval{Lo: lo, Hi: hi}
+		ivH := keys.Interval{Lo: h.hash(lo), Hi: h.hashHiPrefix(hi)}
+		for i := 0; i < 50; i++ {
+			k := keys.StringKey(fmt.Sprintf("x%04d", rng.Intn(3000)))
+			if iv.Contains(k) && !ivH.Contains(h.hash(k)) {
+				t.Fatalf("key %s in %v but hash %s outside %v", k, iv, h.hash(k), ivH)
+			}
+		}
+	}
+}
+
+func TestHasherPrefixMapping(t *testing.T) {
+	// Keys extending a prefix must hash into [hash(p), hashHiPrefix(p)].
+	var sample []keys.Key
+	words := []string{"car", "care", "cart", "cat", "dog", "do", "door"}
+	for _, w := range words {
+		sample = append(sample, keys.StringKey(w+"\x00"))
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	h := newHasher(sample)
+	p := keys.StringKey("ca")
+	ivH := keys.Interval{Lo: h.hash(p), Hi: h.hashHiPrefix(p)}
+	for _, w := range words {
+		k := keys.StringKey(w + "\x00")
+		in := k.HasPrefix(p)
+		if in && !ivH.Contains(h.hash(k)) {
+			t.Errorf("%q extends prefix but hashes outside", w)
+		}
+	}
+}
+
+func TestHasherEmptySample(t *testing.T) {
+	h := newHasher(nil)
+	k := h.hash(keys.StringKey("anything"))
+	if k.Len() != h.width || h.width < 1 {
+		t.Errorf("empty-sample hash = %s (width %d)", k, h.width)
+	}
+}

@@ -1,0 +1,210 @@
+package pgrid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// Membership errors.
+var (
+	ErrSoleOwner = errors.New("pgrid: peer is the sole owner of its partition; graceful leave needs a replica")
+	ErrNotMember = errors.New("pgrid: no such peer")
+)
+
+// handoverMsg transfers stored postings to a joining or replacement peer.
+type handoverMsg struct {
+	postings []triples.Posting
+}
+
+func (m handoverMsg) Size() int {
+	n := msgOverhead
+	for _, p := range m.postings {
+		n += p.EncodedSize()
+	}
+	return n
+}
+func (m handoverMsg) Kind() string { return "pgrid.handover" }
+
+// refExchangeMsg carries routing-table entries during join.
+type refExchangeMsg struct {
+	levels int
+}
+
+func (m refExchangeMsg) Size() int    { return msgOverhead + m.levels*4 }
+func (m refExchangeMsg) Kind() string { return "pgrid.refexchange" }
+
+// Join adds one new peer to a running grid, reproducing the P-Grid
+// construction interaction of reference [2]: the newcomer meets the most
+// loaded partition; if that partition is replicated, the newcomer becomes a
+// further structural replica (copying the data); if it has a single owner,
+// owner and newcomer split the partition one bit deeper — the owner keeps the
+// 0-side, the newcomer adopts the 1-side, and the data is divided by the next
+// key bit. All transferred postings and exchanged routing entries are
+// accounted on the tally. The new peer's id is returned.
+func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
+	newID := simnet.NodeID(len(g.peers))
+	g.net.Grow(int(newID) + 1)
+
+	li := g.mostLoadedLeaf()
+	leaf := &g.leaves[li]
+	host := g.peers[g.pickAlive(leaf.peers)]
+
+	np := &Peer{id: newID, store: btree.New[triples.Posting]()}
+	g.peers = append(g.peers, np)
+
+	if len(leaf.peers) > 1 || leaf.path.Len() >= g.h.width {
+		// Replicated partition (or the trie cannot deepen further in the
+		// fixed-width hashed space): join as another replica.
+		g.joinAsReplica(t, np, li, host)
+		return newID, nil
+	}
+	g.splitPartition(t, np, li, host)
+	return newID, nil
+}
+
+// joinAsReplica copies the host's data and routing table to the newcomer and
+// registers it with every existing member of the partition.
+func (g *Grid) joinAsReplica(t *metrics.Tally, np *Peer, li int, host *Peer) {
+	leaf := &g.leaves[li]
+	np.path = leaf.path
+
+	all := host.allPostings()
+	_ = g.net.Send(t, host.id, np.id, handoverMsg{postings: all.postings})
+	np.adoptStore(all)
+
+	np.refs = make([][]simnet.NodeID, len(host.refs))
+	for l := range host.refs {
+		np.refs[l] = append([]simnet.NodeID(nil), host.refs[l]...)
+	}
+	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: len(host.refs)})
+
+	for _, id := range leaf.peers {
+		np.replicas = append(np.replicas, id)
+		g.peers[id].replicas = append(g.peers[id].replicas, np.id)
+	}
+	leaf.peers = append(leaf.peers, np.id)
+}
+
+// splitPartition deepens the trie below the host's partition: host keeps
+// path+0, the newcomer takes path+1, and the host's postings whose hashed key
+// has bit len(path) set move to the newcomer.
+func (g *Grid) splitPartition(t *metrics.Tally, np *Peer, li int, host *Peer) {
+	oldPath := g.leaves[li].path
+	level := oldPath.Len()
+	path0 := oldPath.AppendBit(0)
+	path1 := oldPath.AppendBit(1)
+
+	moved, kept := host.partitionByHashedBit(g.h, level)
+	_ = g.net.Send(t, host.id, np.id, handoverMsg{postings: moved.postings})
+
+	host.path = path0
+	np.path = path1
+	host.adoptStore(kept)
+	np.adoptStore(moved)
+
+	// Routing tables: both inherit the levels above the split and reference
+	// each other at the new level (pi(p, level+1) with last bit inverted is
+	// exactly the other's path).
+	np.refs = make([][]simnet.NodeID, level+1)
+	for l := 0; l < level; l++ {
+		np.refs[l] = append([]simnet.NodeID(nil), host.refs[l]...)
+	}
+	np.refs[level] = []simnet.NodeID{host.id}
+	host.refs = append(host.refs, []simnet.NodeID{np.id})
+	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: level + 1})
+
+	// The split dissolves replica relationships (host had none: it was a
+	// sole owner) and rewrites the leaf table.
+	counts0 := kept.size
+	counts1 := moved.size
+	g.leaves[li] = leafInfo{path: path0, peers: []simnet.NodeID{host.id}, items: counts0}
+	g.leaves = append(g.leaves, leafInfo{path: path1, peers: []simnet.NodeID{np.id}, items: counts1})
+	sort.Slice(g.leaves, func(i, j int) bool { return g.leaves[i].path.Less(g.leaves[j].path) })
+}
+
+// Leave removes a peer gracefully: its partition must keep at least one
+// member, so a sole owner cannot leave (crash failures are modelled with
+// simnet.SetDown instead). The departing peer's replicas drop it from their
+// tables and other peers' routing references are repaired.
+func (g *Grid) Leave(t *metrics.Tally, id simnet.NodeID) error {
+	if int(id) < 0 || int(id) >= len(g.peers) || g.peers[id] == nil {
+		return fmt.Errorf("%w: %d", ErrNotMember, id)
+	}
+	p := g.peers[id]
+	li := g.leafIndexForPath(p.path)
+	if li < 0 {
+		return fmt.Errorf("pgrid: peer %d has no partition", id)
+	}
+	leaf := &g.leaves[li]
+	if len(leaf.peers) <= 1 {
+		return ErrSoleOwner
+	}
+	// Remove from the leaf and from replica lists.
+	leaf.peers = removeID(leaf.peers, id)
+	for _, other := range leaf.peers {
+		g.peers[other].replicas = removeID(g.peers[other].replicas, id)
+	}
+	// Mark the peer gone and repair routing tables that referenced it.
+	g.net.SetDown(id, true)
+	g.RefreshRefs()
+	g.peers[id] = &Peer{id: id, path: keys.Empty, store: btree.New[triples.Posting]()}
+	return nil
+}
+
+// leafIndexForPath finds the leaf with exactly the given path.
+func (g *Grid) leafIndexForPath(path keys.Key) int {
+	i := sort.Search(len(g.leaves), func(i int) bool {
+		return g.leaves[i].path.Compare(path) >= 0
+	})
+	if i < len(g.leaves) && g.leaves[i].path.Equal(path) {
+		return i
+	}
+	return -1
+}
+
+// mostLoadedLeaf returns the index of the partition holding the most
+// postings, the one a joining peer relieves first (storage load balancing).
+func (g *Grid) mostLoadedLeaf() int {
+	best, bestLoad := 0, -1
+	for i := range g.leaves {
+		load := 0
+		for _, id := range g.leaves[i].peers {
+			load += g.peers[id].StoreLen()
+		}
+		// Average per member: a partition with many replicas is fine.
+		load /= len(g.leaves[i].peers)
+		if load > bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// pickAlive returns a live member of ids (falling back to the first).
+func (g *Grid) pickAlive(ids []simnet.NodeID) simnet.NodeID {
+	start := g.randIntn(len(ids))
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		if !g.net.IsDown(id) {
+			return id
+		}
+	}
+	return ids[0]
+}
+
+func removeID(ids []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package pgrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// checkTrieInvariants verifies leaf paths are prefix-free, tile the key
+// space and every peer is registered exactly once.
+func checkTrieInvariants(t *testing.T, g *Grid) {
+	t.Helper()
+	maxDepth := 0
+	for _, l := range g.leaves {
+		if l.path.Len() > maxDepth {
+			maxDepth = l.path.Len()
+		}
+		if len(l.peers) == 0 {
+			t.Fatalf("leaf %s has no peers", l.path)
+		}
+	}
+	var total uint64
+	for _, l := range g.leaves {
+		total += uint64(1) << uint(maxDepth-l.path.Len())
+	}
+	if total != uint64(1)<<uint(maxDepth) {
+		t.Fatalf("leaves tile %d/%d of key space", total, uint64(1)<<uint(maxDepth))
+	}
+	for i := range g.leaves {
+		for j := range g.leaves {
+			if i != j && g.leaves[j].path.HasPrefix(g.leaves[i].path) {
+				t.Fatalf("leaf %s is prefix of %s", g.leaves[i].path, g.leaves[j].path)
+			}
+		}
+	}
+	seen := map[simnet.NodeID]bool{}
+	for _, l := range g.leaves {
+		for _, id := range l.peers {
+			if seen[id] {
+				t.Fatalf("peer %d in two partitions", id)
+			}
+			seen[id] = true
+			if !g.peers[id].path.Equal(l.path) {
+				t.Fatalf("peer %d path %s != leaf %s", id, g.peers[id].path, l.path)
+			}
+		}
+	}
+}
+
+func lookupAll(t *testing.T, g *Grid, n int, rng *rand.Rand) {
+	t.Helper()
+	alive := func() simnet.NodeID {
+		for {
+			id := simnet.NodeID(rng.Intn(len(g.peers)))
+			if !g.net.IsDown(id) && g.peers[id].path.Len() >= 0 && len(g.leaves) > 0 {
+				// Departed peers have empty stores but are marked down.
+				if !g.net.IsDown(id) {
+					return id
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		res, err := g.Lookup(nil, alive(), testKey(i))
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", i, err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("Lookup(%d) found %d postings", i, len(res))
+		}
+	}
+}
+
+func TestJoinSplitsMostLoadedPartition(t *testing.T) {
+	g, _ := buildTestGrid(t, 4, 400, DefaultConfig())
+	before := g.LeafCount()
+	var tally metrics.Tally
+	id, err := g.Join(&tally)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != 4 {
+		t.Errorf("new peer id = %d", id)
+	}
+	if g.LeafCount() != before+1 {
+		t.Errorf("leaf count %d, want %d", g.LeafCount(), before+1)
+	}
+	if tally.Messages == 0 || tally.Bytes == 0 {
+		t.Errorf("join cost not accounted: %+v", tally)
+	}
+	checkTrieInvariants(t, g)
+	lookupAll(t, g, 400, rand.New(rand.NewSource(1)))
+}
+
+func TestJoinManyPeersKeepsDataReachable(t *testing.T) {
+	g, _ := buildTestGrid(t, 3, 600, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		if _, err := g.Join(nil); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if g.PeerCount() != 43 {
+		t.Fatalf("peer count = %d", g.PeerCount())
+	}
+	checkTrieInvariants(t, g)
+	lookupAll(t, g, 600, rng)
+	// Load must have spread: the max partition load should have dropped
+	// well below the initial (600-ish on 3 peers).
+	maxLoad := 0
+	for _, p := range g.peers {
+		if l := p.StoreLen(); l > maxLoad {
+			maxLoad = l
+		}
+	}
+	stats := g.Stats()
+	if maxLoad > stats.StoredItems/2 {
+		t.Errorf("max load %d of %d items: joins did not balance", maxLoad, stats.StoredItems)
+	}
+}
+
+func TestJoinIntoReplicatedPartitionBecomesReplica(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 4 // few partitions, all replicated
+	g, _ := buildTestGrid(t, 8, 300, cfg)
+	leavesBefore := g.LeafCount()
+	id, err := g.Join(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.peers[id]
+	// Either it split (leaf count grew) or it joined as replica with data.
+	if g.LeafCount() == leavesBefore {
+		if len(p.replicas) == 0 {
+			t.Error("replica join without replica links")
+		}
+		if p.StoreLen() == 0 {
+			t.Error("replica join without data handover")
+		}
+	}
+	checkTrieInvariants(t, g)
+}
+
+func TestLeaveWithReplicaPreservesData(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.RefsPerLevel = 3
+	g, _ := buildTestGrid(t, 24, 400, cfg)
+	// Find a peer with a replica.
+	var victim simnet.NodeID = -1
+	for _, l := range g.leaves {
+		if len(l.peers) >= 2 {
+			victim = l.peers[0]
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no replicated partition")
+	}
+	if err := g.Leave(nil, victim); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for i := 0; i < 400; i += 2 {
+		var from simnet.NodeID
+		for {
+			from = simnet.NodeID(rng.Intn(24))
+			if !g.net.IsDown(from) {
+				break
+			}
+		}
+		res, err := g.Lookup(nil, from, testKey(i))
+		if err == nil && len(res) == 1 {
+			found++
+		}
+	}
+	if found < 195 {
+		t.Errorf("only %d/200 lookups succeeded after leave", found)
+	}
+}
+
+func TestLeaveSoleOwnerRefused(t *testing.T) {
+	g, _ := buildTestGrid(t, 8, 200, DefaultConfig()) // replication 1
+	err := g.Leave(nil, g.leaves[0].peers[0])
+	if err != ErrSoleOwner {
+		t.Errorf("Leave sole owner = %v, want ErrSoleOwner", err)
+	}
+}
+
+func TestLeaveUnknownPeer(t *testing.T) {
+	g, _ := buildTestGrid(t, 4, 50, DefaultConfig())
+	if err := g.Leave(nil, 99); err == nil {
+		t.Error("Leave(99) succeeded")
+	}
+}
+
+func TestJoinThenInsertAndLookupNewData(t *testing.T) {
+	g, _ := buildTestGrid(t, 4, 300, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if _, err := g.Join(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New data inserted after the joins must be found, including data landing
+	// in freshly split partitions.
+	k := keys.StringKey("k999777")
+	if err := g.Insert(nil, 0, k, testPosting(999777)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Lookup(nil, 2, k)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("lookup after join+insert = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,316 @@
+package pgrid
+
+import (
+	"errors"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// pickRef selects a live routing reference of p at level l, preferring a
+// random one (the paper's randomized routing keeps expected search cost at
+// 0.5*log N regardless of trie shape) and falling back to the remaining
+// redundant references when peers are down.
+func (g *Grid) pickRef(p *Peer, l int) (simnet.NodeID, error) {
+	if l < 0 || l >= len(p.refs) || len(p.refs[l]) == 0 {
+		return 0, ErrUnreachable
+	}
+	refs := p.refs[l]
+	start := g.randIntn(len(refs))
+	for i := 0; i < len(refs); i++ {
+		id := refs[(start+i)%len(refs)]
+		if !g.net.IsDown(id) {
+			return id, nil
+		}
+	}
+	return 0, ErrUnreachable
+}
+
+// routeToward implements the routing loop of Algorithm 1: starting at from,
+// repeatedly forward to a reference in the complementary subtrie at the
+// divergence level until stop(peer) holds. target is a hashed-space key. Each
+// hop sends one message built by mkMsg. The common prefix with the target
+// grows by at least one bit per hop, so the loop terminates within
+// target.Len() hops on a complete trie.
+func (g *Grid) routeToward(t *metrics.Tally, from simnet.NodeID, target keys.Key,
+	stop func(*Peer) bool, mkMsg func() simnet.Message) (simnet.NodeID, error) {
+
+	cur := from
+	for hop := 0; hop <= target.Len()+1; hop++ {
+		p, err := g.Peer(cur)
+		if err != nil {
+			return 0, err
+		}
+		if stop(p) {
+			return cur, nil
+		}
+		l := p.path.CommonPrefixLen(target)
+		next, err := g.pickRef(p, l)
+		if err != nil {
+			return 0, err
+		}
+		if err := g.net.Send(t, cur, next, mkMsg()); err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return 0, ErrRoutingExhausted
+}
+
+// Lookup retrieves all postings whose key extends k (Algorithm 1 semantics:
+// {d | key(d) has k as prefix}), routing from the initiating peer to the
+// responsible partition and returning results in one message to the
+// initiator.
+func (g *Grid) Lookup(t *metrics.Tally, from simnet.NodeID, k keys.Key) ([]triples.Posting, error) {
+	hk := g.h.hash(k)
+	dest, err := g.routeToward(t, from, hk,
+		func(p *Peer) bool { return p.Responsible(hk) },
+		func() simnet.Message { return lookupMsg{key: k} })
+	if err != nil {
+		return nil, err
+	}
+	p := g.peers[dest]
+	res := p.localPrefix(k)
+	if len(res) > 0 || g.cfg.ReplyEmpty {
+		if err := g.net.Send(t, dest, from, resultMsg{postings: res}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// hashedKey pairs an original key with its hashed-space image during batched
+// routing.
+type hashedKey struct {
+	orig keys.Key
+	h    keys.Key
+}
+
+// MultiLookup retrieves postings for a batch of full-length keys with one
+// multicast over the trie instead of one routed lookup per key — the
+// optimization Section 4 describes as collecting "the calls to Retrieve() and
+// contact[ing] peers only once using a routing algorithm similar to the
+// shower algorithm in [6]". Each involved partition receives the subset of
+// keys it is responsible for and answers the initiator directly.
+func (g *Grid) MultiLookup(t *metrics.Tally, from simnet.NodeID, ks []keys.Key) ([]triples.Posting, error) {
+	if len(ks) == 0 {
+		return nil, nil
+	}
+	hks := make([]hashedKey, len(ks))
+	for i, k := range ks {
+		hks[i] = hashedKey{orig: k, h: g.h.hash(k)}
+	}
+	var out []triples.Posting
+	err := g.multiStep(t, from, from, hks, 0, &out)
+	return out, err
+}
+
+func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
+	ks []hashedKey, scope int, out *[]triples.Posting) error {
+
+	p, err := g.Peer(at)
+	if err != nil {
+		return err
+	}
+	var local []triples.Posting
+	served := false
+	rest := ks[:0:0]
+	for _, k := range ks {
+		if p.Responsible(k.h) {
+			served = true
+			local = append(local, p.localPrefix(k.orig)...)
+		} else {
+			rest = append(rest, k)
+		}
+	}
+	if len(local) > 0 || (g.cfg.ReplyEmpty && served) {
+		if err := g.net.Send(t, at, initiator, resultMsg{postings: local}); err != nil {
+			return err
+		}
+		*out = append(*out, local...)
+	}
+	var errs []error
+	for l := scope; l < p.path.Len() && len(rest) > 0; l++ {
+		sibling := p.path.Prefix(l + 1).FlipLast()
+		var subset []hashedKey
+		var keep []hashedKey
+		for _, k := range rest {
+			if k.h.HasPrefix(sibling) || sibling.HasPrefix(k.h) {
+				subset = append(subset, k)
+			} else {
+				keep = append(keep, k)
+			}
+		}
+		rest = keep
+		if len(subset) == 0 {
+			continue
+		}
+		next, err := g.pickRef(p, l)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		origs := make([]keys.Key, len(subset))
+		for i, k := range subset {
+			origs[i] = k.orig
+		}
+		if err := g.net.Send(t, at, next, multiLookupMsg{keys: origs}); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := g.multiStep(t, initiator, next, subset, l+1, out); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RangeOptions customizes a range query.
+type RangeOptions struct {
+	// Filter, if non-nil, is evaluated at each contacted peer; only matching
+	// postings travel back to the initiator. This models query predicates
+	// shipped with the range query (e.g. the naive similarity scan, which
+	// ships the needle string and lets peers "compare the queried string to
+	// the data available locally").
+	Filter func(triples.Posting) bool
+	// FilterBytes is the wire size of the shipped predicate, added to every
+	// forwarded range message.
+	FilterBytes int
+}
+
+// RangeQuery delivers the closed interval iv to every partition overlapping
+// it using the shower algorithm of reference [6]: the query is routed to one
+// peer inside the range and then trickles down the trie via routing
+// references, reaching every overlapping partition exactly once. Results are
+// sent directly to the initiator by each contributing peer.
+func (g *Grid) RangeQuery(t *metrics.Tally, from simnet.NodeID, iv keys.Interval, opts RangeOptions) ([]triples.Posting, error) {
+	if !iv.Valid() {
+		return nil, errors.New("pgrid: invalid interval (Lo after Hi)")
+	}
+	ivH := keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}
+	dest, err := g.routeToward(t, from, ivH.Lo,
+		func(p *Peer) bool { return ivH.OverlapsPrefix(p.path) },
+		func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} })
+	if err != nil {
+		return nil, err
+	}
+	var out []triples.Posting
+	err = g.showerStep(t, from, dest, iv, ivH, 0, opts, &out)
+	return out, err
+}
+
+// PrefixQuery retrieves every posting whose key extends the given prefix,
+// visiting all partitions below it (unlike Lookup, which per Algorithm 1
+// answers from a single partition). Implemented as a degenerate range query:
+// the closed interval [p, p] under the prefix-extension convention spans
+// exactly the subtrie of p.
+func (g *Grid) PrefixQuery(t *metrics.Tally, from simnet.NodeID, prefix keys.Key, opts RangeOptions) ([]triples.Posting, error) {
+	return g.RangeQuery(t, from, keys.Interval{Lo: prefix, Hi: prefix}, opts)
+}
+
+// showerStep serves the range locally and forwards it into every overlapping
+// sibling subtrie at levels >= scope, which delivers the query to each
+// overlapping partition exactly once. iv is the original-space interval
+// evaluated against stored keys; ivH is its hashed-space image used for trie
+// pruning.
+func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
+	iv, ivH keys.Interval, scope int, opts RangeOptions, out *[]triples.Posting) error {
+
+	p, err := g.Peer(at)
+	if err != nil {
+		return err
+	}
+	if ivH.OverlapsPrefix(p.path) {
+		res := p.localRange(iv, opts.Filter)
+		if len(res) > 0 || g.cfg.ReplyEmpty {
+			if err := g.net.Send(t, at, initiator, resultMsg{postings: res}); err != nil {
+				return err
+			}
+			*out = append(*out, res...)
+		}
+	}
+	var errs []error
+	for l := scope; l < p.path.Len(); l++ {
+		sibling := p.path.Prefix(l + 1).FlipLast()
+		if !ivH.OverlapsPrefix(sibling) {
+			continue
+		}
+		next, err := g.pickRef(p, l)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := g.net.Send(t, at, next, rangeMsg{iv: iv, filterBytes: opts.FilterBytes}); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := g.showerStep(t, initiator, next, iv, ivH, l+1, opts, out); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Insert routes a posting from the initiating peer to the responsible
+// partition and replicates it to the partition's structural replicas. Every
+// hop and every replica update costs one message.
+func (g *Grid) Insert(t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
+	hk := g.h.hash(k)
+	dest, err := g.routeToward(t, from, hk,
+		func(p *Peer) bool { return p.Responsible(hk) },
+		func() simnet.Message { return insertMsg{key: k, posting: posting} })
+	if err != nil {
+		return err
+	}
+	p := g.peers[dest]
+	p.localPut(k, posting)
+	var errs []error
+	for _, r := range p.replicas {
+		if err := g.net.Send(t, dest, r, replicateMsg{key: k, posting: posting}); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		g.peers[r].localPut(k, posting)
+	}
+	return errors.Join(errs...)
+}
+
+// BulkInsert stores a posting at every peer of the responsible partition
+// without routing or accounting. The evaluation uses it for the load phase,
+// whose cost the paper does not measure.
+func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
+	li := g.leafForHashed(g.h.hash(k))
+	if li < 0 {
+		return errors.New("pgrid: no partition covers key")
+	}
+	for _, id := range g.leaves[li].peers {
+		g.peers[id].localPut(k, posting)
+	}
+	return nil
+}
+
+// Delete routes a deletion to the responsible partition and removes the
+// first posting with key k accepted by match (nil matches any) there and at
+// its replicas. It reports whether anything was deleted.
+func (g *Grid) Delete(t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error) {
+	hk := g.h.hash(k)
+	dest, err := g.routeToward(t, from, hk,
+		func(p *Peer) bool { return p.Responsible(hk) },
+		func() simnet.Message { return deleteMsg{key: k} })
+	if err != nil {
+		return false, err
+	}
+	p := g.peers[dest]
+	deleted := p.localDelete(k, match)
+	var errs []error
+	for _, r := range p.replicas {
+		if err := g.net.Send(t, dest, r, deleteMsg{key: k}); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		g.peers[r].localDelete(k, match)
+	}
+	return deleted, errors.Join(errs...)
+}

@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/triples"
+	"repro/internal/vql"
+)
+
+func term(kind vql.TermKind, text string, num float64) vql.Term {
+	return vql.Term{Kind: kind, Text: text, Num: num}
+}
+
+func TestEvalFilterCompare(t *testing.T) {
+	row := Row{"p": triples.Number(100), "n": triples.String("bmw")}
+	cases := []struct {
+		f    vql.Filter
+		want bool
+	}{
+		{vql.Filter{Left: term(vql.TermVar, "p", 0), Op: vql.OpLT, Right: term(vql.TermNumber, "", 200)}, true},
+		{vql.Filter{Left: term(vql.TermVar, "p", 0), Op: vql.OpGT, Right: term(vql.TermNumber, "", 200)}, false},
+		{vql.Filter{Left: term(vql.TermVar, "p", 0), Op: vql.OpGE, Right: term(vql.TermNumber, "", 100)}, true},
+		{vql.Filter{Left: term(vql.TermVar, "p", 0), Op: vql.OpLE, Right: term(vql.TermNumber, "", 99)}, false},
+		{vql.Filter{Left: term(vql.TermVar, "n", 0), Op: vql.OpEQ, Right: term(vql.TermString, "bmw", 0)}, true},
+		{vql.Filter{Left: term(vql.TermVar, "n", 0), Op: vql.OpNE, Right: term(vql.TermString, "vw", 0)}, true},
+		// Cross-kind comparisons: only != holds.
+		{vql.Filter{Left: term(vql.TermVar, "n", 0), Op: vql.OpEQ, Right: term(vql.TermNumber, "", 1)}, false},
+		{vql.Filter{Left: term(vql.TermVar, "n", 0), Op: vql.OpNE, Right: term(vql.TermNumber, "", 1)}, true},
+		{vql.Filter{Left: term(vql.TermVar, "n", 0), Op: vql.OpLT, Right: term(vql.TermNumber, "", 1)}, false},
+	}
+	for i, c := range cases {
+		if got := evalFilter(c.f, row); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestEvalFilterDist(t *testing.T) {
+	row := Row{"n": triples.String("bmw"), "p": triples.Number(100)}
+	str := vql.Filter{Kind: vql.FilterDist,
+		Left: term(vql.TermVar, "n", 0), Right: term(vql.TermString, "bwm", 0),
+		Op: vql.OpLE, Bound: 2}
+	if !evalFilter(str, row) {
+		t.Error("dist(bmw,bwm) <= 2 failed")
+	}
+	str.Bound = 1
+	if evalFilter(str, row) {
+		t.Error("dist(bmw,bwm) <= 1 passed")
+	}
+	num := vql.Filter{Kind: vql.FilterDist,
+		Left: term(vql.TermVar, "p", 0), Right: term(vql.TermNumber, "", 105),
+		Op: vql.OpLT, Bound: 6}
+	if !evalFilter(num, row) {
+		t.Error("dist(100,105) < 6 failed")
+	}
+	num.Bound = 5
+	if evalFilter(num, row) {
+		t.Error("dist(100,105) < 5 passed (strict)")
+	}
+	// Mixed kinds have no distance.
+	mixed := vql.Filter{Kind: vql.FilterDist,
+		Left: term(vql.TermVar, "n", 0), Right: term(vql.TermNumber, "", 1),
+		Op: vql.OpLE, Bound: 100}
+	if evalFilter(mixed, row) {
+		t.Error("mixed-kind dist passed")
+	}
+}
+
+func TestEvalFilterUnboundVar(t *testing.T) {
+	f := vql.Filter{Left: term(vql.TermVar, "missing", 0), Op: vql.OpEQ,
+		Right: term(vql.TermNumber, "", 1)}
+	if evalFilter(f, Row{}) {
+		t.Error("filter with unbound var passed")
+	}
+}
+
+func TestMaxEditDistance(t *testing.T) {
+	cases := []struct {
+		op    vql.CompareOp
+		bound float64
+		want  int
+	}{
+		{vql.OpLT, 2, 1},
+		{vql.OpLT, 2.5, 2},
+		{vql.OpLT, 1, 0},
+		{vql.OpLT, 0, -1},
+		{vql.OpLE, 2, 2},
+		{vql.OpLE, 2.9, 2},
+		{vql.OpLE, 0, 0},
+	}
+	for _, c := range cases {
+		if got := maxEditDistance(c.op, c.bound); got != c.want {
+			t.Errorf("maxEditDistance(%s, %g) = %d, want %d", c.op, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestNumericDistBounds(t *testing.T) {
+	lo, hi := numericDistBounds(100, 10, vql.OpLT)
+	if lo.Value != 90 || hi.Value != 110 || !lo.Open || !hi.Open {
+		t.Errorf("strict bounds = %+v, %+v", lo, hi)
+	}
+	lo, hi = numericDistBounds(100, 10, vql.OpLE)
+	if lo.Open || hi.Open {
+		t.Errorf("closed bounds = %+v, %+v", lo, hi)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{"a": triples.Number(1)}
+	c := r.clone()
+	c["b"] = triples.Number(2)
+	if _, ok := r["b"]; ok {
+		t.Error("clone aliased the original")
+	}
+}

@@ -1,0 +1,301 @@
+// Package plan turns parsed VQL queries into executable physical plans over
+// the operators of internal/ops.
+//
+// The paper focuses on physical operators and assumes "finally generated
+// query plans are included in messages" (Section 3); this package supplies
+// the missing query processor: access-path selection (exact lookup, range
+// scan, similarity scan on instance or schema level, keyword lookup),
+// greedy join ordering over shared variables, similarity joins driven by
+// dist() filters, post-filtering, and ORDER BY / LIMIT / OFFSET — including a
+// fast path that maps rank-aware queries onto the top-N operators of
+// Algorithm 4.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+	"repro/internal/strdist"
+	"repro/internal/triples"
+	"repro/internal/vql"
+)
+
+// Row binds variable names to values. OIDs and attribute names bind as
+// string values.
+type Row map[string]triples.Value
+
+// clone copies a row before extension.
+func (r Row) clone() Row {
+	out := make(Row, len(r)+2)
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Context carries the execution environment: the store, the initiating peer,
+// and the per-query cost tally. Objects reconstructed once are cached at the
+// initiator ("pre-processing locally materialized intermediate results",
+// Section 4), so later steps do not refetch them.
+type Context struct {
+	Store *ops.Store
+	Tally *metrics.Tally
+	From  simnet.NodeID
+
+	objCache map[string]triples.Tuple
+}
+
+// NewContext builds an execution context. A nil tally disables per-query
+// accounting (the global collector still counts).
+func NewContext(store *ops.Store, from simnet.NodeID, tally *metrics.Tally) *Context {
+	return &Context{Store: store, Tally: tally, From: from, objCache: map[string]triples.Tuple{}}
+}
+
+func (c *Context) cachePut(t triples.Tuple) {
+	if t.OID != "" {
+		c.objCache[t.OID] = t
+	}
+}
+
+// objects returns the tuples for the oids, fetching only the uncached ones.
+func (c *Context) objects(oids []string) (map[string]triples.Tuple, error) {
+	var missing []string
+	for _, oid := range oids {
+		if _, ok := c.objCache[oid]; !ok {
+			missing = append(missing, oid)
+		}
+	}
+	if len(missing) > 0 {
+		fetched, err := c.Store.LookupObjects(c.Tally, c.From, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range fetched {
+			c.cachePut(t)
+		}
+	}
+	out := make(map[string]triples.Tuple, len(oids))
+	for _, oid := range oids {
+		if t, ok := c.objCache[oid]; ok {
+			out[oid] = t
+		}
+	}
+	return out, nil
+}
+
+// Step is one physical plan operator.
+type Step interface {
+	// Describe renders the step for EXPLAIN output.
+	Describe() string
+	// Run extends every input row; initial input is a single empty row.
+	Run(ctx *Context, in []Row) ([]Row, error)
+}
+
+// Plan is an executable query plan.
+type Plan struct {
+	Query *vql.Query
+	Steps []Step
+}
+
+// Explain renders the plan, one step per line.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, s.Describe())
+	}
+	if p.Query.Order != nil {
+		fmt.Fprintf(&b, "    %s\n", p.Query.Order)
+	}
+	if p.Query.Limit >= 0 {
+		fmt.Fprintf(&b, "    LIMIT %d OFFSET %d\n", p.Query.Limit, p.Query.Offset)
+	}
+	return b.String()
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]triples.Value
+}
+
+// StepProfile records what one executed step did: its rendered description,
+// the rows it produced, and the overlay cost it incurred.
+type StepProfile struct {
+	Step string
+	Rows int
+	Cost metrics.Tally
+}
+
+// Execute runs the plan and applies ordering, offset, limit and projection.
+func (p *Plan) Execute(ctx *Context) (*Result, error) {
+	res, _, err := p.execute(ctx, false)
+	return res, err
+}
+
+// ExecuteProfiled runs the plan and additionally returns a per-step profile
+// (EXPLAIN ANALYZE): row counts and message/byte cost per physical step.
+// Per-step cost accounting requires a non-nil ctx.Tally.
+func (p *Plan) ExecuteProfiled(ctx *Context) (*Result, []StepProfile, error) {
+	return p.execute(ctx, true)
+}
+
+func (p *Plan) execute(ctx *Context, profiled bool) (*Result, []StepProfile, error) {
+	rows := []Row{{}}
+	var err error
+	var profile []StepProfile
+	for _, s := range p.Steps {
+		var before metrics.Tally
+		if ctx.Tally != nil {
+			before = *ctx.Tally
+		}
+		rows, err = s.Run(ctx, rows)
+		if err != nil {
+			return nil, profile, fmt.Errorf("plan: step %q: %w", s.Describe(), err)
+		}
+		if profiled {
+			sp := StepProfile{Step: s.Describe(), Rows: len(rows)}
+			if ctx.Tally != nil {
+				sp.Cost = ctx.Tally.Sub(before)
+			}
+			profile = append(profile, sp)
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	q := p.Query
+	if q.Order != nil {
+		sortRows(rows, q.Order)
+	} else {
+		canonicalSort(rows, p.columns())
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	cols := p.columns()
+	out := &Result{Columns: cols}
+	for _, r := range rows {
+		vals := make([]triples.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = r[c]
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out, profile, nil
+}
+
+// columns resolves the projection list ("*" expands to all pattern vars).
+func (p *Plan) columns() []string {
+	if len(p.Query.Select) == 1 && p.Query.Select[0] == "*" {
+		return p.Query.Vars()
+	}
+	return p.Query.Select
+}
+
+// sortRows orders rows per the ORDER BY clause. NN ranks by distance to the
+// target (edit distance for strings, absolute difference for numbers).
+func sortRows(rows []Row, o *vql.Order) {
+	key := func(r Row) float64 {
+		v := r[o.Var]
+		if !o.NN {
+			return 0
+		}
+		switch {
+		case v.Kind == triples.KindString && o.NNTarget.Kind != vql.TermNumber:
+			return float64(strdist.Levenshtein(v.Str, o.NNTarget.Text))
+		case v.Kind == triples.KindNumber && o.NNTarget.Kind == vql.TermNumber:
+			return math.Abs(v.Num - o.NNTarget.Num)
+		default:
+			return math.Inf(1) // incomparable sorts last
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i][o.Var], rows[j][o.Var]
+		if o.NN {
+			ka, kb := key(rows[i]), key(rows[j])
+			if ka != kb {
+				return ka < kb
+			}
+			return a.Compare(b) < 0
+		}
+		c := a.Compare(b)
+		if o.Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+}
+
+// canonicalSort gives unordered results a deterministic order so tests,
+// examples and experiments are reproducible.
+func canonicalSort(rows []Row, cols []string) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range cols {
+			if d := rows[i][c].Compare(rows[j][c]); d != 0 {
+				return d < 0
+			}
+		}
+		return false
+	})
+}
+
+// Format renders the result as an aligned text table for shells and examples.
+func (r *Result) Format() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c) + 1
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for i, v := range row {
+			s := v.Render()
+			cells[ri][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		fmt.Fprintf(&b, "%-*s ", widths[i], "?"+c)
+	}
+	b.WriteString("\n")
+	for i := range r.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + " ")
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for i, s := range row {
+			fmt.Fprintf(&b, "%-*s ", widths[i], s)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}
+
+// Run is the convenience entry point: parse, plan, execute.
+func Run(store *ops.Store, from simnet.NodeID, tally *metrics.Tally, query string, opts Options) (*Result, error) {
+	q, err := vql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Build(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(NewContext(store, from, tally))
+}

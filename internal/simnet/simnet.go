@@ -1,0 +1,152 @@
+// Package simnet is the shared-memory network simulator underneath the
+// P-Grid overlay.
+//
+// The paper evaluates its operators "using a simplified simulation ...
+// written in Java [that] works on shared memory", measuring the number of
+// messages and the transferred data volume. This package reproduces that
+// substrate: peers are in-process objects, and every logical network message
+// is routed through Network.Send, which performs the accounting (global
+// collector plus an optional per-query tally) and applies failure injection.
+// Delivery itself is a direct function call on the calling goroutine, exactly
+// as in a shared-memory simulator.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// NodeID identifies a simulated peer. IDs are dense, starting at 0.
+type NodeID int
+
+// Message is the unit of network traffic. Size must report the serialized
+// payload size in bytes (the paper's "data volume"); Kind labels the message
+// for per-kind accounting.
+type Message interface {
+	Size() int
+	Kind() string
+}
+
+// ErrNodeDown is returned by Send when the destination is marked failed.
+var ErrNodeDown = errors.New("simnet: destination node is down")
+
+// ErrUnknownNode is returned by Send for an unregistered destination.
+var ErrUnknownNode = errors.New("simnet: unknown node")
+
+// TraceEvent describes one delivered (or refused) message; tests and the
+// vqlsh tool can subscribe with SetTracer.
+type TraceEvent struct {
+	From, To NodeID
+	Msg      Message
+	Err      error
+}
+
+// Network is the message fabric. It owns the global metrics collector and the
+// failure set. It is safe for concurrent use.
+type Network struct {
+	mu     sync.RWMutex
+	nodes  int
+	down   map[NodeID]bool
+	tracer func(TraceEvent)
+
+	collector *metrics.Collector
+}
+
+// New returns a network expecting the given number of nodes (IDs 0..n-1).
+func New(n int) *Network {
+	return &Network{
+		nodes:     n,
+		down:      make(map[NodeID]bool),
+		collector: metrics.NewCollector(),
+	}
+}
+
+// Size reports the number of registered nodes.
+func (n *Network) Size() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.nodes
+}
+
+// Grow raises the node count (used when peers join after construction).
+func (n *Network) Grow(total int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if total > n.nodes {
+		n.nodes = total
+	}
+}
+
+// Collector exposes the global accounting.
+func (n *Network) Collector() *metrics.Collector { return n.collector }
+
+// SetTracer installs a callback invoked for every Send. Pass nil to remove.
+func (n *Network) SetTracer(fn func(TraceEvent)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = fn
+}
+
+// SetDown marks a node failed (true) or healthy (false). Sends to a failed
+// node return ErrNodeDown without being counted as delivered; the overlay is
+// expected to retry via replicas, which the paper attributes to P-Grid's
+// "redundant routing table entries and replication".
+func (n *Network) SetDown(id NodeID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// IsDown reports the failure status of a node.
+func (n *Network) IsDown(id NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[id]
+}
+
+// DownCount reports how many nodes are currently failed.
+func (n *Network) DownCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.down)
+}
+
+// Send accounts for one message from -> to. If tally is non-nil the message
+// is also added to the per-query tally. Local work (from == to) is free, as
+// in the paper's cost model: only overlay messages count.
+func (n *Network) Send(tally *metrics.Tally, from, to NodeID, m Message) error {
+	if from == to {
+		return nil
+	}
+	n.mu.RLock()
+	nodes := n.nodes
+	downTo := n.down[to]
+	tracer := n.tracer
+	n.mu.RUnlock()
+
+	var err error
+	switch {
+	case to < 0 || int(to) >= nodes:
+		err = fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	case downTo:
+		err = ErrNodeDown
+	}
+	if tracer != nil {
+		tracer(TraceEvent{From: from, To: to, Msg: m, Err: err})
+	}
+	if err != nil {
+		return err
+	}
+	n.collector.Record(m.Kind(), m.Size())
+	if tally != nil {
+		tally.Add(m.Size())
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+type testMsg struct {
+	size int
+	kind string
+}
+
+func (m testMsg) Size() int    { return m.size }
+func (m testMsg) Kind() string { return m.kind }
+
+func TestSendCountsMessages(t *testing.T) {
+	n := New(4)
+	var tally metrics.Tally
+	if err := n.Send(&tally, 0, 1, testMsg{10, "lookup"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(&tally, 1, 2, testMsg{20, "lookup"}); err != nil {
+		t.Fatal(err)
+	}
+	if tally.Messages != 2 || tally.Bytes != 30 {
+		t.Errorf("tally = %+v", tally)
+	}
+	total := n.Collector().Total()
+	if total.Messages != 2 || total.Bytes != 30 {
+		t.Errorf("collector = %+v", total)
+	}
+}
+
+func TestSendSelfIsFree(t *testing.T) {
+	n := New(2)
+	var tally metrics.Tally
+	if err := n.Send(&tally, 1, 1, testMsg{100, "lookup"}); err != nil {
+		t.Fatal(err)
+	}
+	if tally.Messages != 0 || n.Collector().Total().Messages != 0 {
+		t.Error("self-send was counted")
+	}
+}
+
+func TestSendNilTally(t *testing.T) {
+	n := New(2)
+	if err := n.Send(nil, 0, 1, testMsg{5, "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Collector().Total().Messages != 1 {
+		t.Error("global collector missed message with nil tally")
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := New(2)
+	if err := n.Send(nil, 0, 7, testMsg{5, "x"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+	if err := n.Send(nil, 0, -1, testMsg{5, "x"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+	if n.Collector().Total().Messages != 0 {
+		t.Error("failed send was counted")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	n := New(3)
+	n.SetDown(2, true)
+	if !n.IsDown(2) {
+		t.Error("IsDown(2) = false after SetDown")
+	}
+	if n.DownCount() != 1 {
+		t.Errorf("DownCount = %d", n.DownCount())
+	}
+	if err := n.Send(nil, 0, 2, testMsg{5, "x"}); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("err = %v, want ErrNodeDown", err)
+	}
+	n.SetDown(2, false)
+	if err := n.Send(nil, 0, 2, testMsg{5, "x"}); err != nil {
+		t.Errorf("send after recovery: %v", err)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	n := New(2)
+	var events []TraceEvent
+	n.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	n.Send(nil, 0, 1, testMsg{5, "x"})
+	n.SetDown(1, true)
+	n.Send(nil, 0, 1, testMsg{5, "x"})
+	if len(events) != 2 {
+		t.Fatalf("tracer saw %d events, want 2", len(events))
+	}
+	if events[0].Err != nil || events[1].Err == nil {
+		t.Errorf("tracer errors = %v, %v", events[0].Err, events[1].Err)
+	}
+	n.SetTracer(nil)
+	n.SetDown(1, false)
+	n.Send(nil, 0, 1, testMsg{5, "x"})
+	if len(events) != 2 {
+		t.Error("tracer fired after removal")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	n := New(2)
+	if n.Size() != 2 {
+		t.Fatalf("Size = %d", n.Size())
+	}
+	n.Grow(5)
+	if n.Size() != 5 {
+		t.Fatalf("Size after Grow = %d", n.Size())
+	}
+	if err := n.Send(nil, 0, 4, testMsg{1, "x"}); err != nil {
+		t.Errorf("send to grown node: %v", err)
+	}
+	n.Grow(3) // shrinking is ignored
+	if n.Size() != 5 {
+		t.Error("Grow shrank the network")
+	}
+}

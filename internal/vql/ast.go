@@ -1,0 +1,210 @@
+package vql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/triples"
+)
+
+// TermKind classifies a term of a triple pattern or filter expression.
+type TermKind int
+
+const (
+	// TermVar is a variable (?x).
+	TermVar TermKind = iota
+	// TermIdent is a bare identifier (an attribute name or oid constant).
+	TermIdent
+	// TermString is a quoted string literal.
+	TermString
+	// TermNumber is a numeric literal.
+	TermNumber
+)
+
+// Term is one element of a pattern or filter.
+type Term struct {
+	Kind TermKind
+	Text string  // variable name (without '?'), identifier, or string value
+	Num  float64 // numeric value for TermNumber
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == TermVar }
+
+// Value converts a literal term to a typed value; identifiers act as strings
+// (the paper writes oid and attribute constants unquoted).
+func (t Term) Value() (triples.Value, error) {
+	switch t.Kind {
+	case TermString, TermIdent:
+		return triples.String(t.Text), nil
+	case TermNumber:
+		return triples.Number(t.Num), nil
+	default:
+		return triples.Value{}, fmt.Errorf("vql: variable ?%s has no literal value", t.Text)
+	}
+}
+
+// String renders the term in query syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return "?" + t.Text
+	case TermString:
+		return "'" + strings.ReplaceAll(t.Text, "'", "''") + "'"
+	case TermNumber:
+		return trimFloat(t.Num)
+	default:
+		return t.Text
+	}
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", f), ".0")
+}
+
+// Pattern is one triple pattern (oid, attribute, value).
+type Pattern struct {
+	OID, Attr, Val Term
+}
+
+// String renders the pattern in query syntax.
+func (p Pattern) String() string {
+	return fmt.Sprintf("(%s,%s,%s)", p.OID, p.Attr, p.Val)
+}
+
+// CompareOp is a comparison operator in a FILTER expression.
+type CompareOp string
+
+// Comparison operators.
+const (
+	OpLT CompareOp = "<"
+	OpLE CompareOp = "<="
+	OpGT CompareOp = ">"
+	OpGE CompareOp = ">="
+	OpEQ CompareOp = "="
+	OpNE CompareOp = "!="
+)
+
+// FilterKind discriminates filter forms.
+type FilterKind int
+
+const (
+	// FilterCompare is `term op term`.
+	FilterCompare FilterKind = iota
+	// FilterDist is `dist(term, term) op number` — the similarity predicate
+	// (edit distance for strings, absolute distance for numbers).
+	FilterDist
+)
+
+// Filter is one FILTER(...) expression. All filters of a query combine
+// conjunctively (Section 3).
+type Filter struct {
+	Kind  FilterKind
+	Left  Term
+	Right Term
+	Op    CompareOp
+	// Bound is the distance bound of a dist filter.
+	Bound float64
+}
+
+// String renders the filter in query syntax.
+func (f Filter) String() string {
+	if f.Kind == FilterDist {
+		return fmt.Sprintf("FILTER (dist(%s,%s) %s %s)", f.Left, f.Right, f.Op, trimFloat(f.Bound))
+	}
+	return fmt.Sprintf("FILTER (%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// Order is the ORDER BY clause. Either a directional sort on a variable or a
+// nearest-neighbour ranking against a literal (ORDER BY ?a NN 'dlrid').
+type Order struct {
+	Var  string
+	Desc bool
+	NN   bool
+	// NNTarget is the ranking reference for NN ordering.
+	NNTarget Term
+}
+
+// String renders the clause.
+func (o Order) String() string {
+	if o.NN {
+		return fmt.Sprintf("ORDER BY ?%s NN %s", o.Var, o.NNTarget)
+	}
+	dir := "ASC"
+	if o.Desc {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("ORDER BY ?%s %s", o.Var, dir)
+}
+
+// Query is a parsed VQL query.
+type Query struct {
+	// Select lists the projected variable names (without '?'); a single "*"
+	// entry projects every bound variable.
+	Select []string
+	// Patterns are the conjunctive triple patterns of the WHERE clause.
+	Patterns []Pattern
+	// Filters are the conjunctive FILTER predicates.
+	Filters []Filter
+	// Order is the optional ORDER BY clause.
+	Order *Order
+	// Limit caps the result size (-1: none).
+	Limit int
+	// Offset skips leading results.
+	Offset int
+}
+
+// String renders the query in canonical syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, v := range q.Select {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		if v == "*" {
+			b.WriteString("*")
+		} else {
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, p := range q.Patterns {
+		b.WriteString(p.String())
+		b.WriteString(" ")
+	}
+	for _, f := range q.Filters {
+		b.WriteString(f.String())
+		b.WriteString(" ")
+	}
+	b.WriteString("}")
+	if q.Order != nil {
+		b.WriteString(" " + q.Order.String())
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// Vars returns every variable bound by the query's patterns, in first-use
+// order.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(t Term) {
+		if t.IsVar() && !seen[t.Text] {
+			seen[t.Text] = true
+			out = append(out, t.Text)
+		}
+	}
+	for _, p := range q.Patterns {
+		add(p.OID)
+		add(p.Attr)
+		add(p.Val)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// keywords are the reserved words of VQL, stored upper-case.
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "FILTER": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "NN": true,
+	"DIST": true,
+}
+
+// lexer turns query text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#': // line comment
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == ':' || c == '-' || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if up := strings.ToUpper(text); keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+
+	case c == '?':
+		l.advance()
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		if l.pos == start {
+			return Token{}, errAt(line, col, "expected variable name after '?'")
+		}
+		return Token{Kind: TokVar, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return Token{}, errAt(line, col, "unterminated string literal")
+			}
+			l.advance()
+			if c == '\'' {
+				// '' escapes a quote inside the literal (SQL style).
+				if c2, ok := l.peekByte(); ok && c2 == '\'' {
+					l.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
+			}
+			b.WriteByte(c)
+		}
+
+	case isDigit(c) || c == '-' || c == '+':
+		start := l.pos
+		l.advance() // sign or first digit
+		if (c == '-' || c == '+') && l.pos < len(l.src) && !isDigit(l.src[l.pos]) {
+			return Token{}, errAt(line, col, "expected digits after sign %q", string(c))
+		}
+		for {
+			c, ok := l.peekByte()
+			if !ok || !(isDigit(c) || c == '.' || c == 'e' || c == 'E') {
+				break
+			}
+			prev := c
+			l.advance()
+			if (prev == 'e' || prev == 'E') && l.pos < len(l.src) &&
+				(l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errAt(line, col, "invalid number %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: f, Line: line, Col: col}, nil
+
+	case c == '<' || c == '>' || c == '!':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return Token{Kind: TokPunct, Text: string(c) + "=", Line: line, Col: col}, nil
+		}
+		if c == '!' {
+			return Token{}, errAt(line, col, "expected '=' after '!'")
+		}
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+
+	case strings.IndexByte("(){},=*", c) >= 0:
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+// Lex tokenizes a whole query; used by tests and by the parser.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

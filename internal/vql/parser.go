@@ -1,0 +1,348 @@
+package vql
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parse parses and validates a VQL query.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return errAt(t.Line, t.Col, "expected %s, got %q", kw, t.Text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.Kind != TokPunct || t.Text != s {
+		return errAt(t.Line, t.Col, "expected %q, got %q", s, t.Text)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		switch {
+		case p.atPunct("("):
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			q.Patterns = append(q.Patterns, pat)
+		case p.atKeyword("FILTER"):
+			f, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+		default:
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "expected pattern, FILTER or '}', got %q", t.Text)
+		}
+	}
+	p.next() // consume '}'
+
+	if p.atKeyword("ORDER") {
+		o, err := p.parseOrder()
+		if err != nil {
+			return nil, err
+		}
+		q.Order = o
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		n, err := p.parseNonNegInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	if p.atKeyword("OFFSET") {
+		p.next()
+		n, err := p.parseNonNegInt("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		q.Offset = n
+	}
+	t := p.cur()
+	if t.Kind != TokEOF {
+		return nil, errAt(t.Line, t.Col, "unexpected trailing input %q", t.Text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	if p.atPunct("*") {
+		p.next()
+		q.Select = []string{"*"}
+		return nil
+	}
+	for {
+		t := p.next()
+		if t.Kind != TokVar {
+			return errAt(t.Line, t.Col, "expected variable in SELECT list, got %q", t.Text)
+		}
+		q.Select = append(q.Select, t.Text)
+		if !p.atPunct(",") {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// parseTerm parses a variable, identifier, string or number.
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokVar:
+		return Term{Kind: TermVar, Text: t.Text}, nil
+	case TokIdent:
+		return Term{Kind: TermIdent, Text: t.Text}, nil
+	case TokString:
+		return Term{Kind: TermString, Text: t.Text}, nil
+	case TokNumber:
+		return Term{Kind: TermNumber, Num: t.Num, Text: t.Text}, nil
+	default:
+		return Term{}, errAt(t.Line, t.Col, "expected term, got %s %q", t.Kind, t.Text)
+	}
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	var pat Pattern
+	if err := p.expectPunct("("); err != nil {
+		return pat, err
+	}
+	var err error
+	if pat.OID, err = p.parseTerm(); err != nil {
+		return pat, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return pat, err
+	}
+	if pat.Attr, err = p.parseTerm(); err != nil {
+		return pat, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return pat, err
+	}
+	if pat.Val, err = p.parseTerm(); err != nil {
+		return pat, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return pat, err
+	}
+	return pat, nil
+}
+
+func (p *parser) parseFilter() (Filter, error) {
+	var f Filter
+	p.next() // FILTER
+	if err := p.expectPunct("("); err != nil {
+		return f, err
+	}
+	if p.atKeyword("DIST") {
+		distTok := p.next()
+		if err := p.expectPunct("("); err != nil {
+			return f, err
+		}
+		var err error
+		if f.Left, err = p.parseTerm(); err != nil {
+			return f, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return f, err
+		}
+		if f.Right, err = p.parseTerm(); err != nil {
+			return f, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return f, err
+		}
+		op, err := p.parseCompareOp()
+		if err != nil {
+			return f, err
+		}
+		bound := p.next()
+		if bound.Kind != TokNumber {
+			return f, errAt(bound.Line, bound.Col, "dist() bound must be a number, got %q", bound.Text)
+		}
+		f.Kind = FilterDist
+		f.Op = op
+		f.Bound = bound.Num
+		if op != OpLT && op != OpLE {
+			return f, errAt(distTok.Line, distTok.Col,
+				"dist() supports only < and <= bounds, got %q", op)
+		}
+	} else {
+		var err error
+		if f.Left, err = p.parseTerm(); err != nil {
+			return f, err
+		}
+		if f.Op, err = p.parseCompareOp(); err != nil {
+			return f, err
+		}
+		if f.Right, err = p.parseTerm(); err != nil {
+			return f, err
+		}
+		f.Kind = FilterCompare
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseCompareOp() (CompareOp, error) {
+	t := p.next()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "<", "<=", ">", ">=", "=", "!=":
+			return CompareOp(t.Text), nil
+		}
+	}
+	return "", errAt(t.Line, t.Col, "expected comparison operator, got %q", t.Text)
+}
+
+func (p *parser) parseOrder() (*Order, error) {
+	p.next() // ORDER
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	v := p.next()
+	if v.Kind != TokVar {
+		return nil, errAt(v.Line, v.Col, "ORDER BY needs a variable, got %q", v.Text)
+	}
+	o := &Order{Var: v.Text}
+	switch {
+	case p.atKeyword("DESC"):
+		p.next()
+		o.Desc = true
+	case p.atKeyword("ASC"):
+		p.next()
+	case p.atKeyword("NN"):
+		p.next()
+		target, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if target.IsVar() {
+			return nil, errAt(v.Line, v.Col, "NN ranking target must be a literal")
+		}
+		o.NN = true
+		o.NNTarget = target
+	}
+	return o, nil
+}
+
+func (p *parser) parseNonNegInt(clause string) (int, error) {
+	t := p.next()
+	if t.Kind != TokNumber || t.Num < 0 || t.Num != math.Trunc(t.Num) {
+		return 0, errAt(t.Line, t.Col, "%s needs a non-negative integer, got %q", clause, t.Text)
+	}
+	return int(t.Num), nil
+}
+
+// Validate performs semantic checks on a parsed query.
+func Validate(q *Query) error {
+	if len(q.Patterns) == 0 {
+		return errAt(0, 0, "query needs at least one pattern")
+	}
+	bound := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, t := range []Term{p.OID, p.Attr, p.Val} {
+			if t.IsVar() {
+				bound[t.Text] = true
+			}
+		}
+		if p.Attr.Kind == TermNumber {
+			return errAt(0, 0, "attribute position of %s cannot be a number", p)
+		}
+		if p.OID.Kind == TermNumber {
+			return errAt(0, 0, "oid position of %s cannot be a number", p)
+		}
+	}
+	for _, v := range q.Select {
+		if v != "*" && !bound[v] {
+			return errAt(0, 0, "selected variable ?%s is not bound by any pattern", v)
+		}
+	}
+	for _, f := range q.Filters {
+		for _, t := range []Term{f.Left, f.Right} {
+			if t.IsVar() && !bound[t.Text] {
+				return errAt(0, 0, "filter %s uses unbound variable ?%s", f, t.Text)
+			}
+		}
+		if f.Kind == FilterDist {
+			if !f.Left.IsVar() && !f.Right.IsVar() {
+				return errAt(0, 0, "dist() needs at least one variable in %s", f)
+			}
+			if f.Bound < 0 {
+				return errAt(0, 0, "dist() bound must be non-negative in %s", f)
+			}
+		}
+	}
+	if q.Order != nil && !bound[q.Order.Var] {
+		return errAt(0, 0, "ORDER BY variable ?%s is not bound by any pattern", q.Order.Var)
+	}
+	return nil
+}
+
+// MustParse parses a query, panicking on error; for literals in tests and
+// examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("MustParse(%q): %v", src, err))
+	}
+	return q
+}

@@ -1,0 +1,86 @@
+// Package vql implements the Vertical Query Language of Section 3: a
+// SPARQL-flavoured SELECT/WHERE language over (oid, attribute, value) triple
+// patterns with FILTER predicates — including the dist() similarity function —
+// and optional ORDER BY (with the NN nearest-neighbour ranking), LIMIT and
+// OFFSET clauses. There is no FROM clause: the vertical storage scheme makes
+// relations implicit.
+//
+// The package provides the lexer, the abstract syntax tree, a recursive-
+// descent parser with positioned errors, and semantic validation. Planning
+// and execution live in internal/plan.
+package vql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokKeyword is a reserved word (SELECT, WHERE, FILTER, ORDER, BY, ASC,
+	// DESC, LIMIT, OFFSET, NN, DIST), matched case-insensitively.
+	TokKeyword
+	// TokIdent is an attribute name, possibly namespace-qualified (ns:name).
+	TokIdent
+	// TokVar is a variable: '?' followed by an identifier.
+	TokVar
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokPunct is punctuation: ( ) { } , and comparison operators.
+	TokPunct
+)
+
+// String names the kind for error messages.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of query"
+	case TokKeyword:
+		return "keyword"
+	case TokIdent:
+		return "identifier"
+	case TokVar:
+		return "variable"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // canonical text: keywords upper-cased, vars without '?'
+	Num  float64
+	Line int
+	Col  int
+}
+
+// Pos renders the token position for diagnostics.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+// Error is a positioned parse or validation error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line == 0 {
+		return "vql: " + e.Msg
+	}
+	return fmt.Sprintf("vql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,324 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+)
+
+// The three example queries from Section 3 of the paper must parse.
+const paperQuery1 = `
+SELECT ?n,?h,?p
+WHERE { (?o,name,?n) (?o,hp,?h) (?o,price,?p)
+FILTER (?p < 50000) }
+ORDER BY ?h DESC LIMIT 5`
+
+const paperQuery2 = `
+SELECT ?n,?h,?p,?dn,?a
+WHERE { (?x,dealer,?d) (?y,dlrid,?d)
+(?x,name,?n) (?x,hp,?h) (?x,price,?p)
+(?y,addr,?a) (?y,name,?dn)
+FILTER (?p < 50000)
+FILTER (dist(?n,'BMW') < 2)}
+ORDER BY ?h DESC LIMIT 5`
+
+const paperQuery3 = `
+SELECT ?n,?p,?dn,?ad
+WHERE { (?d,?a,?id) (?d,name,?dn) (?d,addr,?ad)
+(?o,name,?n) (?o,price,?p)
+(?o,dealer,?cid)
+FILTER (dist(?id,?cid) < 2)
+FILTER (dist(?a,'dlrid') < 3)}
+ORDER BY ?a NN 'dlrid'`
+
+func TestPaperQueriesParse(t *testing.T) {
+	for i, src := range []string{paperQuery1, paperQuery2, paperQuery3} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("paper query %d: %v", i+1, err)
+		}
+		if len(q.Patterns) == 0 {
+			t.Fatalf("paper query %d: no patterns", i+1)
+		}
+	}
+}
+
+func TestPaperQuery1Structure(t *testing.T) {
+	q := MustParse(paperQuery1)
+	if len(q.Select) != 3 || q.Select[0] != "n" || q.Select[2] != "p" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Patterns) != 3 {
+		t.Fatalf("Patterns = %v", q.Patterns)
+	}
+	p := q.Patterns[0]
+	if !p.OID.IsVar() || p.OID.Text != "o" {
+		t.Errorf("pattern oid = %v", p.OID)
+	}
+	if p.Attr.Kind != TermIdent || p.Attr.Text != "name" {
+		t.Errorf("pattern attr = %v", p.Attr)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Kind != FilterCompare || q.Filters[0].Op != OpLT {
+		t.Errorf("Filters = %v", q.Filters)
+	}
+	if q.Order == nil || q.Order.Var != "h" || !q.Order.Desc || q.Order.NN {
+		t.Errorf("Order = %+v", q.Order)
+	}
+	if q.Limit != 5 || q.Offset != 0 {
+		t.Errorf("Limit/Offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestPaperQuery3Structure(t *testing.T) {
+	q := MustParse(paperQuery3)
+	// (?d,?a,?id): variable in attribute position = schema-level pattern.
+	if !q.Patterns[0].Attr.IsVar() {
+		t.Error("first pattern attribute should be a variable")
+	}
+	var distVarVar, distVarLit bool
+	for _, f := range q.Filters {
+		if f.Kind != FilterDist {
+			continue
+		}
+		if f.Left.IsVar() && f.Right.IsVar() {
+			distVarVar = true
+		}
+		if f.Left.IsVar() && !f.Right.IsVar() {
+			distVarLit = true
+		}
+	}
+	if !distVarVar || !distVarLit {
+		t.Error("expected one var-var and one var-literal dist filter")
+	}
+	if q.Order == nil || !q.Order.NN || q.Order.NNTarget.Text != "dlrid" {
+		t.Errorf("Order = %+v", q.Order)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q := MustParse("SELECT * WHERE { (?o,name,?n) }")
+	if len(q.Select) != 1 || q.Select[0] != "*" {
+		t.Errorf("Select = %v", q.Select)
+	}
+}
+
+func TestOffsetClause(t *testing.T) {
+	q := MustParse("SELECT ?n WHERE { (?o,name,?n) } LIMIT 10 OFFSET 20")
+	if q.Limit != 10 || q.Offset != 20 {
+		t.Errorf("Limit/Offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	q := MustParse("select ?n where { (?o,name,?n) filter (dist(?n,'x') < 1) } order by ?n asc limit 1")
+	if len(q.Filters) != 1 || q.Filters[0].Kind != FilterDist {
+		t.Errorf("filters = %v", q.Filters)
+	}
+	if q.Order == nil || q.Order.Desc {
+		t.Errorf("order = %+v", q.Order)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	q := MustParse("SELECT ?n WHERE { (?o,name,?n) FILTER (?n = 'o''brien') }")
+	if q.Filters[0].Right.Text != "o'brien" {
+		t.Errorf("escaped string = %q", q.Filters[0].Right.Text)
+	}
+}
+
+func TestNumbersParse(t *testing.T) {
+	q := MustParse("SELECT ?p WHERE { (?o,price,?p) FILTER (?p < -1.5e3) }")
+	if q.Filters[0].Right.Num != -1500 {
+		t.Errorf("number = %v", q.Filters[0].Right.Num)
+	}
+}
+
+func TestComments(t *testing.T) {
+	q := MustParse("SELECT ?n # projection\nWHERE { (?o,name,?n) } # done")
+	if len(q.Patterns) != 1 {
+		t.Errorf("patterns = %v", q.Patterns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT WHERE", "expected variable in SELECT"},
+		{"SELECT ?n { (?o,name,?n) }", "expected WHERE"},
+		{"SELECT ?n WHERE (?o,name,?n)", `expected "{"`},
+		{"SELECT ?n WHERE { (?o,name) }", `expected ","`},
+		{"SELECT ?n WHERE { (?o,name,?n }", `expected ")"`},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (?n ~ 1) }", "unexpected character"},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (?n name 1) }", "comparison operator"},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n) < 1) }", `expected ","`},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'x') > 1) }", "only < and <="},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (dist(?n,'x') < 'y') }", "must be a number"},
+		{"SELECT ?n WHERE { (?o,name,?n) } LIMIT -3", "non-negative integer"},
+		{"SELECT ?n WHERE { (?o,name,?n) } LIMIT 1.5", "non-negative integer"},
+		{"SELECT ?n WHERE { (?o,name,?n) } ORDER BY name", "needs a variable"},
+		{"SELECT ?n WHERE { (?o,name,?n) } ORDER BY ?n NN ?m", "must be a literal"},
+		{"SELECT ?n WHERE { (?o,name,?n) } garbage", "trailing input"},
+		{"SELECT ?n WHERE { }", "at least one pattern"},
+		{"SELECT ?z WHERE { (?o,name,?n) }", "?z is not bound"},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (?q < 5) }", "unbound variable ?q"},
+		{"SELECT ?n WHERE { (?o,name,?n) FILTER (dist('a','b') < 1) }", "at least one variable"},
+		{"SELECT ?n WHERE { (?o,name,?n) } ORDER BY ?q", "?q is not bound"},
+		{"SELECT ?n WHERE { (?o,5,?n) }", "cannot be a number"},
+		{"SELECT ?n WHERE { (5,name,?n) }", "cannot be a number"},
+		{"SELECT ?n WHERE { (?o,name,'unterminated }", "unterminated string"},
+		{"SELECT ?n WHERE { (?o,name,?n) } LIMIT !", "expected '='"},
+		{"SELECT ? WHERE { (?o,name,?n) }", "variable name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Error("lexer accepted '@'")
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("SELECT ?n\nWHERE { (?o,name,?n }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ve *Error
+	if !asVQLError(err, &ve) {
+		t.Fatalf("error type %T", err)
+	}
+	if ve.Line != 2 {
+		t.Errorf("error line = %d, want 2", ve.Line)
+	}
+}
+
+func asVQLError(err error, out **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	// The canonical rendering of a parsed query must re-parse to the same
+	// structure.
+	for _, src := range []string{paperQuery1, paperQuery2, paperQuery3} {
+		q1 := MustParse(src)
+		q2 := MustParse(q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed query:\n%s\n%s", q1, q2)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	q := MustParse(paperQuery2)
+	vars := q.Vars()
+	want := []string{"x", "dealer", "d", "y", "n", "h", "p", "a", "dn"}
+	_ = want // first-use order: x,d,y,n,h,p,a,dn (dealer is an ident, not var)
+	got := strings.Join(vars, ",")
+	if got != "x,d,y,n,h,p,a,dn" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestTermValue(t *testing.T) {
+	v, err := Term{Kind: TermString, Text: "x"}.Value()
+	if err != nil || v.Str != "x" {
+		t.Errorf("string term value = %v, %v", v, err)
+	}
+	n, err := Term{Kind: TermNumber, Num: 4.5}.Value()
+	if err != nil || n.Num != 4.5 {
+		t.Errorf("number term value = %v, %v", n, err)
+	}
+	if _, err := (Term{Kind: TermVar, Text: "v"}).Value(); err == nil {
+		t.Error("var term produced a value")
+	}
+}
+
+func TestTokenKindNames(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokKeyword, TokIdent, TokVar, TokString, TokNumber, TokPunct}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("TokenKind %d name %q empty or duplicated", k, s)
+		}
+		seen[s] = true
+	}
+	if TokenKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestTokenPos(t *testing.T) {
+	toks, err := Lex("SELECT\n  ?n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("var token at %s, want 2:3", toks[1].Pos())
+	}
+}
+
+func TestLexerNumberForms(t *testing.T) {
+	cases := map[string]float64{
+		"42":     42,
+		"-7":     -7,
+		"+3":     3,
+		"2.5":    2.5,
+		"1e3":    1000,
+		"1.5e-2": 0.015,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Num != want {
+			t.Errorf("Lex(%q) = %+v, want %g", src, toks[0], want)
+		}
+	}
+	if _, err := Lex("-x"); err == nil {
+		t.Error("sign without digits accepted")
+	}
+	if _, err := Lex("1.2.3"); err == nil {
+		t.Error("malformed number accepted")
+	}
+}
+
+func TestErrorWithoutPosition(t *testing.T) {
+	e := &Error{Msg: "semantic problem"}
+	if !strings.Contains(e.Error(), "semantic problem") || strings.Contains(e.Error(), "0:0") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestNamespacedIdentifiers(t *testing.T) {
+	q := MustParse("SELECT ?v WHERE { (?o,car:name,?v) }")
+	if q.Patterns[0].Attr.Text != "car:name" {
+		t.Errorf("namespaced attr = %q", q.Patterns[0].Attr.Text)
+	}
+}
+
+func TestFilterAndOrderString(t *testing.T) {
+	q := MustParse(paperQuery3)
+	s := q.String()
+	for _, frag := range []string{"dist(?id,?cid) < 2", "dist(?a,'dlrid') < 3", "NN 'dlrid'"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("canonical form %q missing %q", s, frag)
+		}
+	}
+}
