@@ -1,0 +1,307 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+	"repro/internal/strdist"
+)
+
+// asyncPair builds two engines over identical data with identical seeds and
+// latency model: one on the serial shared-memory simulator, one on the
+// concurrent asyncnet runtime.
+func asyncPair(t testing.TB, peers int, lat asyncnet.LatencyModel) (sync, async *core.Engine, corpus []string) {
+	t.Helper()
+	corpus = dataset.BibleWords(500, 17)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	engines := make([]*core.Engine, 2)
+	for i, a := range []bool{false, true} {
+		eng, err := core.Open(tuples, core.Config{Peers: peers, Async: a, Latency: lat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	return engines[0], engines[1], corpus
+}
+
+// TestAsyncMatchesSyncEndToEnd pins the central equivalence of the two
+// runtimes: over identical overlays, every operator returns identical
+// results with identical message and byte counts — the runtimes differ only
+// in wall-clock execution and in how virtual time composes (serial sum vs
+// critical path), so async simulated latency must never exceed sync.
+func TestAsyncMatchesSyncEndToEnd(t *testing.T) {
+	syncEng, asyncEng, corpus := asyncPair(t, 192, asyncnet.DefaultLatency(5))
+	rng := rand.New(rand.NewSource(9))
+	sawFasterAsync := false
+	for trial := 0; trial < 8; trial++ {
+		needle := corpus[rng.Intn(len(corpus))]
+		from := simnet.NodeID(rng.Intn(192))
+		d := 1 + rng.Intn(2)
+
+		var st, at metrics.Tally
+		sms, err := syncEng.Store().Similar(&st, from, needle, "word", d, ops.SimilarOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ams, err := asyncEng.Store().Similar(&at, from, needle, "word", d, ops.SimilarOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(sms) != fmt.Sprint(ams) {
+			t.Fatalf("similar(%q,%d) results diverge between runtimes", needle, d)
+		}
+		if st.Messages != at.Messages || st.Bytes != at.Bytes {
+			t.Fatalf("similar(%q,%d): sync cost %v != async cost %v", needle, d, st, at)
+		}
+		if at.Latency > st.Latency {
+			t.Fatalf("async latency %d exceeds sync %d", at.Latency, st.Latency)
+		}
+		if at.Latency < st.Latency {
+			sawFasterAsync = true
+		}
+	}
+	if !sawFasterAsync {
+		t.Error("async fan-out never beat serial latency over 8 similarity queries")
+	}
+
+	// Joins and string top-N must agree too.
+	var st, at metrics.Tally
+	sj, err := syncEng.Store().SimJoin(&st, 3, "word", "word", 1, ops.JoinOptions{LeftLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := asyncEng.Store().SimJoin(&at, 3, "word", "word", 1, ops.JoinOptions{LeftLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sj) != fmt.Sprint(aj) || st.Messages != at.Messages {
+		t.Fatalf("join diverges: %d vs %d pairs, %v vs %v", len(sj), len(aj), st, at)
+	}
+	stop, err := syncEng.Store().TopNString(nil, 7, "word", corpus[0], 5, 3, ops.TopNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atop, err := asyncEng.Store().TopNString(nil, 7, "word", corpus[0], 5, 3, ops.TopNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(stop) != fmt.Sprint(atop) {
+		t.Fatal("top-N string results diverge between runtimes")
+	}
+}
+
+// TestAsyncNumericTopNMatchesSync covers the numeric rank-aware operator
+// (Algorithm 4) whose windowed range probes fan out under the concurrent
+// runtime.
+func TestAsyncNumericTopNMatchesSync(t *testing.T) {
+	cars := dataset.Cars(300, 30, 8)
+	engines := make([]*core.Engine, 2)
+	for i, a := range []bool{false, true} {
+		eng, err := core.Open(cars, core.Config{Peers: 96, Async: a, Latency: asyncnet.DefaultLatency(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	for _, rank := range []ops.Rank{ops.RankMin, ops.RankMax, ops.RankNN} {
+		var st, at metrics.Tally
+		sres, err := engines[0].Store().TopN(&st, 5, "hp", 10, rank, 150, ops.TopNOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ares, err := engines[1].Store().TopN(&at, 5, "hp", 10, rank, 150, ops.TopNOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(sres) != fmt.Sprint(ares) {
+			t.Fatalf("%v: results diverge between runtimes", rank)
+		}
+		if st.Messages != at.Messages {
+			t.Fatalf("%v: sync %v != async %v", rank, st, at)
+		}
+		if at.Latency > st.Latency {
+			t.Fatalf("%v: async latency %d exceeds sync %d", rank, at.Latency, st.Latency)
+		}
+	}
+}
+
+// TestAsyncConcurrentQueries drives many concurrent similarity queries (plus
+// range selections and joins) through one async engine from different
+// initiators — the race-detector integration test for the concurrent
+// runtime. Results are verified against a brute-force oracle.
+func TestAsyncConcurrentQueries(t *testing.T) {
+	corpus := dataset.BibleWords(400, 23)
+	eng, err := core.Open(dataset.StringTuples("word", "o", corpus),
+		core.Config{Peers: 128, Async: true, Latency: asyncnet.DefaultLatency(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(needle string, d int) int {
+		n := 0
+		for _, w := range corpus {
+			if strdist.WithinDistance(needle, w, d) {
+				n++
+			}
+		}
+		return n
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*8)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for q := 0; q < 5; q++ {
+				needle := corpus[rng.Intn(len(corpus))]
+				from := simnet.NodeID(rng.Intn(128))
+				d := 1 + rng.Intn(2)
+				var tally metrics.Tally
+				ms, err := eng.Store().Similar(&tally, from, needle, "word", d, ops.SimilarOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(ms) != oracle(needle, d) {
+					errs <- fmt.Errorf("worker %d: %q d=%d: got %d matches, oracle %d",
+						w, needle, d, len(ms), oracle(needle, d))
+					return
+				}
+				if tally.Messages == 0 || tally.Hops == 0 || tally.Latency == 0 {
+					errs <- fmt.Errorf("worker %d: unaccounted query: %v", w, tally)
+					return
+				}
+				switch q % 3 {
+				case 0:
+					if _, err := eng.Store().SelectStrRange(&tally, from, "word",
+						&ops.StrBound{Value: "d"}, &ops.StrBound{Value: "g"}); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := eng.Store().SimJoin(&tally, from, "word", "word", 1,
+						ops.JoinOptions{LeftLimit: 3}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAsyncQueriesTolerateChurn runs concurrent queries while other
+// goroutines toggle peers down and up through the (mutex-guarded) failure
+// set — errors are acceptable under replication 1, data races and wrong
+// results are not.
+func TestAsyncQueriesTolerateChurn(t *testing.T) {
+	corpus := dataset.BibleWords(300, 29)
+	cfg := core.Config{Peers: 96, Async: true, Latency: asyncnet.DefaultLatency(4)}
+	cfg.Grid.Replication = 3
+	cfg.Grid.RefsPerLevel = 4
+	cfg.Grid.MaxDepth = 64
+	cfg.Grid.Seed = 1
+	eng, err := core.Open(dataset.StringTuples("word", "o", corpus), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var churner sync.WaitGroup
+	churner.Add(1)
+	go func() {
+		defer churner.Done()
+		rng := rand.New(rand.NewSource(77))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := simnet.NodeID(rng.Intn(96))
+			eng.Net().SetDown(id, true)
+			time.Sleep(time.Millisecond)
+			eng.Net().SetDown(id, false)
+		}
+	}()
+	var wg sync.WaitGroup
+	okCount := 0
+	var mu sync.Mutex
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for q := 0; q < 6; q++ {
+				needle := corpus[rng.Intn(len(corpus))]
+				ms, err := eng.Store().Similar(nil, simnet.NodeID(rng.Intn(96)), needle, "word", 1,
+					ops.SimilarOptions{})
+				if err != nil {
+					continue // partial unreachability is acceptable under churn
+				}
+				for _, m := range ms {
+					if m.Matched == needle {
+						mu.Lock()
+						okCount++
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churner.Wait()
+	if okCount < 18 {
+		t.Errorf("only %d/36 churned queries found their needle", okCount)
+	}
+}
+
+// TestCompareRuntimesLatencyReduction is the workload-level acceptance
+// check: on the paper's query mix, the concurrent runtime's mean simulated
+// latency is strictly below the serial runtime's, with identical per-query
+// message counts.
+func TestCompareRuntimesLatencyReduction(t *testing.T) {
+	pts, err := bench.CompareRuntimes(bench.RuntimeComparison{
+		Corpus: dataset.BibleWords(600, 13),
+		Peers:  256,
+		Workload: bench.Workload{
+			Repeats:       2,
+			TopNs:         []int{5},
+			JoinDists:     []int{1, 2},
+			JoinLeftLimit: 4,
+			MaxDist:       3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncPt, asyncPt := pts[0], pts[1]
+	t.Logf("\n%s", bench.FormatRuntimeComparison(pts))
+	if syncPt.Messages != asyncPt.Messages || syncPt.Bytes != asyncPt.Bytes {
+		t.Fatalf("runtimes disagree on cost: %v vs %v", syncPt, asyncPt)
+	}
+	if asyncPt.MeanLatency >= syncPt.MeanLatency {
+		t.Fatalf("async mean latency %v not below sync %v", asyncPt.MeanLatency, syncPt.MeanLatency)
+	}
+	if asyncPt.MeanLatency <= 0 {
+		t.Fatal("async latency not measured")
+	}
+}

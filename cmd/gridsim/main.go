@@ -1,32 +1,61 @@
-// Command gridsim builds P-Grid overlays across a sweep of network sizes and
-// reports construction statistics; with -validate it additionally measures
+// Command gridsim builds P-Grid overlays across a sweep of network sizes,
+// reports construction statistics, and runs the paper's query workload
+// (top-N nearest-neighbour queries plus similarity self-joins) under either
+// execution runtime:
+//
+//   - the default serial shared-memory simulator of the paper, or
+//   - the concurrent asyncnet runtime (-async), where logically parallel
+//     query branches execute on goroutines and simulated latency follows the
+//     critical path.
+//
+// Both runtimes report messages, data volume, hop counts and simulated
+// per-query latency (per the -latency-dist model), so sync and async runs
+// are directly comparable. With -churn-rate, peer failures and recoveries
+// are scheduled between query initiations on the virtual timeline of the
+// asyncnet discrete-event runtime. With -validate it additionally measures
 // routing cost against the paper's Section 2 claim that expected search cost
 // is ~0.5*log2(N) messages (experiment E2).
 //
 // Usage:
 //
-//	gridsim -peers 100,1000,10000 -items 20000 -validate
+//	gridsim -peers 256 -items 20000 -async -latency-dist uniform:10ms-100ms
+//	gridsim -peers 100,1000,10000 -items 20000 -validate -mix 0
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/asyncnet"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
 )
 
 func main() {
 	var (
-		peersFlag = flag.String("peers", "100,1000,10000", "comma-separated network sizes")
+		peersFlag = flag.String("peers", "256", "comma-separated network sizes")
 		items     = flag.Int("items", 20000, "corpus size used to balance and load the grid")
 		lookups   = flag.Int("lookups", 500, "random lookups per size for -validate")
 		seed      = flag.Int64("seed", 1, "random seed")
 		validate  = flag.Bool("validate", false, "measure routing hops vs 0.5*log2(N)")
+
+		async   = flag.Bool("async", false, "run queries on the concurrent asyncnet runtime")
+		workers = flag.Int("workers", 0, "async fan-out goroutine bound (0 = default)")
+		latDist = flag.String("latency-dist", "uniform:10ms-100ms",
+			"per-link latency distribution: none, fixed:25ms, uniform:10ms-100ms, lognormal:20ms,0.5")
+		churn = flag.Float64("churn-rate", 0,
+			"peer failures per simulated second, scheduled on the virtual timeline (0 = none)")
+		mixes  = flag.Int("mix", 8, "query-mix initiations per size (0 = skip the workload)")
+		method = flag.String("method", "qgrams", "similarity method: qgrams, qsamples, strings")
 	)
 	flag.Parse()
 
@@ -34,13 +63,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	latency, err := asyncnet.ParseLatency(*latDist, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	corpus := dataset.BibleWords(*items, *seed)
 	tuples := dataset.StringTuples("word", "o", corpus)
 
+	if *mixes > 0 {
+		runtime := "sync"
+		if *async {
+			runtime = "async"
+		}
+		lat := "none"
+		if latency != nil {
+			lat = latency.String()
+		}
+		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s (%d mix initiations)\n\n",
+			runtime, m, lat, *churn, *mixes)
+	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part")
+	// Build, report and (optionally) exercise one overlay at a time so a
+	// sweep over large sizes never holds more than one engine in memory.
 	for _, n := range peers {
-		eng, err := core.Open(tuples, core.Config{Peers: n})
+		eng, err := core.Open(tuples, core.Config{
+			Peers:   n,
+			Async:   *async,
+			Workers: *workers,
+			Latency: latency,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -48,6 +104,12 @@ func main() {
 		fmt.Printf("%-10d %-11d %2d / %5.1f / %2d     %-12.1f %-10d %-10d\n",
 			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
 			s.AvgRefs, s.StoredItems, s.MaxLeafItems)
+		if *mixes > 0 {
+			if err := runWorkload(eng, corpus, m, *mixes, *seed, *churn); err != nil {
+				fatal(fmt.Errorf("workload at %d peers: %w", n, err))
+			}
+			fmt.Println()
+		}
 	}
 
 	if *validate {
@@ -60,6 +122,129 @@ func main() {
 		for _, p := range points {
 			fmt.Printf("%-10d %-11d %-10.2f %-12.2f\n", p.Peers, p.Leaves, p.AvgHops, p.HalfLogN)
 		}
+	}
+}
+
+// mixEvent and churnEvent are the control messages of the workload driver:
+// the discrete-event runtime schedules query-mix initiations and peer
+// failures/recoveries on one virtual timeline.
+type mixEvent struct{ round int }
+
+func (mixEvent) Size() int    { return 0 }
+func (mixEvent) Kind() string { return "driver.mix" }
+
+type churnEvent struct{}
+
+func (churnEvent) Size() int    { return 0 }
+func (churnEvent) Kind() string { return "driver.churn" }
+
+// runWorkload executes the query mix on one engine and prints the summary
+// table. Queries and churn are interleaved deterministically by scheduling
+// them as events of an asyncnet.Runtime: each mix initiation runs at its
+// virtual instant, and churn events toggle random peers down/up (followed by
+// a routing-table refresh) between initiations.
+func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, seed int64, churnRate float64) error {
+	w := bench.QueryMix()
+	w.Repeats = 1
+	col := eng.Net().Collector()
+	col.Reset()
+
+	var (
+		totals   metrics.Tally
+		queries  int
+		failed   int
+		toggles  int
+		runErr   error
+		downList []simnet.NodeID
+	)
+	rng := rand.New(rand.NewSource(seed))
+	observe := func(qt metrics.Tally) {
+		queries++
+		totals.AddTally(qt)
+		col.ObserveQuery(qt)
+	}
+
+	const driver = simnet.NodeID(0)
+	rt := asyncnet.NewRuntime()
+	rt.Register(driver, 1<<20, 0, func(rt *asyncnet.Runtime, ev asyncnet.Event) {
+		switch ev.Msg.(type) {
+		case mixEvent:
+			round := ev.Msg.(mixEvent).round
+			if _, err := bench.RunMixObserved(eng, "word", corpus, w, m,
+				seed+int64(round), observe); err != nil {
+				failed++
+				if runErr == nil {
+					runErr = err
+				}
+			}
+		case churnEvent:
+			toggles++
+			// Revive the longest-failed peer once a few are down, otherwise
+			// fail a random live one; refresh routing tables afterwards, as
+			// a self-organizing P-Grid continuously does.
+			if len(downList) >= 3 {
+				eng.Net().SetDown(downList[0], false)
+				downList = downList[1:]
+			} else {
+				id := simnet.NodeID(rng.Intn(eng.Grid().PeerCount()))
+				if !eng.Net().IsDown(id) {
+					eng.Net().SetDown(id, true)
+					downList = append(downList, id)
+				}
+			}
+			eng.Grid().RefreshRefs()
+		}
+	})
+
+	// One mix initiation per simulated second; churn events at churnRate/s.
+	const tick = simnet.VTime(1_000_000)
+	for r := 0; r < mixes; r++ {
+		if err := rt.Post(driver, driver, mixEvent{round: r}, simnet.VTime(r)*tick); err != nil {
+			return err
+		}
+	}
+	if churnRate > 0 {
+		interval := simnet.VTime(float64(tick) / churnRate)
+		if interval < 1 {
+			interval = 1 // extreme rates: at most one toggle per microsecond
+		}
+		horizon := simnet.VTime(mixes) * tick
+		for at := interval / 2; at < horizon; at += interval {
+			if err := rt.Post(driver, driver, churnEvent{}, at); err != nil {
+				return err
+			}
+		}
+	}
+	startWall := time.Now()
+	rt.Run()
+	wall := time.Since(startWall)
+
+	// Failed mixes under churn are expected (partitions can be temporarily
+	// unreachable); report them rather than aborting.
+	if runErr != nil && churnRate == 0 {
+		return runErr
+	}
+	fmt.Printf("peers=%d queries=%d failed-mixes=%d churn-toggles=%d down-now=%d\n",
+		eng.Grid().PeerCount(), queries, failed, toggles, eng.Net().DownCount())
+	if queries > 0 {
+		fmt.Printf("messages: total=%d mean/query=%.1f\n", totals.Messages, float64(totals.Messages)/float64(queries))
+		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
+		fmt.Print(col.QueryReport())
+	}
+	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
+	return nil
+}
+
+func parseMethod(s string) (ops.Method, error) {
+	switch s {
+	case "qgrams":
+		return ops.MethodQGrams, nil
+	case "qsamples":
+		return ops.MethodQSamples, nil
+	case "strings", "naive":
+		return ops.MethodNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
 	}
 }
 

@@ -1,0 +1,296 @@
+package asyncnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// testMsg is a trivial payload for runtime tests.
+type testMsg struct {
+	id   int
+	size int
+}
+
+func (m testMsg) Size() int    { return m.size }
+func (m testMsg) Kind() string { return "test" }
+
+// buildPingPong wires a deterministic two-actor exchange: actor 0 forwards
+// every received message to actor 1 with a hash-derived delay and vice
+// versa, for a bounded number of rounds.
+func runPingPong(seed int64) []string {
+	rt := NewRuntime()
+	var log []string
+	trace := func(ev Event) {
+		log = append(log, fmt.Sprintf("%d->%d@%d:%d", ev.From, ev.To, ev.At, ev.Msg.(testMsg).id))
+	}
+	rt.SetTrace(trace)
+	handler := func(rt *Runtime, ev Event) {
+		m := ev.Msg.(testMsg)
+		if m.id >= 20 {
+			return
+		}
+		delay := simnet.VTime(simnet.Splitmix64(uint64(seed)^uint64(m.id))%1000 + 1)
+		_ = rt.Post(ev.To, 1-ev.To, testMsg{id: m.id + 1, size: 8}, delay)
+	}
+	rt.Register(0, 64, 5, handler)
+	rt.Register(1, 64, 5, handler)
+	// Three interleaved seed messages at identical times exercise FIFO
+	// tie-breaking.
+	_ = rt.Post(0, 1, testMsg{id: 0, size: 8}, 10)
+	_ = rt.Post(1, 0, testMsg{id: 0, size: 8}, 10)
+	_ = rt.Post(0, 1, testMsg{id: 10, size: 8}, 10)
+	rt.Run()
+	return log
+}
+
+// TestRuntimeDeterministicOrder pins the core property of the discrete-event
+// runtime: under a fixed seed, delivery order and virtual timestamps are
+// identical across runs.
+func TestRuntimeDeterministicOrder(t *testing.T) {
+	a := runPingPong(42)
+	b := runPingPong(42)
+	if len(a) == 0 {
+		t.Fatal("no deliveries traced")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("two runs diverged:\n%v\n%v", a, b)
+	}
+	c := runPingPong(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules (delays ignored?)")
+	}
+}
+
+// TestRuntimeVirtualClockAdvances checks the clock follows event times, not
+// wall time.
+func TestRuntimeVirtualClockAdvances(t *testing.T) {
+	rt := NewRuntime()
+	var got []simnet.VTime
+	rt.Register(7, 8, 0, func(rt *Runtime, ev Event) {
+		got = append(got, ev.At)
+	})
+	for _, d := range []simnet.VTime{500, 100, 300} {
+		if err := rt.Post(7, 7, testMsg{}, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Run()
+	want := []simnet.VTime{100, 300, 500}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivery times %v, want %v", got, want)
+	}
+	if rt.Now() != 500 {
+		t.Fatalf("clock at %d, want 500", rt.Now())
+	}
+}
+
+// TestRuntimeMailboxBackpressure floods an actor whose mailbox holds two
+// messages: the excess is dropped and counted, accepted messages are
+// processed serially spaced by the service time.
+func TestRuntimeMailboxBackpressure(t *testing.T) {
+	rt := NewRuntime()
+	var starts []simnet.VTime
+	rt.Register(3, 2, 10, func(rt *Runtime, ev Event) {
+		starts = append(starts, ev.At)
+	})
+	for i := 0; i < 5; i++ {
+		if err := rt.Post(0, 3, testMsg{id: i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Run()
+	st := rt.Stats(3)
+	if st.Delivered != 2 || st.DroppedFull != 3 {
+		t.Fatalf("delivered=%d droppedFull=%d, want 2/3", st.Delivered, st.DroppedFull)
+	}
+	if fmt.Sprint(starts) != fmt.Sprint([]simnet.VTime{0, 10}) {
+		t.Fatalf("processing starts %v, want [0 10]", starts)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending=%d after drain", st.Pending)
+	}
+}
+
+// TestRuntimeDownActorDropsDeliveries verifies messages to a downed actor
+// are dropped (and counted) until it recovers.
+func TestRuntimeDownActorDropsDeliveries(t *testing.T) {
+	rt := NewRuntime()
+	delivered := 0
+	rt.Register(1, 4, 0, func(rt *Runtime, ev Event) { delivered++ })
+	rt.SetDown(1, true)
+	_ = rt.Post(0, 1, testMsg{}, 0)
+	rt.Run()
+	if delivered != 0 || rt.Stats(1).DroppedDown != 1 {
+		t.Fatalf("delivered=%d droppedDown=%d, want 0/1", delivered, rt.Stats(1).DroppedDown)
+	}
+	rt.SetDown(1, false)
+	_ = rt.Post(0, 1, testMsg{}, 0)
+	rt.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after recovery, want 1", delivered)
+	}
+	if err := rt.Post(0, 99, testMsg{}, 0); err == nil {
+		t.Fatal("posting to unregistered actor should fail")
+	}
+}
+
+// TestRuntimeRunUntil checks the bounded drain leaves future events queued.
+func TestRuntimeRunUntil(t *testing.T) {
+	rt := NewRuntime()
+	delivered := 0
+	rt.Register(0, 4, 0, func(rt *Runtime, ev Event) { delivered++ })
+	_ = rt.Post(0, 0, testMsg{}, 100)
+	_ = rt.Post(0, 0, testMsg{}, 900)
+	rt.RunUntil(500)
+	if delivered != 1 || rt.Now() != 500 {
+		t.Fatalf("delivered=%d now=%d, want 1 at 500", delivered, rt.Now())
+	}
+	rt.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered=%d after full drain, want 2", delivered)
+	}
+}
+
+// TestNetFanoutParallelMax verifies the concurrent fabric's Fanout contract:
+// branches fork at the same start time, the group ends at the max branch
+// end, and branches genuinely run concurrently (two branches rendezvous via
+// channels, which would deadlock under serial chaining).
+func TestNetFanoutParallelMax(t *testing.T) {
+	net := NewNet(simnet.New(4), Options{Workers: 4})
+	ping, pong := make(chan struct{}), make(chan struct{})
+	starts := make([]simnet.VTime, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		end := net.Fanout(100, 2, func(i int, st simnet.VTime) simnet.VTime {
+			starts[i] = st
+			if i == 0 {
+				ping <- struct{}{}
+				<-pong
+				return st + 50
+			}
+			<-ping
+			pong <- struct{}{}
+			return st + 300
+		})
+		if end != 400 {
+			t.Errorf("fanout end = %d, want 400", end)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fanout deadlocked: branches did not run concurrently")
+	}
+	if starts[0] != 100 || starts[1] != 100 {
+		t.Fatalf("branch starts %v, want both 100", starts)
+	}
+}
+
+// TestNetFanoutSaturationFallsBackInline exercises the worker-pool
+// backpressure: with a single worker slot, deep fan-out still completes (the
+// excess branches run inline) and virtual-time results are identical.
+func TestNetFanoutSaturationFallsBackInline(t *testing.T) {
+	net := NewNet(simnet.New(4), Options{Workers: 1})
+	var mu sync.Mutex
+	ran := 0
+	var rec func(depth int, start simnet.VTime) simnet.VTime
+	rec = func(depth int, start simnet.VTime) simnet.VTime {
+		if depth == 0 {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			return start + 1
+		}
+		return net.Fanout(start, 3, func(i int, st simnet.VTime) simnet.VTime {
+			return rec(depth-1, st)
+		})
+	}
+	if end := rec(4, 0); end != 1 {
+		t.Fatalf("end = %d, want 1 (all branches fork at 0)", end)
+	}
+	if ran != 81 {
+		t.Fatalf("ran %d leaves, want 81", ran)
+	}
+}
+
+// TestLatencyModelsDeterministicAndBounded pins the seeded distributions:
+// identical arguments yield identical samples, samples respect bounds, and
+// sync/async comparability holds because the draw is stateless.
+func TestLatencyModelsDeterministicAndBounded(t *testing.T) {
+	u := Uniform{Min: 1000, Max: 2000, Seed: 7}
+	seen := map[simnet.VTime]bool{}
+	for from := simnet.NodeID(0); from < 50; from++ {
+		for to := simnet.NodeID(0); to < 10; to++ {
+			a := u.Sample(from, to, 100)
+			b := u.Sample(from, to, 100)
+			if a != b {
+				t.Fatalf("uniform sample not deterministic for (%d,%d)", from, to)
+			}
+			if a < 1000 || a >= 2000 {
+				t.Fatalf("uniform sample %d out of [1000,2000)", a)
+			}
+			seen[a] = true
+		}
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d distinct delays over 500 links; distribution degenerate", len(seen))
+	}
+	ln := LogNormal{Median: 20000, Sigma: 0.5, Seed: 3}
+	if a, b := ln.Sample(1, 2, 0), ln.Sample(1, 2, 0); a != b {
+		t.Fatal("lognormal sample not deterministic")
+	}
+	if f := (Fixed{D: 500}); f.Sample(3, 4, 0) != 500 {
+		t.Fatal("fixed sample wrong")
+	}
+}
+
+// TestParseLatency covers the flag syntax.
+func TestParseLatency(t *testing.T) {
+	if m, err := ParseLatency("none", 1); err != nil || m != nil {
+		t.Fatalf("none: %v %v", m, err)
+	}
+	m, err := ParseLatency("fixed:25ms", 1)
+	if err != nil || m.Sample(0, 1, 0) != 25000 {
+		t.Fatalf("fixed: %v %v", m, err)
+	}
+	if _, err := ParseLatency("uniform:10ms-100ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseLatency("lognormal:20ms,0.5", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"uniform:10ms", "uniform:100ms-10ms", "fixed:xyz", "zipf:3"} {
+		if _, err := ParseLatency(bad, 1); err == nil {
+			t.Errorf("ParseLatency(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSendTimedAppliesLatency checks the fabric surface end to end: a timed
+// send advances virtual time by the model's sample and records the message.
+func TestSendTimedAppliesLatency(t *testing.T) {
+	base := simnet.New(4)
+	base.SetLatency(Func(Fixed{D: 700}))
+	net := NewNet(base, Options{})
+	var tally metrics.Tally
+	arrive, err := net.SendTimed(&tally, 0, 1, testMsg{size: 40}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrive != 1700 {
+		t.Fatalf("arrive = %d, want 1700", arrive)
+	}
+	if tally.Messages != 1 || tally.Bytes != 40 {
+		t.Fatalf("tally = %+v", tally)
+	}
+	// Local work stays free and instantaneous.
+	if at, _ := net.SendTimed(&tally, 2, 2, testMsg{size: 9}, 5); at != 5 || tally.Messages != 1 {
+		t.Fatal("local send should be free")
+	}
+}

@@ -1,0 +1,97 @@
+package asyncnet
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Net is the concurrent Fabric: it shares a *simnet.Network's accounting,
+// failure set and latency model, but executes Fanout branches on goroutines
+// drawn from a bounded worker pool. Sibling branches therefore start at the
+// same virtual fork time and the group completes at the maximum branch end —
+// simulated latency follows the critical path instead of the serial sum, and
+// wall-clock time shrinks with available cores.
+//
+// Overlay state read by concurrent branches (peer stores, the failure set,
+// routing tables, per-query tallies) must be race-safe; the pgrid and ops
+// packages guarantee this for query paths. Mutating operations (Join, Leave,
+// RefreshRefs) are not safe concurrently with queries on either fabric.
+type Net struct {
+	*simnet.Network
+
+	// slots bounds the number of extra goroutines running fan-out branches;
+	// when the pool is saturated further branches run inline on the caller
+	// (still logically parallel: their start time is the fork time). This is
+	// the runtime's backpressure: deep recursive fan-outs degrade to serial
+	// execution instead of unbounded goroutine growth.
+	slots chan struct{}
+}
+
+// Options tunes the concurrent runtime.
+type Options struct {
+	// Workers bounds concurrent fan-out goroutines (default 4x GOMAXPROCS).
+	Workers int
+}
+
+// Net implements simnet.Fabric.
+var _ simnet.Fabric = (*Net)(nil)
+
+// NewNet wraps a synchronous network in the concurrent runtime.
+func NewNet(n *simnet.Network, opts Options) *Net {
+	w := opts.Workers
+	if w <= 0 {
+		w = 4 * runtime.GOMAXPROCS(0)
+	}
+	return &Net{Network: n, slots: make(chan struct{}, w)}
+}
+
+// Workers reports the worker-pool bound.
+func (a *Net) Workers() int { return cap(a.slots) }
+
+// Fanout executes every branch logically starting at start, spawning a
+// goroutine per branch while pool slots are available and running the rest
+// inline. It returns the maximum branch completion time. Branch indices are
+// preserved, so callers that collect per-branch results observe the same
+// deterministic order as under the serial fabric.
+func (a *Net) Fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime {
+	switch branches {
+	case 0:
+		return start
+	case 1:
+		if end := run(0, start); end > start {
+			return end
+		}
+		return start
+	}
+	ends := make([]simnet.VTime, branches)
+	var wg sync.WaitGroup
+	for i := 0; i < branches-1; i++ {
+		select {
+		case a.slots <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-a.slots
+					wg.Done()
+				}()
+				ends[i] = run(i, start)
+			}(i)
+		default:
+			// Pool saturated: run inline. The branch still starts at the
+			// fork time, so virtual-time accounting is unchanged.
+			ends[i] = run(i, start)
+		}
+	}
+	// The last branch always runs on the caller's goroutine.
+	ends[branches-1] = run(branches-1, start)
+	wg.Wait()
+	end := start
+	for _, e := range ends {
+		if e > end {
+			end = e
+		}
+	}
+	return end
+}

@@ -1,0 +1,262 @@
+package asyncnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// Runtime errors.
+var (
+	// ErrMailboxFull is counted when a message arrives at an actor whose
+	// mailbox is at capacity; the message is dropped (backpressure).
+	ErrMailboxFull = errors.New("asyncnet: mailbox full")
+	// ErrNoActor is returned by Post for an unregistered destination.
+	ErrNoActor = errors.New("asyncnet: no such actor")
+)
+
+// Event is one message delivery in the discrete-event runtime.
+type Event struct {
+	// At is the virtual time of the delivery (for handlers: the time the
+	// actor starts processing the message).
+	At simnet.VTime
+	// From and To identify the link.
+	From, To simnet.NodeID
+	// Msg is the payload.
+	Msg simnet.Message
+}
+
+// Handler processes one delivered message on behalf of an actor. Handlers
+// run on the scheduler goroutine, one at a time, and may Post further
+// messages (including to themselves, e.g. timers).
+type Handler func(rt *Runtime, ev Event)
+
+// item is a heap entry: an arrival or a processing start.
+type item struct {
+	at   simnet.VTime
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	kind int    // 0 = arrival, 1 = process
+	ev   Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// actor is one registered peer: a mailbox with bounded capacity and a serial
+// processor with a fixed per-message service time.
+type actor struct {
+	id        simnet.NodeID
+	handler   Handler
+	capacity  int
+	pending   int // messages accepted but not yet processed
+	busyUntil simnet.VTime
+	service   simnet.VTime
+	down      bool
+
+	delivered   int
+	droppedFull int
+	droppedDown int
+}
+
+// ActorStats reports one actor's counters.
+type ActorStats struct {
+	Delivered   int // messages processed by the handler
+	DroppedFull int // messages dropped to mailbox backpressure
+	DroppedDown int // messages dropped while the actor was down
+	Pending     int // messages queued but not yet processed
+}
+
+// Runtime is a deterministic discrete-event scheduler: each registered actor
+// owns a bounded mailbox and processes one message at a time with a fixed
+// service time; messages posted with a delay are delivered in (time, FIFO)
+// order by a single scheduler goroutine, so a fixed schedule of Posts always
+// yields the same delivery order regardless of wall-clock timing.
+type Runtime struct {
+	mu     sync.Mutex
+	now    simnet.VTime
+	seq    uint64
+	heap   eventHeap
+	actors map[simnet.NodeID]*actor
+	trace  func(Event)
+}
+
+// NewRuntime returns an empty runtime at virtual time zero.
+func NewRuntime() *Runtime {
+	return &Runtime{actors: make(map[simnet.NodeID]*actor)}
+}
+
+// Register adds an actor. capacity bounds the mailbox (minimum 1); service
+// is the virtual processing time per message (0 = instantaneous). For an
+// existing id only the handler, capacity and service time are updated, so
+// in-flight mailbox accounting survives re-registration.
+func (rt *Runtime) Register(id simnet.NodeID, capacity int, service simnet.VTime, h Handler) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if a, ok := rt.actors[id]; ok {
+		a.handler, a.capacity, a.service = h, capacity, service
+		return
+	}
+	rt.actors[id] = &actor{id: id, handler: h, capacity: capacity, service: service}
+}
+
+// SetDown marks an actor failed or healthy. Messages arriving at a downed
+// actor are dropped and counted; queued messages survive until the actor
+// processes them (it may have recovered by then).
+func (rt *Runtime) SetDown(id simnet.NodeID, down bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if a, ok := rt.actors[id]; ok {
+		a.down = down
+	}
+}
+
+// SetTrace installs a callback invoked for every processed delivery, in
+// delivery order. Pass nil to remove.
+func (rt *Runtime) SetTrace(fn func(Event)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.trace = fn
+}
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() simnet.VTime {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.now
+}
+
+// Post schedules a message for arrival at Now()+delay. It is safe to call
+// from handlers and from outside the scheduler.
+func (rt *Runtime) Post(from, to simnet.NodeID, msg simnet.Message, delay simnet.VTime) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.actors[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoActor, to)
+	}
+	rt.push(item{at: rt.now + delay, kind: 0, ev: Event{At: rt.now + delay, From: from, To: to, Msg: msg}})
+	return nil
+}
+
+// push assigns the FIFO sequence under rt.mu.
+func (rt *Runtime) push(it item) {
+	it.seq = rt.seq
+	rt.seq++
+	heap.Push(&rt.heap, it)
+}
+
+// Step processes the next event, advancing the virtual clock. It returns
+// false when no events remain.
+func (rt *Runtime) Step() bool {
+	rt.mu.Lock()
+	if rt.heap.Len() == 0 {
+		rt.mu.Unlock()
+		return false
+	}
+	it := heap.Pop(&rt.heap).(item)
+	if it.at > rt.now {
+		rt.now = it.at
+	}
+	a := rt.actors[it.ev.To]
+	switch it.kind {
+	case 0: // arrival
+		switch {
+		case a == nil || a.down:
+			if a != nil {
+				a.droppedDown++
+			}
+		case a.pending >= a.capacity:
+			a.droppedFull++
+		default:
+			a.pending++
+			start := rt.now
+			if a.busyUntil > start {
+				start = a.busyUntil
+			}
+			a.busyUntil = start + a.service
+			ev := it.ev
+			ev.At = start
+			rt.push(item{at: start, kind: 1, ev: ev})
+		}
+		rt.mu.Unlock()
+	case 1: // processing start
+		a.pending--
+		a.delivered++
+		handler := a.handler
+		trace := rt.trace
+		ev := it.ev
+		rt.mu.Unlock()
+		if trace != nil {
+			trace(ev)
+		}
+		if handler != nil {
+			handler(rt, ev)
+		}
+	}
+	return true
+}
+
+// Run drains the event queue, returning the number of processed events.
+func (rt *Runtime) Run() int {
+	n := 0
+	for rt.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events up to and including virtual time deadline,
+// advancing the clock to the deadline. Later events stay queued.
+func (rt *Runtime) RunUntil(deadline simnet.VTime) int {
+	n := 0
+	for {
+		rt.mu.Lock()
+		if rt.heap.Len() == 0 || rt.heap[0].at > deadline {
+			if rt.now < deadline {
+				rt.now = deadline
+			}
+			rt.mu.Unlock()
+			return n
+		}
+		rt.mu.Unlock()
+		rt.Step()
+		n++
+	}
+}
+
+// Stats reports an actor's counters.
+func (rt *Runtime) Stats(id simnet.NodeID) ActorStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	a, ok := rt.actors[id]
+	if !ok {
+		return ActorStats{}
+	}
+	return ActorStats{
+		Delivered:   a.delivered,
+		DroppedFull: a.droppedFull,
+		DroppedDown: a.droppedDown,
+		Pending:     a.pending,
+	}
+}

@@ -318,27 +318,47 @@ func QueryMix() Workload {
 // three self-joins) on an already-loaded engine and returns its cost.
 // testing.B benchmarks iterate it directly.
 func RunMix(eng *core.Engine, attr string, corpus []string, w Workload, method ops.Method, seed int64) (metrics.Tally, error) {
+	return RunMixObserved(eng, attr, corpus, w, method, seed, nil)
+}
+
+// RunMixObserved is RunMix with a per-query hook: each query of the mix runs
+// on its own tally (so latency and hop measures are per query, not chained
+// across the mix) and observe, when non-nil, receives it. The returned total
+// sums the counters and max-folds the path measures.
+func RunMixObserved(eng *core.Engine, attr string, corpus []string, w Workload,
+	method ops.Method, seed int64, observe func(metrics.Tally)) (metrics.Tally, error) {
+
 	w.normalize()
 	rng := newRand(seed)
 	peers := eng.Grid().PeerCount()
 	opts := ops.SimilarOptions{Method: method, NoShortFallback: !w.Exact}
-	var tally metrics.Tally
+	var total metrics.Tally
+	done := func(qt *metrics.Tally) {
+		if observe != nil {
+			observe(*qt)
+		}
+		total.AddTally(*qt)
+	}
 	for _, n := range w.TopNs {
 		needle := corpus[rng.Intn(len(corpus))]
 		from := simnet.NodeID(rng.Intn(peers))
-		if _, err := eng.Store().TopNString(&tally, from, attr, needle, n, w.MaxDist,
+		var qt metrics.Tally
+		if _, err := eng.Store().TopNString(&qt, from, attr, needle, n, w.MaxDist,
 			ops.TopNOptions{Similar: opts}); err != nil {
-			return tally, err
+			return total, err
 		}
+		done(&qt)
 	}
 	for _, d := range w.JoinDists {
 		from := simnet.NodeID(rng.Intn(peers))
-		if _, err := eng.Store().SimJoin(&tally, from, attr, attr, d,
+		var qt metrics.Tally
+		if _, err := eng.Store().SimJoin(&qt, from, attr, attr, d,
 			ops.JoinOptions{Similar: opts, LeftLimit: w.JoinLeftLimit}); err != nil {
-			return tally, err
+			return total, err
 		}
+		done(&qt)
 	}
-	return tally, nil
+	return total, nil
 }
 
 // newRand builds the seeded source all schedules use.

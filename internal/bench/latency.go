@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+)
+
+// RuntimePoint is one measurement of the sync-vs-async comparison: the same
+// workload on the same overlay under one execution model.
+type RuntimePoint struct {
+	Async       bool
+	Queries     int
+	Messages    float64       // mean messages per query
+	Bytes       float64       // mean bytes per query
+	MeanHops    float64       // mean longest forwarding chain per query
+	MeanLatency time.Duration // mean simulated end-to-end latency per query
+	MaxLatency  time.Duration
+	Wall        time.Duration // wall-clock time of the whole run
+}
+
+func (p RuntimePoint) String() string {
+	mode := "sync"
+	if p.Async {
+		mode = "async"
+	}
+	return fmt.Sprintf("%-5s queries=%d msgs/q=%.1f bytes/q=%.1f hops=%.2f latency(mean=%s max=%s) wall=%s",
+		mode, p.Queries, p.Messages, p.Bytes, p.MeanHops,
+		p.MeanLatency.Round(time.Millisecond), p.MaxLatency.Round(time.Millisecond),
+		p.Wall.Round(time.Millisecond))
+}
+
+// RuntimeComparison configures CompareRuntimes.
+type RuntimeComparison struct {
+	// Corpus is the string dataset (default: 1200 bible words).
+	Corpus []string
+	// Attr is the column name (default "word").
+	Attr string
+	// Peers is the network size (default 256).
+	Peers int
+	// Workload is the query mix (normalized defaults as in the paper).
+	Workload Workload
+	// Method is the similarity evaluation strategy (default q-grams).
+	Method ops.Method
+	// Latency is the per-link delay model shared by both runtimes
+	// (default: uniform 10–100ms, seed 1).
+	Latency asyncnet.LatencyModel
+	// Workers bounds the async runtime's fan-out goroutines (0 = default).
+	Workers int
+	// Seed drives needle and initiator selection.
+	Seed int64
+}
+
+func (c *RuntimeComparison) normalize() {
+	if len(c.Corpus) == 0 {
+		c.Corpus = dataset.BibleWords(1200, 11)
+	}
+	if c.Attr == "" {
+		c.Attr = "word"
+	}
+	if c.Peers <= 0 {
+		c.Peers = 256
+	}
+	if c.Latency == nil {
+		c.Latency = asyncnet.DefaultLatency(1)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Workload.normalize()
+}
+
+// CompareRuntimes runs the identical workload once under the serial
+// shared-memory simulator and once under the concurrent asyncnet runtime,
+// with the same overlay seed and the same latency model, and returns the two
+// measurements (sync first). Both runs answer the same queries with the same
+// message counts; they differ in wall-clock time and in simulated latency,
+// where the async runtime's parallel fan-out follows the critical path
+// instead of the serial sum.
+func CompareRuntimes(c RuntimeComparison) ([2]RuntimePoint, error) {
+	c.normalize()
+	var out [2]RuntimePoint
+	tuples := dataset.StringTuples(c.Attr, "o", c.Corpus)
+	for i, async := range []bool{false, true} {
+		eng, err := core.Open(tuples, core.Config{
+			Peers:   c.Peers,
+			Async:   async,
+			Workers: c.Workers,
+			Latency: c.Latency,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: building %v engine: %w", async, err)
+		}
+		pt := RuntimePoint{Async: async}
+		var sumHops, sumLat int64
+		var maxLat int64
+		startWall := time.Now()
+		for r := 0; r < c.Workload.Repeats; r++ {
+			_, err := RunMixObserved(eng, c.Attr, c.Corpus, c.Workload, c.Method,
+				c.Seed+int64(r), func(qt metrics.Tally) {
+					pt.Queries++
+					pt.Messages += float64(qt.Messages)
+					pt.Bytes += float64(qt.Bytes)
+					sumHops += qt.Hops
+					sumLat += qt.Latency
+					if qt.Latency > maxLat {
+						maxLat = qt.Latency
+					}
+				})
+			if err != nil {
+				return out, err
+			}
+		}
+		pt.Wall = time.Since(startWall)
+		if pt.Queries > 0 {
+			n := float64(pt.Queries)
+			pt.Messages /= n
+			pt.Bytes /= n
+			pt.MeanHops = float64(sumHops) / n
+			pt.MeanLatency = (simnet.VTime(sumLat) / simnet.VTime(pt.Queries)).Duration()
+		}
+		pt.MaxLatency = simnet.VTime(maxLat).Duration()
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// FormatRuntimeComparison renders the two points plus the speedup ratios.
+func FormatRuntimeComparison(pts [2]RuntimePoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, pts[0])
+	fmt.Fprintln(&b, pts[1])
+	if pts[1].MeanLatency > 0 {
+		fmt.Fprintf(&b, "simulated latency speedup (sync/async): %.2fx\n",
+			float64(pts[0].MeanLatency)/float64(pts[1].MeanLatency))
+	}
+	return b.String()
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/asyncnet"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/pgrid"
@@ -41,6 +42,18 @@ type Config struct {
 	// Plan configures query planning, notably the similarity method
 	// (q-grams, q-samples, or the naive scan).
 	Plan plan.Options
+	// Async selects the concurrent asyncnet runtime: logically parallel
+	// query branches (shower fan-out, similarity expansion, top-N probes,
+	// join selections) execute on goroutines and simulated latency follows
+	// the critical path. The default is the paper's serial shared-memory
+	// simulator.
+	Async bool
+	// Workers bounds the async runtime's fan-out goroutines (0 = default).
+	Workers int
+	// Latency models per-link propagation delay (nil = instantaneous, the
+	// paper's cost model). With a model set, queries report simulated
+	// latency and hop counts under both runtimes.
+	Latency asyncnet.LatencyModel
 }
 
 func (c *Config) normalize() {
@@ -60,22 +73,32 @@ func (c *Config) normalize() {
 type Engine struct {
 	cfg   Config
 	net   *simnet.Network
+	fab   simnet.Fabric
 	grid  *pgrid.Grid
 	store *ops.Store
 }
 
 // Open builds the overlay balanced against the dataset's index keys, loads
 // every tuple, and resets the message counters so subsequent accounting
-// covers queries only (the paper does not measure the load phase).
+// covers queries only (the paper does not measure the load phase). With
+// cfg.Async the overlay runs on the concurrent asyncnet fabric; the overlay
+// structure is identical for the same seed either way, so sync and async
+// engines over the same data answer queries with identical results and
+// message counts.
 func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	cfg.normalize()
 	net := simnet.New(cfg.Peers)
+	net.SetLatency(asyncnet.Func(cfg.Latency))
+	var fab simnet.Fabric = net
+	if cfg.Async {
+		fab = asyncnet.NewNet(net, asyncnet.Options{Workers: cfg.Workers})
+	}
 	sampler := ops.NewStore(nil, cfg.Store)
 	sample, err := sampler.CollectKeys(data)
 	if err != nil {
 		return nil, fmt.Errorf("core: collecting keys: %w", err)
 	}
-	grid, err := pgrid.Build(net, cfg.Peers, sample, cfg.Grid)
+	grid, err := pgrid.Build(fab, cfg.Peers, sample, cfg.Grid)
 	if err != nil {
 		return nil, fmt.Errorf("core: building grid: %w", err)
 	}
@@ -86,11 +109,18 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 		}
 	}
 	net.Collector().Reset()
-	return &Engine{cfg: cfg, net: net, grid: grid, store: store}, nil
+	return &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}, nil
 }
 
 // Net exposes the simulated network (metrics, failure injection).
 func (e *Engine) Net() *simnet.Network { return e.net }
+
+// Fabric exposes the sending surface the overlay runs on: the serial
+// *simnet.Network, or the concurrent *asyncnet.Net when opened with Async.
+func (e *Engine) Fabric() simnet.Fabric { return e.fab }
+
+// Async reports whether the engine runs on the concurrent runtime.
+func (e *Engine) Async() bool { return e.cfg.Async }
 
 // Grid exposes the overlay.
 func (e *Engine) Grid() *pgrid.Grid { return e.grid }

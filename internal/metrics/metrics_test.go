@@ -103,3 +103,86 @@ func TestCollectorReport(t *testing.T) {
 		t.Errorf("Report not sorted: %q", r)
 	}
 }
+
+func TestTallyObservePathMaxFolds(t *testing.T) {
+	var ta Tally
+	ta.ObservePath(3, 500)
+	ta.ObservePath(7, 200)
+	ta.ObservePath(2, 900)
+	if ta.Hops != 7 || ta.Latency != 900 {
+		t.Errorf("tally = %+v, want hops=7 latency=900", ta)
+	}
+	if ta.PathEnd() != 900 || ta.MaxHops() != 7 {
+		t.Errorf("PathEnd/MaxHops = %d/%d", ta.PathEnd(), ta.MaxHops())
+	}
+	// Nil tallies are inert so unaccounted queries cost nothing.
+	var nilT *Tally
+	nilT.ObservePath(1, 1)
+	if nilT.PathEnd() != 0 || nilT.MaxHops() != 0 {
+		t.Error("nil tally not inert")
+	}
+}
+
+func TestTallyConcurrentObserve(t *testing.T) {
+	var ta Tally
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ta.Add(1)
+				ta.ObservePath(int64(w), int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := ta.Snapshot()
+	if s.Messages != 8000 || s.Bytes != 8000 || s.Hops != 7 || s.Latency != 999 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantilesAndSummary(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40, 80})
+	for _, v := range []float64{5, 15, 15, 35, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 34 {
+		t.Errorf("mean = %v, want 34", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("max = %v", got)
+	}
+	if q := h.Quantile(0.5); q != 20 {
+		t.Errorf("p50 = %v, want bucket bound 20", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("p100 = %v, want observed max", q)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+}
+
+func TestCollectorObserveQuery(t *testing.T) {
+	c := NewCollector()
+	c.ObserveQuery(Tally{}) // no path: skipped
+	c.ObserveQuery(Tally{Hops: 4, Latency: 50_000})
+	c.ObserveQuery(Tally{Hops: 6, Latency: 250_000})
+	if c.HopsHist().Count() != 2 || c.LatencyHist().Count() != 2 {
+		t.Fatalf("histogram counts = %d/%d", c.HopsHist().Count(), c.LatencyHist().Count())
+	}
+	r := c.QueryReport()
+	if !strings.Contains(r, "hops") || !strings.Contains(r, "latency") {
+		t.Errorf("QueryReport = %q", r)
+	}
+	c.Reset()
+	if c.HopsHist().Count() != 0 {
+		t.Error("Reset did not clear query histograms")
+	}
+}

@@ -69,20 +69,49 @@ func (s *Store) SimJoin(t *metrics.Tally, from simnet.NodeID, ln, rn string, d i
 		left = left[:opts.LeftLimit]
 	}
 
-	// Lines 3-6: one similarity selection per left object.
-	matchesByValue := make(map[string][]Match)
+	// Lines 3-6: one similarity selection per left object (or per distinct
+	// left value when memoizing). The selections are independent, so they
+	// fan out from one fork point under the concurrent fabric; results are
+	// merged back in deterministic left order.
+	sels := left
+	if opts.MemoizeValues {
+		sels = sels[:0:0]
+		seen := make(map[string]bool, len(left))
+		for _, l := range left {
+			if v := l.Triple.Val.Str; !seen[v] {
+				seen[v] = true
+				sels = append(sels, l)
+			}
+		}
+	}
+	matches := make([][]Match, len(sels))
+	errs := make([]error, len(sels))
+	start := simnet.VTime(t.PathEnd())
+	s.grid.Net().Fanout(start, len(sels), func(i int, st simnet.VTime) simnet.VTime {
+		ms, end, err := s.similarAt(t, from, sels[i].Triple.Val.Str, rn, d, opts.Similar, st)
+		matches[i], errs[i] = ms, err
+		return end
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var matchesByValue map[string][]Match
+	if opts.MemoizeValues {
+		matchesByValue = make(map[string][]Match, len(sels))
+		for i, l := range sels {
+			matchesByValue[l.Triple.Val.Str] = matches[i]
+		}
+	}
 	var out []JoinPair
-	for _, l := range left {
+	for i, l := range left {
 		v := l.Triple.Val.Str
-		ms, memoized := matchesByValue[v]
-		if !memoized || !opts.MemoizeValues {
-			ms, err = s.Similar(t, from, v, rn, d, opts.Similar)
-			if err != nil {
-				return nil, err
-			}
-			if opts.MemoizeValues {
-				matchesByValue[v] = ms
-			}
+		var ms []Match
+		if opts.MemoizeValues {
+			ms = matchesByValue[v]
+		} else {
+			ms = matches[i]
 		}
 		leftObj := triples.Tuple{OID: l.Triple.OID,
 			Fields: []triples.Field{{Name: l.Triple.Attr, Val: l.Triple.Val}}}

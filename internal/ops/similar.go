@@ -54,37 +54,68 @@ type SimilarOptions struct {
 // attr is empty — all objects having an attribute whose *name* is within
 // distance d (schema level). from is the initiating peer p.
 func (s *Store) Similar(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, opts SimilarOptions) ([]Match, error) {
+	ms, _, err := s.similarAt(t, from, needle, attr, d, opts, simnet.VTime(t.PathEnd()))
+	return ms, err
+}
+
+// similarAt is Similar with an explicit virtual start time, returning the
+// operator's completion time so callers (e.g. the similarity join) can fan
+// several selections out from one fork point. The candidate phases — the
+// q-gram multicast and the short-string fallback scan — are independent
+// branch expansions: under the concurrent fabric they run in parallel and
+// their candidate sets merge afterwards.
+func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+	opts SimilarOptions, start simnet.VTime) ([]Match, simnet.VTime, error) {
+
 	if d < 0 {
-		return nil, fmt.Errorf("ops: negative distance %d", d)
+		return nil, start, fmt.Errorf("ops: negative distance %d", d)
 	}
 	schema := attr == ""
-	var oids map[string]bool
-	var err error
 	if opts.Method == MethodNaive {
-		return s.similarNaive(t, from, needle, attr, d)
+		return s.similarNaiveAt(t, from, needle, attr, d, start)
 	}
-	oids, err = s.gramCandidates(t, from, needle, attr, d, opts)
-	if err != nil {
-		return nil, err
+	withShort := !opts.NoShortFallback && !s.cfg.DisableShortIndex &&
+		len(needle) < strdist.GuaranteeThreshold(s.cfg.Q, d)
+
+	var gramOids, shortOids map[string]bool
+	var gramErr, shortErr error
+	branches := 1
+	if withShort {
+		branches = 2
 	}
-	if !opts.NoShortFallback && !s.cfg.DisableShortIndex &&
-		len(needle) < strdist.GuaranteeThreshold(s.cfg.Q, d) {
-		if err := s.shortCandidates(t, from, needle, attr, d, oids); err != nil {
-			return nil, err
+	end := s.grid.Net().Fanout(start, branches, func(i int, st simnet.VTime) simnet.VTime {
+		if i == 0 {
+			var e simnet.VTime
+			gramOids, e, gramErr = s.gramCandidates(t, from, needle, attr, d, opts, st)
+			return e
 		}
+		var e simnet.VTime
+		shortOids, e, shortErr = s.shortCandidates(t, from, needle, attr, d, st)
+		return e
+	})
+	if gramErr != nil {
+		return nil, end, gramErr
 	}
-	objects, err := s.reconstructOpt(t, from, setToSlice(oids), opts.NoBatchedRouting)
+	if shortErr != nil {
+		return nil, end, shortErr
+	}
+	oids := gramOids
+	for oid := range shortOids {
+		oids[oid] = true
+	}
+	objects, end, err := s.reconstructAt(t, from, setToSlice(oids), opts.NoBatchedRouting, end)
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
-	return verifyMatches(objects, needle, attr, d, schema), nil
+	return verifyMatches(objects, needle, attr, d, schema), end, nil
 }
 
 // gramCandidates performs lines 1-9 of Algorithm 2: decompose the needle into
 // q-grams (or a q-sample), retrieve all postings matching any gram with one
 // batched multicast, and keep the oids passing the position and length
 // filters.
-func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, opts SimilarOptions) (map[string]bool, error) {
+func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+	opts SimilarOptions, start simnet.VTime) (map[string]bool, simnet.VTime, error) {
 	var grams []strdist.Gram
 	if opts.Method == MethodQSamples {
 		grams = strdist.Samples(needle, s.cfg.Q, d)
@@ -108,9 +139,9 @@ func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, att
 	// Deterministic key order keeps message traces reproducible.
 	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
 
-	postings, err := s.fetch(t, from, ks, opts.NoBatchedRouting)
+	postings, end, err := s.fetch(t, from, ks, opts.NoBatchedRouting, start)
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
 	wantKind := triples.IndexGram
 	if attr == "" {
@@ -138,30 +169,45 @@ func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, att
 		}
 		oids[p.Triple.OID] = true
 	}
-	return oids, nil
+	return oids, end, nil
 }
 
 // fetch retrieves postings for a key batch, either with the shower-style
-// multicast (default) or with one routed lookup per key (ablation).
-func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key, unbatched bool) ([]triples.Posting, error) {
+// multicast (default) or with one routed lookup per key (ablation). The
+// unbatched lookups are independent, so they fan out from the same start
+// time under the concurrent fabric.
+func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
+	unbatched bool, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+
 	if !unbatched {
-		return s.grid.MultiLookup(t, from, ks)
+		return s.grid.MultiLookupAt(t, from, ks, start)
 	}
+	results := make([][]triples.Posting, len(ks))
+	errs := make([]error, len(ks))
+	end := s.grid.Net().Fanout(start, len(ks), func(i int, st simnet.VTime) simnet.VTime {
+		ps, e, err := s.grid.LookupAt(t, from, ks[i], st)
+		results[i], errs[i] = ps, err
+		return e
+	})
 	var out []triples.Posting
-	for _, k := range ks {
-		ps, err := s.grid.Lookup(t, from, k)
-		if err != nil {
-			return nil, err
+	for i, ps := range results {
+		if errs[i] != nil {
+			return nil, end, errs[i]
 		}
 		out = append(out, ps...)
 	}
-	return out, nil
+	return out, end, nil
 }
 
-// shortCandidates adds oids from the short-value index (instance level) or
-// the attribute catalog (schema level), closing the completeness gap for
-// needles below the q-gram guarantee threshold.
-func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int, oids map[string]bool) error {
+// shortCandidates returns oids from the short-value index (instance level)
+// or the attribute catalog (schema level), closing the completeness gap for
+// needles below the q-gram guarantee threshold. At schema level, the
+// per-attribute collection scans are independent branch expansions that fan
+// out concurrently under the asynchronous fabric.
+func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+	start simnet.VTime) (map[string]bool, simnet.VTime, error) {
+
+	oids := make(map[string]bool)
 	if attr != "" {
 		filter := func(p triples.Posting) bool {
 			return p.Index == triples.IndexShort &&
@@ -169,15 +215,15 @@ func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, at
 				strdist.LengthFilter(len(p.Triple.Val.Str), len(needle), d) &&
 				strdist.WithinDistance(needle, p.Triple.Val.Str, d)
 		}
-		res, err := s.grid.PrefixQuery(t, from, triples.ShortValuePrefix(attr),
-			pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+		res, end, err := s.grid.PrefixQueryAt(t, from, triples.ShortValuePrefix(attr),
+			pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4}, start)
 		if err != nil {
-			return err
+			return nil, end, err
 		}
 		for _, p := range res {
 			oids[p.Triple.OID] = true
 		}
-		return nil
+		return oids, end, nil
 	}
 	// Schema level: find short attribute names within distance via the
 	// catalog, then collect the objects carrying them.
@@ -185,30 +231,39 @@ func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, at
 		return p.Index == triples.IndexCatalog &&
 			strdist.WithinDistance(needle, p.Triple.Attr, d)
 	}
-	cat, err := s.grid.PrefixQuery(t, from, triples.CatalogPrefix(),
-		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+	cat, end, err := s.grid.PrefixQueryAt(t, from, triples.CatalogPrefix(),
+		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4}, start)
 	if err != nil {
-		return err
+		return nil, end, err
 	}
-	for _, c := range cat {
-		res, err := s.grid.PrefixQuery(t, from, triples.AttrPrefix(c.Triple.Attr), pgrid.RangeOptions{})
-		if err != nil {
-			return err
+	results := make([][]triples.Posting, len(cat))
+	errs := make([]error, len(cat))
+	end = s.grid.Net().Fanout(end, len(cat), func(i int, st simnet.VTime) simnet.VTime {
+		res, e, err := s.grid.PrefixQueryAt(t, from, triples.AttrPrefix(cat[i].Triple.Attr),
+			pgrid.RangeOptions{}, st)
+		results[i], errs[i] = res, err
+		return e
+	})
+	for i := range cat {
+		if errs[i] != nil {
+			return nil, end, errs[i]
 		}
-		for _, p := range res {
+		for _, p := range results[i] {
 			oids[p.Triple.OID] = true
 		}
 	}
-	return nil
+	return oids, end, nil
 }
 
-// similarNaive implements the baseline of Section 4: "send a query to each
+// similarNaiveAt implements the baseline of Section 4: "send a query to each
 // peer which is responsible for a part of the strings to be compared. The
 // contacted peers then compare the queried string to the data available
 // locally and send matching results back." Instance level scans the
 // attribute's value partitions; schema level scans the whole attribute-value
 // family and compares attribute names.
-func (s *Store) similarNaive(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int) ([]Match, error) {
+func (s *Store) similarNaiveAt(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+	start simnet.VTime) ([]Match, simnet.VTime, error) {
+
 	var prefix keys.Key
 	var filter func(triples.Posting) bool
 	schema := attr == ""
@@ -226,41 +281,44 @@ func (s *Store) similarNaive(t *metrics.Tally, from simnet.NodeID, needle, attr 
 				strdist.WithinDistance(needle, p.Triple.Val.Str, d)
 		}
 	}
-	res, err := s.grid.PrefixQuery(t, from, prefix,
-		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4})
+	res, end, err := s.grid.PrefixQueryAt(t, from, prefix,
+		pgrid.RangeOptions{Filter: filter, FilterBytes: len(needle) + 4}, start)
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
 	oids := make(map[string]bool, len(res))
 	for _, p := range res {
 		oids[p.Triple.OID] = true
 	}
-	objects, err := s.reconstruct(t, from, setToSlice(oids))
+	objects, end, err := s.reconstructAt(t, from, setToSlice(oids), false, end)
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
-	return verifyMatches(objects, needle, attr, d, schema), nil
+	return verifyMatches(objects, needle, attr, d, schema), end, nil
 }
 
 // reconstruct fetches the complete objects for a set of oids with one batched
 // multicast over the oid index (lines 10-11 of Algorithm 2, using the
 // shower-style batching the paper lists as an implemented optimization).
 func (s *Store) reconstruct(t *metrics.Tally, from simnet.NodeID, oids []string) ([]triples.Tuple, error) {
-	return s.reconstructOpt(t, from, oids, false)
+	out, _, err := s.reconstructAt(t, from, oids, false, simnet.VTime(t.PathEnd()))
+	return out, err
 }
 
-func (s *Store) reconstructOpt(t *metrics.Tally, from simnet.NodeID, oids []string, unbatched bool) ([]triples.Tuple, error) {
+func (s *Store) reconstructAt(t *metrics.Tally, from simnet.NodeID, oids []string,
+	unbatched bool, start simnet.VTime) ([]triples.Tuple, simnet.VTime, error) {
+
 	if len(oids) == 0 {
-		return nil, nil
+		return nil, start, nil
 	}
 	sort.Strings(oids)
 	ks := make([]keys.Key, len(oids))
 	for i, oid := range oids {
 		ks[i] = triples.OIDKey(oid)
 	}
-	postings, err := s.fetch(t, from, ks, unbatched)
+	postings, end, err := s.fetch(t, from, ks, unbatched, start)
 	if err != nil {
-		return nil, err
+		return nil, end, err
 	}
 	byOID := make(map[string][]triples.Triple)
 	for _, p := range postings {
@@ -274,7 +332,7 @@ func (s *Store) reconstructOpt(t *metrics.Tally, from simnet.NodeID, oids []stri
 			out = append(out, triples.Recompose(oid, ts))
 		}
 	}
-	return out, nil
+	return out, end, nil
 }
 
 // verifyMatches performs the final edit-distance verification (line 23 of

@@ -134,12 +134,24 @@ func (s *Store) TopN(t *metrics.Tally, from simnet.NodeID, attr string, n int, r
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		added := 0
-		for _, sg := range unscanned(fr, to, scannedLo, scannedHi) {
-			res, err := s.rangeNumeric(t, from, attr, sg[0], sg[1])
-			if err != nil {
-				return nil, err
+		// The window may fall apart into disjoint uncovered segments (below
+		// and above the scanned band); their range probes are independent,
+		// so they fan out concurrently under the asynchronous fabric and
+		// their results merge deterministically in segment order.
+		segs := unscanned(fr, to, scannedLo, scannedHi)
+		segResults := make([][]triples.Posting, len(segs))
+		segErrs := make([]error, len(segs))
+		start := simnet.VTime(t.PathEnd())
+		s.grid.Net().Fanout(start, len(segs), func(i int, st simnet.VTime) simnet.VTime {
+			res, e, err := s.rangeNumericAt(t, from, attr, segs[i][0], segs[i][1], st)
+			segResults[i], segErrs[i] = res, err
+			return e
+		})
+		for i := range segs {
+			if segErrs[i] != nil {
+				return nil, segErrs[i]
 			}
-			for _, p := range res {
+			for _, p := range segResults[i] {
 				key := p.Triple.OID + "\x00" + p.Triple.Val.Render()
 				if _, dup := seen[key]; !dup {
 					seen[key] = numHit{val: p.Triple.Val.Num, oid: p.Triple.OID}
@@ -261,9 +273,12 @@ func unscanned(fr, to, scannedLo, scannedHi float64) [][2]float64 {
 	return out
 }
 
-// rangeNumeric issues one P-Grid range query over the numeric values of attr
-// in [lo, hi]. RangeQuery(attr, fr, to) in Algorithm 4's notation.
-func (s *Store) rangeNumeric(t *metrics.Tally, from simnet.NodeID, attr string, lo, hi float64) ([]triples.Posting, error) {
+// rangeNumericAt issues one P-Grid range query over the numeric values of
+// attr in [lo, hi], starting at the given virtual time. RangeQuery(attr, fr,
+// to) in Algorithm 4's notation.
+func (s *Store) rangeNumericAt(t *metrics.Tally, from simnet.NodeID, attr string, lo, hi float64,
+	start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+
 	if lo > hi {
 		lo, hi = hi, lo
 	}
@@ -276,7 +291,7 @@ func (s *Store) rangeNumeric(t *metrics.Tally, from simnet.NodeID, attr string, 
 			p.Triple.Val.Kind == triples.KindNumber &&
 			p.Triple.Val.Num >= lo && p.Triple.Val.Num <= hi
 	}
-	return s.grid.RangeQuery(t, from, iv, pgrid.RangeOptions{Filter: filter, FilterBytes: 16})
+	return s.grid.RangeQueryAt(t, from, iv, pgrid.RangeOptions{Filter: filter, FilterBytes: 16}, start)
 }
 
 // localDensity estimates the data density of attr from the initiator's local

@@ -276,9 +276,11 @@ func (h *hasher) hashHiPrefix(k keys.Key) keys.Key {
 	return h.rankKey(n)
 }
 
-// Grid is a fully constructed P-Grid overlay.
+// Grid is a fully constructed P-Grid overlay. The net field is the sending
+// surface (simnet.Fabric): the synchronous shared-memory simulator or the
+// concurrent asyncnet runtime — query code is identical under both.
 type Grid struct {
-	net    *simnet.Network
+	net    simnet.Fabric
 	cfg    Config
 	h      *hasher
 	peers  []*Peer
@@ -295,10 +297,11 @@ var (
 	ErrRoutingExhausted = errors.New("pgrid: routing did not converge")
 )
 
-// Build constructs a grid of nPeers peers over the given network. sample is a
-// representative multiset of the keys the grid will store; the trie is
-// balanced against it. The network must have capacity for nPeers nodes.
-func Build(net *simnet.Network, nPeers int, sample []keys.Key, cfg Config) (*Grid, error) {
+// Build constructs a grid of nPeers peers over the given network fabric.
+// sample is a representative multiset of the keys the grid will store; the
+// trie is balanced against it. The network must have capacity for nPeers
+// nodes.
+func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid, error) {
 	cfg.normalize()
 	if nPeers < 1 {
 		return nil, ErrNoPeers
@@ -598,8 +601,8 @@ func (g *Grid) leafForHashed(hk keys.Key) int {
 	return -1
 }
 
-// Net returns the underlying network.
-func (g *Grid) Net() *simnet.Network { return g.net }
+// Net returns the underlying network fabric.
+func (g *Grid) Net() simnet.Fabric { return g.net }
 
 // Config returns the build configuration.
 func (g *Grid) Config() Config { return g.cfg }

@@ -9,16 +9,51 @@ import (
 	"repro/internal/triples"
 )
 
-// pickRef selects a live routing reference of p at level l, preferring a
-// random one (the paper's randomized routing keeps expected search cost at
-// 0.5*log N regardless of trie shape) and falling back to the remaining
-// redundant references when peers are down.
-func (g *Grid) pickRef(p *Peer, l int) (simnet.NodeID, error) {
+// cursor is branch-local virtual time and forwarding depth, threaded through
+// routing and fan-out. Sequential hops chain the cursor; parallel branches
+// each carry a copy forked at the same time, so the tally's max-folded
+// latency follows the critical path.
+type cursor struct {
+	at   simnet.VTime
+	hops int64
+}
+
+// opStart positions a fresh operation after everything already observed on
+// the tally, so sequential operations sharing a tally chain in virtual time.
+func opStart(t *metrics.Tally) cursor {
+	return cursor{at: simnet.VTime(t.PathEnd())}
+}
+
+// finish folds a completed path into the tally and returns its end time.
+func (c cursor) finish(t *metrics.Tally) simnet.VTime {
+	t.ObservePath(c.hops, int64(c.at))
+	return c.at
+}
+
+// routeSalt folds a key into a routing salt so different targets rotate
+// through the redundant references.
+func routeSalt(k keys.Key) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ uint64(k.Len())
+	for _, b := range k.Bytes() {
+		h = simnet.Splitmix64(h ^ uint64(b))
+	}
+	return h
+}
+
+// pickRef selects a live routing reference of p at level l. The choice is
+// randomized across peers, levels and salts (the paper's randomized routing
+// keeps expected search cost at 0.5*log N regardless of trie shape) but is a
+// pure function of its inputs: no shared RNG state, so concurrent query
+// branches stay race-free and a fixed seed yields identical routes under the
+// serial and the concurrent runtime. Remaining redundant references serve as
+// fallback when peers are down.
+func (g *Grid) pickRef(p *Peer, l int, salt uint64) (simnet.NodeID, error) {
 	if l < 0 || l >= len(p.refs) || len(p.refs[l]) == 0 {
 		return 0, ErrUnreachable
 	}
 	refs := p.refs[l]
-	start := g.randIntn(len(refs))
+	h := simnet.Splitmix64(uint64(g.cfg.Seed) ^ salt ^ simnet.Splitmix64(uint64(p.id)<<20|uint64(l)))
+	start := int(h % uint64(len(refs)))
 	for i := 0; i < len(refs); i++ {
 		id := refs[(start+i)%len(refs)]
 		if !g.net.IsDown(id) {
@@ -31,32 +66,37 @@ func (g *Grid) pickRef(p *Peer, l int) (simnet.NodeID, error) {
 // routeToward implements the routing loop of Algorithm 1: starting at from,
 // repeatedly forward to a reference in the complementary subtrie at the
 // divergence level until stop(peer) holds. target is a hashed-space key. Each
-// hop sends one message built by mkMsg. The common prefix with the target
-// grows by at least one bit per hop, so the loop terminates within
-// target.Len() hops on a complete trie.
+// hop sends one message built by mkMsg and advances the cursor by the
+// modelled link latency. The common prefix with the target grows by at least
+// one bit per hop, so the loop terminates within target.Len() hops on a
+// complete trie.
 func (g *Grid) routeToward(t *metrics.Tally, from simnet.NodeID, target keys.Key,
-	stop func(*Peer) bool, mkMsg func() simnet.Message) (simnet.NodeID, error) {
+	stop func(*Peer) bool, mkMsg func() simnet.Message, cur cursor) (simnet.NodeID, cursor, error) {
 
-	cur := from
+	salt := routeSalt(target)
+	at := from
 	for hop := 0; hop <= target.Len()+1; hop++ {
-		p, err := g.Peer(cur)
+		p, err := g.Peer(at)
 		if err != nil {
-			return 0, err
+			return 0, cur, err
 		}
 		if stop(p) {
-			return cur, nil
+			return at, cur, nil
 		}
 		l := p.path.CommonPrefixLen(target)
-		next, err := g.pickRef(p, l)
+		next, err := g.pickRef(p, l, salt)
 		if err != nil {
-			return 0, err
+			return 0, cur, err
 		}
-		if err := g.net.Send(t, cur, next, mkMsg()); err != nil {
-			return 0, err
+		arrive, err := g.net.SendTimed(t, at, next, mkMsg(), cur.at)
+		if err != nil {
+			return 0, cur, err
 		}
-		cur = next
+		cur.at = arrive
+		cur.hops++
+		at = next
 	}
-	return 0, ErrRoutingExhausted
+	return 0, cur, ErrRoutingExhausted
 }
 
 // Lookup retrieves all postings whose key extends k (Algorithm 1 semantics:
@@ -64,21 +104,32 @@ func (g *Grid) routeToward(t *metrics.Tally, from simnet.NodeID, target keys.Key
 // responsible partition and returning results in one message to the
 // initiator.
 func (g *Grid) Lookup(t *metrics.Tally, from simnet.NodeID, k keys.Key) ([]triples.Posting, error) {
+	res, _, err := g.LookupAt(t, from, k, opStart(t).at)
+	return res, err
+}
+
+// LookupAt is Lookup with an explicit virtual start time; it returns the
+// completion time of the lookup so callers can fan out several lookups from
+// one fork point.
+func (g *Grid) LookupAt(t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
 	hk := g.h.hash(k)
-	dest, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return lookupMsg{key: k} })
+		func() simnet.Message { return lookupMsg{key: k} }, cursor{at: start})
 	if err != nil {
-		return nil, err
+		return nil, cur.at, err
 	}
 	p := g.peers[dest]
 	res := p.localPrefix(k)
 	if len(res) > 0 || g.cfg.ReplyEmpty {
-		if err := g.net.Send(t, dest, from, resultMsg{postings: res}); err != nil {
-			return res, err
+		arrive, err := g.net.SendTimed(t, dest, from, resultMsg{postings: res}, cur.at)
+		if err != nil {
+			return res, cur.finish(t), err
 		}
+		cur.at = arrive
+		cur.hops++
 	}
-	return res, nil
+	return res, cur.finish(t), nil
 }
 
 // hashedKey pairs an original key with its hashed-space image during batched
@@ -95,24 +146,40 @@ type hashedKey struct {
 // shower algorithm in [6]". Each involved partition receives the subset of
 // keys it is responsible for and answers the initiator directly.
 func (g *Grid) MultiLookup(t *metrics.Tally, from simnet.NodeID, ks []keys.Key) ([]triples.Posting, error) {
+	res, _, err := g.MultiLookupAt(t, from, ks, opStart(t).at)
+	return res, err
+}
+
+// MultiLookupAt is MultiLookup with an explicit virtual start time.
+func (g *Grid) MultiLookupAt(t *metrics.Tally, from simnet.NodeID, ks []keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
 	if len(ks) == 0 {
-		return nil, nil
+		return nil, start, nil
 	}
 	hks := make([]hashedKey, len(ks))
 	for i, k := range ks {
 		hks[i] = hashedKey{orig: k, h: g.h.hash(k)}
 	}
-	var out []triples.Posting
-	err := g.multiStep(t, from, from, hks, 0, &out)
-	return out, err
+	return g.multiStep(t, from, from, hks, 0, cursor{at: start})
 }
 
+// subtrieBranch is one forward into a sibling subtrie during a multicast.
+type subtrieBranch struct {
+	level int
+	next  simnet.NodeID
+	keys  []hashedKey // multiStep only
+}
+
+// multiStep serves the key subset this partition is responsible for and
+// forwards the rest into every relevant sibling subtrie. The sibling
+// forwards are logically parallel: under the concurrent fabric they run on
+// goroutines forked at this peer's arrival time, under the serial fabric
+// they chain — the Fanout contract of simnet.Fabric.
 func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
-	ks []hashedKey, scope int, out *[]triples.Posting) error {
+	ks []hashedKey, scope int, cur cursor) ([]triples.Posting, simnet.VTime, error) {
 
 	p, err := g.Peer(at)
 	if err != nil {
-		return err
+		return nil, cur.at, err
 	}
 	var local []triples.Posting
 	served := false
@@ -125,17 +192,31 @@ func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
 			rest = append(rest, k)
 		}
 	}
+	end := cur.at
+	var localErr error
 	if len(local) > 0 || (g.cfg.ReplyEmpty && served) {
-		if err := g.net.Send(t, at, initiator, resultMsg{postings: local}); err != nil {
-			return err
+		reply := cur
+		arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: local}, reply.at)
+		if err != nil {
+			localErr = err
+			local = nil
+		} else {
+			reply.at = arrive
+			reply.hops++
+			end = reply.finish(t)
 		}
-		*out = append(*out, local...)
+	} else if served {
+		end = cur.finish(t)
 	}
-	var errs []error
+
+	// Partition the remaining keys over the sibling subtries and pick all
+	// forwarding targets before forking; reference picking is deterministic,
+	// so branch sets are identical under both fabrics.
+	var branches []subtrieBranch
+	var pickErrs []error
 	for l := scope; l < p.path.Len() && len(rest) > 0; l++ {
 		sibling := p.path.Prefix(l + 1).FlipLast()
-		var subset []hashedKey
-		var keep []hashedKey
+		var subset, keep []hashedKey
 		for _, k := range rest {
 			if k.h.HasPrefix(sibling) || sibling.HasPrefix(k.h) {
 				subset = append(subset, k)
@@ -147,24 +228,44 @@ func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
 		if len(subset) == 0 {
 			continue
 		}
-		next, err := g.pickRef(p, l)
+		next, err := g.pickRef(p, l, routeSalt(sibling))
 		if err != nil {
-			errs = append(errs, err)
+			pickErrs = append(pickErrs, err)
 			continue
 		}
-		origs := make([]keys.Key, len(subset))
-		for i, k := range subset {
-			origs[i] = k.orig
-		}
-		if err := g.net.Send(t, at, next, multiLookupMsg{keys: origs}); err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if err := g.multiStep(t, initiator, next, subset, l+1, out); err != nil {
-			errs = append(errs, err)
-		}
+		branches = append(branches, subtrieBranch{level: l, next: next, keys: subset})
 	}
-	return errors.Join(errs...)
+
+	results := make([][]triples.Posting, len(branches))
+	errs := make([]error, len(branches))
+	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
+		b := branches[i]
+		origs := make([]keys.Key, len(b.keys))
+		for j, k := range b.keys {
+			origs[j] = k.orig
+		}
+		arrive, err := g.net.SendTimed(t, at, b.next, multiLookupMsg{keys: origs}, start)
+		if err != nil {
+			errs[i] = err
+			return start
+		}
+		res, bEnd, err := g.multiStep(t, initiator, b.next, b.keys, b.level+1,
+			cursor{at: arrive, hops: cur.hops + 1})
+		results[i] = res
+		errs[i] = err
+		return bEnd
+	})
+	if fanEnd > end {
+		end = fanEnd
+	}
+
+	out := local
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	all := append([]error{localErr}, pickErrs...)
+	all = append(all, errs...)
+	return out, end, errors.Join(all...)
 }
 
 // RangeOptions customizes a range query.
@@ -186,19 +287,23 @@ type RangeOptions struct {
 // references, reaching every overlapping partition exactly once. Results are
 // sent directly to the initiator by each contributing peer.
 func (g *Grid) RangeQuery(t *metrics.Tally, from simnet.NodeID, iv keys.Interval, opts RangeOptions) ([]triples.Posting, error) {
+	res, _, err := g.RangeQueryAt(t, from, iv, opts, opStart(t).at)
+	return res, err
+}
+
+// RangeQueryAt is RangeQuery with an explicit virtual start time.
+func (g *Grid) RangeQueryAt(t *metrics.Tally, from simnet.NodeID, iv keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
 	if !iv.Valid() {
-		return nil, errors.New("pgrid: invalid interval (Lo after Hi)")
+		return nil, start, errors.New("pgrid: invalid interval (Lo after Hi)")
 	}
 	ivH := keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}
-	dest, err := g.routeToward(t, from, ivH.Lo,
+	dest, cur, err := g.routeToward(t, from, ivH.Lo,
 		func(p *Peer) bool { return ivH.OverlapsPrefix(p.path) },
-		func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} })
+		func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} }, cursor{at: start})
 	if err != nil {
-		return nil, err
+		return nil, cur.at, err
 	}
-	var out []triples.Posting
-	err = g.showerStep(t, from, dest, iv, ivH, 0, opts, &out)
-	return out, err
+	return g.showerStep(t, from, dest, iv, ivH, 0, opts, cur)
 }
 
 // PrefixQuery retrieves every posting whose key extends the given prefix,
@@ -210,71 +315,127 @@ func (g *Grid) PrefixQuery(t *metrics.Tally, from simnet.NodeID, prefix keys.Key
 	return g.RangeQuery(t, from, keys.Interval{Lo: prefix, Hi: prefix}, opts)
 }
 
+// PrefixQueryAt is PrefixQuery with an explicit virtual start time.
+func (g *Grid) PrefixQueryAt(t *metrics.Tally, from simnet.NodeID, prefix keys.Key, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	return g.RangeQueryAt(t, from, keys.Interval{Lo: prefix, Hi: prefix}, opts, start)
+}
+
 // showerStep serves the range locally and forwards it into every overlapping
 // sibling subtrie at levels >= scope, which delivers the query to each
 // overlapping partition exactly once. iv is the original-space interval
 // evaluated against stored keys; ivH is its hashed-space image used for trie
-// pruning.
+// pruning. Sibling forwards fan out per the fabric's Fanout contract:
+// concurrently under asyncnet, chained under the serial simulator.
 func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
-	iv, ivH keys.Interval, scope int, opts RangeOptions, out *[]triples.Posting) error {
+	iv, ivH keys.Interval, scope int, opts RangeOptions, cur cursor) ([]triples.Posting, simnet.VTime, error) {
 
 	p, err := g.Peer(at)
 	if err != nil {
-		return err
+		return nil, cur.at, err
 	}
+	var local []triples.Posting
+	end := cur.at
+	var localErr error
 	if ivH.OverlapsPrefix(p.path) {
 		res := p.localRange(iv, opts.Filter)
 		if len(res) > 0 || g.cfg.ReplyEmpty {
-			if err := g.net.Send(t, at, initiator, resultMsg{postings: res}); err != nil {
-				return err
+			reply := cur
+			arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: res}, reply.at)
+			if err != nil {
+				localErr = err
+			} else {
+				local = res
+				reply.at = arrive
+				reply.hops++
+				end = reply.finish(t)
 			}
-			*out = append(*out, res...)
+		} else {
+			// Silence means "no results", but the query still travelled
+			// here: fold the forwarding path into the tally.
+			end = cur.finish(t)
 		}
 	}
-	var errs []error
+
+	var branches []subtrieBranch
+	var pickErrs []error
 	for l := scope; l < p.path.Len(); l++ {
 		sibling := p.path.Prefix(l + 1).FlipLast()
 		if !ivH.OverlapsPrefix(sibling) {
 			continue
 		}
-		next, err := g.pickRef(p, l)
+		next, err := g.pickRef(p, l, routeSalt(sibling))
 		if err != nil {
-			errs = append(errs, err)
+			pickErrs = append(pickErrs, err)
 			continue
 		}
-		if err := g.net.Send(t, at, next, rangeMsg{iv: iv, filterBytes: opts.FilterBytes}); err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if err := g.showerStep(t, initiator, next, iv, ivH, l+1, opts, out); err != nil {
-			errs = append(errs, err)
-		}
+		branches = append(branches, subtrieBranch{level: l, next: next})
 	}
-	return errors.Join(errs...)
+
+	results := make([][]triples.Posting, len(branches))
+	errs := make([]error, len(branches))
+	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
+		b := branches[i]
+		arrive, err := g.net.SendTimed(t, at, b.next,
+			rangeMsg{iv: iv, filterBytes: opts.FilterBytes}, start)
+		if err != nil {
+			errs[i] = err
+			return start
+		}
+		res, bEnd, err := g.showerStep(t, initiator, b.next, iv, ivH, b.level+1, opts,
+			cursor{at: arrive, hops: cur.hops + 1})
+		results[i] = res
+		errs[i] = err
+		return bEnd
+	})
+	if fanEnd > end {
+		end = fanEnd
+	}
+
+	out := local
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	all := append([]error{localErr}, pickErrs...)
+	all = append(all, errs...)
+	return out, end, errors.Join(all...)
 }
 
 // Insert routes a posting from the initiating peer to the responsible
 // partition and replicates it to the partition's structural replicas. Every
-// hop and every replica update costs one message.
+// hop and every replica update costs one message; replica pushes depart
+// together from the responsible peer.
 func (g *Grid) Insert(t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
 	hk := g.h.hash(k)
-	dest, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return insertMsg{key: k, posting: posting} })
+		func() simnet.Message { return insertMsg{key: k, posting: posting} }, opStart(t))
 	if err != nil {
 		return err
 	}
 	p := g.peers[dest]
 	p.localPut(k, posting)
+	end := cur.at
 	var errs []error
 	for _, r := range p.replicas {
-		if err := g.net.Send(t, dest, r, replicateMsg{key: k, posting: posting}); err != nil {
+		arrive, err := g.net.SendTimed(t, dest, r, replicateMsg{key: k, posting: posting}, cur.at)
+		if err != nil {
 			errs = append(errs, err)
 			continue
 		}
+		if arrive > end {
+			end = arrive
+		}
 		g.peers[r].localPut(k, posting)
 	}
+	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return errors.Join(errs...)
+}
+
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // BulkInsert stores a posting at every peer of the responsible partition
@@ -296,21 +457,27 @@ func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
 // its replicas. It reports whether anything was deleted.
 func (g *Grid) Delete(t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error) {
 	hk := g.h.hash(k)
-	dest, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return deleteMsg{key: k} })
+		func() simnet.Message { return deleteMsg{key: k} }, opStart(t))
 	if err != nil {
 		return false, err
 	}
 	p := g.peers[dest]
 	deleted := p.localDelete(k, match)
+	end := cur.at
 	var errs []error
 	for _, r := range p.replicas {
-		if err := g.net.Send(t, dest, r, deleteMsg{key: k}); err != nil {
+		arrive, err := g.net.SendTimed(t, dest, r, deleteMsg{key: k}, cur.at)
+		if err != nil {
 			errs = append(errs, err)
 			continue
 		}
+		if arrive > end {
+			end = arrive
+		}
 		g.peers[r].localDelete(k, match)
 	}
+	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return deleted, errors.Join(errs...)
 }

@@ -5,22 +5,61 @@
 // written in Java [that] works on shared memory", measuring the number of
 // messages and the transferred data volume. This package reproduces that
 // substrate: peers are in-process objects, and every logical network message
-// is routed through Network.Send, which performs the accounting (global
+// is routed through a Fabric's Send, which performs the accounting (global
 // collector plus an optional per-query tally) and applies failure injection.
-// Delivery itself is a direct function call on the calling goroutine, exactly
-// as in a shared-memory simulator.
+//
+// Two fabrics implement the sending surface:
+//
+//   - *Network (this package) is the paper's simulator: delivery is a direct
+//     function call on the calling goroutine and logically parallel query
+//     branches execute serially (Fanout chains them), so simulated latency
+//     accumulates along the whole execution.
+//   - asyncnet.Net wraps a *Network and executes fan-out branches on
+//     concurrent goroutines, so sibling branches share their fork time and
+//     simulated latency follows the critical path.
+//
+// Virtual time is pure arithmetic threaded through the call structure:
+// SendTimed maps a departure time to an arrival time using the configured
+// latency model, and Fanout defines whether sibling branches chain (serial)
+// or overlap (concurrent). The same overlay code therefore measures both
+// execution models without change.
 package simnet
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 )
 
 // NodeID identifies a simulated peer. IDs are dense, starting at 0.
 type NodeID int
+
+// VTime is a point in simulated time, in microseconds. It is an int64 so the
+// metrics package can fold it without importing simnet.
+type VTime int64
+
+// VTimeOf converts a wall-clock duration to virtual time.
+func VTimeOf(d time.Duration) VTime { return VTime(d / time.Microsecond) }
+
+// Duration converts virtual time back to a duration.
+func (v VTime) Duration() time.Duration { return time.Duration(v) * time.Microsecond }
+
+// String renders virtual time in milliseconds.
+func (v VTime) String() string { return fmt.Sprintf("%.2fms", float64(v)/1000) }
+
+// Splitmix64 is the SplitMix64 finalizer: the shared stateless hash behind
+// randomized-but-deterministic choices (routing-reference selection in pgrid,
+// per-link latency draws in asyncnet). Keeping one copy keeps routing and
+// latency determinism in sync.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 // Message is the unit of network traffic. Size must report the serialized
 // payload size in bytes (the paper's "data volume"); Kind labels the message
@@ -44,16 +83,55 @@ type TraceEvent struct {
 	Err      error
 }
 
-// Network is the message fabric. It owns the global metrics collector and the
-// failure set. It is safe for concurrent use.
+// LatencyFunc models the propagation delay of one message. It must be safe
+// for concurrent use and deterministic in its arguments so sync and async
+// runs of the same workload observe identical per-message delays
+// (asyncnet.LatencyModel provides seeded implementations).
+type LatencyFunc func(from, to NodeID, size int) VTime
+
+// Fabric is the message-sending surface the overlay is written against. Both
+// the synchronous shared-memory simulator (*Network) and the concurrent
+// asynchronous runtime (asyncnet.Net) implement it, so pgrid, ops and plan
+// run unchanged under either execution model.
+type Fabric interface {
+	// Size reports the number of registered nodes.
+	Size() int
+	// Grow raises the node count (used when peers join after construction).
+	Grow(total int)
+	// IsDown reports the failure status of a node.
+	IsDown(id NodeID) bool
+	// SetDown marks a node failed or healthy.
+	SetDown(id NodeID, down bool)
+	// Collector exposes the global accounting.
+	Collector() *metrics.Collector
+	// Send accounts for one message from -> to without timing.
+	Send(t *metrics.Tally, from, to NodeID, m Message) error
+	// SendTimed accounts for one message departing at the given virtual
+	// time and returns its arrival time at the destination.
+	SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart VTime) (VTime, error)
+	// Fanout executes branches logically starting at start and returns the
+	// completion time of the whole group. The serial fabric runs branch i+1
+	// only after branch i completes (its start is the predecessor's end);
+	// the concurrent fabric starts every branch at start on its own
+	// goroutine and returns the maximum end. Each branch must return its
+	// own completion time (>= its start).
+	Fanout(start VTime, branches int, run func(i int, start VTime) VTime) VTime
+}
+
+// Network is the synchronous message fabric. It owns the global metrics
+// collector and the failure set. It is safe for concurrent use.
 type Network struct {
-	mu     sync.RWMutex
-	nodes  int
-	down   map[NodeID]bool
-	tracer func(TraceEvent)
+	mu      sync.RWMutex
+	nodes   int
+	down    map[NodeID]bool
+	tracer  func(TraceEvent)
+	latency LatencyFunc
 
 	collector *metrics.Collector
 }
+
+// Network implements Fabric.
+var _ Fabric = (*Network)(nil)
 
 // New returns a network expecting the given number of nodes (IDs 0..n-1).
 func New(n int) *Network {
@@ -90,6 +168,22 @@ func (n *Network) SetTracer(fn func(TraceEvent)) {
 	n.tracer = fn
 }
 
+// SetLatency installs the propagation-delay model used by SendTimed. Pass
+// nil for the paper's cost model, in which messages are instantaneous and
+// only counted.
+func (n *Network) SetLatency(fn LatencyFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = fn
+}
+
+// Latency returns the installed propagation-delay model (nil when unset).
+func (n *Network) Latency() LatencyFunc {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.latency
+}
+
 // SetDown marks a node failed (true) or healthy (false). Sends to a failed
 // node return ErrNodeDown without being counted as delivered; the overlay is
 // expected to retry via replicas, which the paper attributes to P-Grid's
@@ -121,14 +215,23 @@ func (n *Network) DownCount() int {
 // Send accounts for one message from -> to. If tally is non-nil the message
 // is also added to the per-query tally. Local work (from == to) is free, as
 // in the paper's cost model: only overlay messages count.
-func (n *Network) Send(tally *metrics.Tally, from, to NodeID, m Message) error {
+func (n *Network) Send(t *metrics.Tally, from, to NodeID, m Message) error {
+	_, err := n.SendTimed(t, from, to, m, 0)
+	return err
+}
+
+// SendTimed accounts for one message departing at the given virtual time and
+// returns its arrival time: depart plus the modelled propagation delay (zero
+// without a latency model, and for local work).
+func (n *Network) SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart VTime) (VTime, error) {
 	if from == to {
-		return nil
+		return depart, nil
 	}
 	n.mu.RLock()
 	nodes := n.nodes
 	downTo := n.down[to]
 	tracer := n.tracer
+	latency := n.latency
 	n.mu.RUnlock()
 
 	var err error
@@ -142,11 +245,29 @@ func (n *Network) Send(tally *metrics.Tally, from, to NodeID, m Message) error {
 		tracer(TraceEvent{From: from, To: to, Msg: m, Err: err})
 	}
 	if err != nil {
-		return err
+		return depart, err
 	}
-	n.collector.Record(m.Kind(), m.Size())
-	if tally != nil {
-		tally.Add(m.Size())
+	size := m.Size()
+	n.collector.Record(m.Kind(), size)
+	if t != nil {
+		t.Add(size)
 	}
-	return nil
+	arrive := depart
+	if latency != nil {
+		arrive += latency(from, to, size)
+	}
+	return arrive, nil
+}
+
+// Fanout runs the branches serially, chaining their virtual times: branch
+// i+1 departs when branch i has completed, reproducing the single-threaded
+// execution of the paper's shared-memory simulator.
+func (n *Network) Fanout(start VTime, branches int, run func(i int, start VTime) VTime) VTime {
+	cur := start
+	for i := 0; i < branches; i++ {
+		if end := run(i, cur); end > cur {
+			cur = end
+		}
+	}
+	return cur
 }
