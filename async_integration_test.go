@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/ops"
+	"repro/internal/pgrid"
 	"repro/internal/simnet"
 	"repro/internal/strdist"
 )
@@ -271,6 +273,117 @@ func TestAsyncQueriesTolerateChurn(t *testing.T) {
 	churner.Wait()
 	if okCount < 18 {
 		t.Errorf("only %d/36 churned queries found their needle", okCount)
+	}
+}
+
+// TestMembershipChurnDuringSimilarityQueries runs the paper's operators —
+// similarity search, string top-N and batched multicast underneath — on the
+// concurrent runtime while another goroutine performs real structural churn
+// through the engine: Join, graceful Leave and RefreshRefs, each published as
+// a grid epoch. Unlike crash churn, graceful membership churn never destroys
+// data, and every query reads one consistent epoch, so results must match the
+// brute-force oracle exactly; any error fails the test.
+func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
+	const peers = 48
+	corpus := dataset.BibleWords(250, 41)
+	cfg := core.Config{Peers: peers, Async: true, Latency: asyncnet.DefaultLatency(6)}
+	cfg.Grid.Replication = 2
+	cfg.Grid.RefsPerLevel = 3
+	cfg.Grid.MaxDepth = 64
+	cfg.Grid.Seed = 1
+	eng, err := core.Open(dataset.StringTuples("word", "o", corpus), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(needle string, d int) int {
+		n := 0
+		for _, w := range corpus {
+			if strdist.WithinDistance(needle, w, d) {
+				n++
+			}
+		}
+		return n
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(55))
+		var joined []simnet.NodeID
+		for op := 0; op < 60; op++ {
+			if len(joined) > 0 && rng.Intn(2) == 0 {
+				idx := rng.Intn(len(joined))
+				// Sole owners must stay; any other Leave error is a bug.
+				switch err := eng.Leave(joined[idx]); {
+				case err == nil:
+					joined = append(joined[:idx], joined[idx+1:]...)
+				case !errors.Is(err, pgrid.ErrSoleOwner):
+					t.Errorf("Leave: %v", err)
+					return
+				}
+			} else {
+				id, _, err := eng.Join()
+				if err != nil {
+					t.Errorf("Join: %v", err)
+					return
+				}
+				joined = append(joined, id)
+			}
+			if op%8 == 0 {
+				eng.RefreshRefs()
+			}
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				needle := corpus[rng.Intn(len(corpus))]
+				from := simnet.NodeID(rng.Intn(peers)) // original peers never leave
+				d := 1 + rng.Intn(2)
+				ms, err := eng.Store().Similar(nil, from, needle, "word", d, ops.SimilarOptions{})
+				if err != nil {
+					t.Errorf("worker %d: Similar(%q,%d): %v", w, needle, d, err)
+					return
+				}
+				if len(ms) != oracle(needle, d) {
+					t.Errorf("worker %d: Similar(%q,%d) = %d matches, oracle %d",
+						w, needle, d, len(ms), oracle(needle, d))
+					return
+				}
+				top, err := eng.Store().TopNString(nil, from, "word", needle, 3, 2, ops.TopNOptions{})
+				if err != nil {
+					t.Errorf("worker %d: TopNString(%q): %v", w, needle, err)
+					return
+				}
+				if len(top) == 0 || top[0].Matched != needle {
+					t.Errorf("worker %d: TopNString(%q) best = %+v, want the needle itself", w, needle, top)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if eng.Net().DownCount() != 0 {
+		t.Errorf("membership churn marked %d peers down (DownCount counts crashes only)", eng.Net().DownCount())
+	}
+	if eng.Grid().DepartedCount() == 0 {
+		t.Error("no departures recorded despite graceful leaves")
+	}
+	if eng.Grid().PeerCount() <= peers {
+		t.Errorf("peer id space %d did not grow despite joins", eng.Grid().PeerCount())
 	}
 }
 

@@ -10,19 +10,27 @@
 //
 // Both runtimes report messages, data volume, hop counts and simulated
 // per-query latency (per the -latency-dist model), so sync and async runs
-// are directly comparable. With -churn-rate, peer failures and recoveries
-// are scheduled between query initiations on the virtual timeline of the
-// asyncnet discrete-event runtime. With -validate it additionally measures
-// routing cost against the paper's Section 2 claim that expected search cost
-// is ~0.5*log2(N) messages (experiment E2).
+// are directly comparable. With -churn-rate, churn events are scheduled
+// between query initiations on the virtual timeline of the asyncnet
+// discrete-event runtime; -churn-mode selects what an event does:
+//
+//   - crash (default): toggle peers down/up through the failure set,
+//   - membership: perform real structural churn — graceful Leave of a random
+//     peer or Join of a new one — published as grid epochs while queries run.
+//
+// With -validate it additionally measures routing cost against the paper's
+// Section 2 claim that expected search cost is ~0.5*log2(N) messages
+// (experiment E2).
 //
 // Usage:
 //
 //	gridsim -peers 256 -items 20000 -async -latency-dist uniform:10ms-100ms
+//	gridsim -peers 256 -items 20000 -async -churn-rate 2 -churn-mode membership
 //	gridsim -peers 100,1000,10000 -items 20000 -validate -mix 0
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,6 +45,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/ops"
+	"repro/internal/pgrid"
 	"repro/internal/simnet"
 )
 
@@ -53,7 +62,9 @@ func main() {
 		latDist = flag.String("latency-dist", "uniform:10ms-100ms",
 			"per-link latency distribution: none, fixed:25ms, uniform:10ms-100ms, lognormal:20ms,0.5")
 		churn = flag.Float64("churn-rate", 0,
-			"peer failures per simulated second, scheduled on the virtual timeline (0 = none)")
+			"churn events per simulated second, scheduled on the virtual timeline (0 = none)")
+		churnMode = flag.String("churn-mode", "crash",
+			"what a churn event does: crash (toggle failure flags) or membership (real Join/Leave)")
 		mixes  = flag.Int("mix", 8, "query-mix initiations per size (0 = skip the workload)")
 		method = flag.String("method", "qgrams", "similarity method: qgrams, qsamples, strings")
 	)
@@ -66,6 +77,9 @@ func main() {
 	m, err := parseMethod(*method)
 	if err != nil {
 		fatal(err)
+	}
+	if *churnMode != "crash" && *churnMode != "membership" {
+		fatal(fmt.Errorf("unknown churn mode %q (want crash or membership)", *churnMode))
 	}
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
 	if err != nil {
@@ -83,8 +97,8 @@ func main() {
 		if latency != nil {
 			lat = latency.String()
 		}
-		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s (%d mix initiations)\n\n",
-			runtime, m, lat, *churn, *mixes)
+		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s (%d mix initiations)\n\n",
+			runtime, m, lat, *churn, *churnMode, *mixes)
 	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part")
@@ -105,7 +119,7 @@ func main() {
 			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
 			s.AvgRefs, s.StoredItems, s.MaxLeafItems)
 		if *mixes > 0 {
-			if err := runWorkload(eng, corpus, m, *mixes, *seed, *churn); err != nil {
+			if err := runWorkload(eng, corpus, m, *mixes, *seed, *churn, *churnMode); err != nil {
 				fatal(fmt.Errorf("workload at %d peers: %w", n, err))
 			}
 			fmt.Println()
@@ -138,24 +152,58 @@ type churnEvent struct{}
 func (churnEvent) Size() int    { return 0 }
 func (churnEvent) Kind() string { return "driver.churn" }
 
+// tolerableChurnErr reports whether every error in err's tree is an expected
+// consequence of churn: a partition transiently unreachable, routing running
+// out of live references, a message hitting a crashed peer, or a query
+// initiated at a departed slot. Anything else (parse failures, invariant
+// violations, planner bugs) must still abort the workload — churn is not a
+// reason to swallow every error.
+func tolerableChurnErr(err error) bool {
+	if err == nil {
+		return true
+	}
+	if multi, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, sub := range multi.Unwrap() {
+			if !tolerableChurnErr(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	switch err {
+	case pgrid.ErrUnreachable, pgrid.ErrRoutingExhausted, pgrid.ErrNoLiveHost,
+		pgrid.ErrDeparted, simnet.ErrNodeDown:
+		return true
+	}
+	if sub := errors.Unwrap(err); sub != nil {
+		return tolerableChurnErr(sub)
+	}
+	return false
+}
+
 // runWorkload executes the query mix on one engine and prints the summary
 // table. Queries and churn are interleaved deterministically by scheduling
 // them as events of an asyncnet.Runtime: each mix initiation runs at its
-// virtual instant, and churn events toggle random peers down/up (followed by
-// a routing-table refresh) between initiations.
-func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, seed int64, churnRate float64) error {
+// virtual instant, and churn events run between initiations. In crash mode a
+// churn event toggles a random peer down/up through the failure set; in
+// membership mode it performs real structural churn — a graceful Leave of a
+// random peer or a Join of a new one, each published as a grid epoch while
+// queries execute. Both modes refresh routing tables afterwards, as a
+// self-organizing P-Grid continuously does.
+func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, seed int64, churnRate float64, churnMode string) error {
 	w := bench.QueryMix()
 	w.Repeats = 1
 	col := eng.Net().Collector()
 	col.Reset()
 
 	var (
-		totals   metrics.Tally
-		queries  int
-		failed   int
-		toggles  int
-		runErr   error
-		downList []simnet.NodeID
+		totals        metrics.Tally
+		queries       int
+		failed        int
+		toggles       int
+		joins, leaves int
+		runErr        error
+		downList      []simnet.NodeID
 	)
 	rng := rand.New(rand.NewSource(seed))
 	observe := func(qt metrics.Tally) {
@@ -172,27 +220,62 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 			round := ev.Msg.(mixEvent).round
 			if _, err := bench.RunMixObserved(eng, "word", corpus, w, m,
 				seed+int64(round), observe); err != nil {
-				failed++
-				if runErr == nil {
+				// Under churn, unreachability-class failures are expected and
+				// only counted; any other error class still aborts.
+				if churnRate > 0 && tolerableChurnErr(err) {
+					failed++
+				} else if runErr == nil {
 					runErr = err
 				}
 			}
 		case churnEvent:
 			toggles++
-			// Revive the longest-failed peer once a few are down, otherwise
-			// fail a random live one; refresh routing tables afterwards, as
-			// a self-organizing P-Grid continuously does.
-			if len(downList) >= 3 {
-				eng.Net().SetDown(downList[0], false)
-				downList = downList[1:]
-			} else {
-				id := simnet.NodeID(rng.Intn(eng.Grid().PeerCount()))
-				if !eng.Net().IsDown(id) {
-					eng.Net().SetDown(id, true)
-					downList = append(downList, id)
+			switch churnMode {
+			case "membership":
+				// Half the events remove a random peer gracefully (skipping
+				// sole owners and already-departed slots), half add a fresh
+				// one — the sustained-churn regime of the NearBucket-LSH and
+				// image-similarity P2P evaluations. Only those two expected
+				// refusals are skipped; any other membership error is an
+				// invariant violation and aborts the run.
+				if rng.Intn(2) == 0 {
+					// RandomPeer skips tombstones, so the leave rate does not
+					// decay as departures accumulate in the id space.
+					id := eng.Grid().RandomPeer()
+					switch err := eng.Leave(id); {
+					case err == nil:
+						leaves++
+					case errors.Is(err, pgrid.ErrSoleOwner), errors.Is(err, pgrid.ErrDeparted):
+						// Sole owners must stay; tombstones cannot leave twice.
+					default:
+						if runErr == nil {
+							runErr = fmt.Errorf("churn leave(%d): %w", id, err)
+						}
+					}
+				} else {
+					if _, _, err := eng.Join(); err == nil {
+						joins++
+					} else if runErr == nil {
+						// Without crash injection every partition has a live
+						// host, so a failed join is always a bug.
+						runErr = fmt.Errorf("churn join: %w", err)
+					}
+				}
+			default: // crash
+				// Revive the longest-failed peer once a few are down,
+				// otherwise fail a random live one.
+				if len(downList) >= 3 {
+					eng.Net().SetDown(downList[0], false)
+					downList = downList[1:]
+				} else {
+					id := simnet.NodeID(rng.Intn(eng.Grid().PeerCount()))
+					if !eng.Net().IsDown(id) {
+						eng.Net().SetDown(id, true)
+						downList = append(downList, id)
+					}
 				}
 			}
-			eng.Grid().RefreshRefs()
+			eng.RefreshRefs()
 		}
 	})
 
@@ -219,13 +302,14 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 	rt.Run()
 	wall := time.Since(startWall)
 
-	// Failed mixes under churn are expected (partitions can be temporarily
-	// unreachable); report them rather than aborting.
-	if runErr != nil && churnRate == 0 {
+	// Tolerable failures under churn were counted above; anything in runErr
+	// is a real error and aborts the sweep.
+	if runErr != nil {
 		return runErr
 	}
-	fmt.Printf("peers=%d queries=%d failed-mixes=%d churn-toggles=%d down-now=%d\n",
-		eng.Grid().PeerCount(), queries, failed, toggles, eng.Net().DownCount())
+	fmt.Printf("peers=%d queries=%d failed-mixes=%d churn-events=%d joins=%d leaves=%d down-now=%d departed=%d\n",
+		eng.Grid().LiveCount(), queries, failed, toggles, joins, leaves,
+		eng.Net().DownCount(), eng.Grid().DepartedCount())
 	if queries > 0 {
 		fmt.Printf("messages: total=%d mean/query=%.1f\n", totals.Messages, float64(totals.Messages)/float64(queries))
 		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))

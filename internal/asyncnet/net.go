@@ -16,8 +16,11 @@ import (
 //
 // Overlay state read by concurrent branches (peer stores, the failure set,
 // routing tables, per-query tallies) must be race-safe; the pgrid and ops
-// packages guarantee this for query paths. Mutating operations (Join, Leave,
-// RefreshRefs) are not safe concurrently with queries on either fabric.
+// packages guarantee this for query paths, and pgrid's epoch-snapshot
+// membership state makes structural churn (Join, Leave, RefreshRefs) safe
+// concurrently with queries on either fabric: each query reads one published
+// immutable epoch while membership operations build and atomically publish
+// the next.
 type Net struct {
 	*simnet.Network
 

@@ -330,7 +330,19 @@ func RunMixObserved(eng *core.Engine, attr string, corpus []string, w Workload,
 
 	w.normalize()
 	rng := newRand(seed)
-	peers := eng.Grid().PeerCount()
+	grid := eng.Grid()
+	peers := grid.PeerCount()
+	// The id space includes tombstones of departed peers (ids are never
+	// reused); redraw so the initiator is always a current member — a real
+	// client would not issue queries from a peer that left the overlay.
+	initiator := func() simnet.NodeID {
+		for {
+			id := simnet.NodeID(rng.Intn(peers))
+			if _, err := grid.Peer(id); err == nil {
+				return id
+			}
+		}
+	}
 	opts := ops.SimilarOptions{Method: method, NoShortFallback: !w.Exact}
 	var total metrics.Tally
 	done := func(qt *metrics.Tally) {
@@ -341,7 +353,7 @@ func RunMixObserved(eng *core.Engine, attr string, corpus []string, w Workload,
 	}
 	for _, n := range w.TopNs {
 		needle := corpus[rng.Intn(len(corpus))]
-		from := simnet.NodeID(rng.Intn(peers))
+		from := initiator()
 		var qt metrics.Tally
 		if _, err := eng.Store().TopNString(&qt, from, attr, needle, n, w.MaxDist,
 			ops.TopNOptions{Similar: opts}); err != nil {
@@ -350,7 +362,7 @@ func RunMixObserved(eng *core.Engine, attr string, corpus []string, w Workload,
 		done(&qt)
 	}
 	for _, d := range w.JoinDists {
-		from := simnet.NodeID(rng.Intn(peers))
+		from := initiator()
 		var qt metrics.Tally
 		if _, err := eng.Store().SimJoin(&qt, from, attr, attr, d,
 			ops.JoinOptions{Similar: opts, LeftLimit: w.JoinLeftLimit}); err != nil {

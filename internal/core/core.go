@@ -13,7 +13,9 @@
 //	res, err := eng.Query(`SELECT ?n WHERE { (?o,name,?n)
 //	                       FILTER (dist(?n,'BMW') < 2) }`)
 //
-// The engine is safe for concurrent queries; loading happens in Open.
+// The engine is safe for concurrent queries, and — via pgrid's epoch-snapshot
+// membership state — for structural churn (Join, Leave, RefreshRefs) while
+// queries run; loading happens in Open.
 package core
 
 import (
@@ -198,9 +200,10 @@ func (e *Engine) Delete(tr triples.Triple) error {
 }
 
 // Join adds a new peer to the running overlay (P-Grid's self-organizing
-// construction): the newcomer either splits the most loaded partition or
-// becomes a further replica. Handover messages are accounted on the returned
-// tally.
+// construction): the newcomer either splits the most loaded partition with a
+// live member or becomes a further replica. Handover messages are accounted
+// on the returned tally. Safe concurrently with queries: the membership
+// change is published as a new grid epoch.
 func (e *Engine) Join() (simnet.NodeID, metrics.Tally, error) {
 	var tally metrics.Tally
 	id, err := e.grid.Join(&tally)
@@ -208,9 +211,19 @@ func (e *Engine) Join() (simnet.NodeID, metrics.Tally, error) {
 }
 
 // Leave removes a peer gracefully; its partition must keep at least one
-// member (crash failures are injected via Net().SetDown instead).
+// member (crash failures are injected via Net().SetDown instead). The
+// departed slot is tombstoned in the next grid epoch — it is not counted by
+// Net().DownCount(), which tracks crashes only. Safe concurrently with
+// queries.
 func (e *Engine) Leave(id simnet.NodeID) error {
 	return e.grid.Leave(nil, id)
+}
+
+// RefreshRefs repairs routing references that point at crashed or departed
+// peers, publishing the repair as a new grid epoch. It returns the number of
+// reference levels changed. Safe concurrently with queries.
+func (e *Engine) RefreshRefs() int {
+	return e.grid.RefreshRefs()
 }
 
 // Stats aggregates overlay and storage statistics.

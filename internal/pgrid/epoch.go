@@ -1,0 +1,188 @@
+package pgrid
+
+// Epoch-snapshot membership state.
+//
+// The grid's structural state — which peers exist, the leaf table of
+// key-space partitions, every peer's trie path, routing references and
+// replica links — is packaged into an immutable view and published through an
+// atomic pointer. Query paths load one view at operation start and read it
+// for the whole operation, so a similarity query, shower multicast or routed
+// lookup always observes a complete, consistent trie even while peers join
+// and leave. Membership operations (Join, Leave, RefreshRefs) serialize on
+// Grid.memberMu, build the next view by cloning only what they change
+// (copy-on-write), and publish it atomically.
+//
+// Peer stores are the one piece of state shared *across* epochs: two versions
+// of the same live peer alias one peerStore (so runtime inserts and deletes
+// are visible regardless of epoch), while operations that transfer data
+// ownership — a partition split, a replica handover — give the affected peer
+// versions fresh stores. A query running on the previous epoch therefore
+// keeps reading the previous owner's untouched store: graceful departure and
+// splitting behave like a drain, where the old owner keeps serving in-flight
+// queries until their snapshots are released. The known trade-off is that an
+// Insert racing with a split of the same partition follows the epoch it
+// observed and may land in the pre-split store only; queries are always
+// consistent within their snapshot.
+//
+// Departed peers are tombstoned: the slot in view.peers becomes nil, the id
+// disappears from leaf tables, replica lists and (via repair) routing
+// references, and it is never reported down on the network — DownCount counts
+// crashes only, so churn reports can distinguish departed from crashed.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/simnet"
+)
+
+// Epoch errors.
+var (
+	// ErrDeparted marks an id whose peer has gracefully left the overlay.
+	ErrDeparted = errors.New("pgrid: peer has departed")
+	// ErrNoLiveHost is returned when a membership operation needs a live peer
+	// (e.g. a join handover source) and every candidate is down.
+	ErrNoLiveHost = errors.New("pgrid: no live peer to host the operation")
+)
+
+// view is one immutable epoch of the grid's structural state. Everything
+// reachable from a view (leaf table, peer paths, refs, replica lists) is
+// frozen at publish time; only the peer stores' contents evolve.
+type view struct {
+	epoch    uint64
+	peers    []*Peer // dense by NodeID; nil tombstones mark departed slots
+	leaves   []leafInfo
+	departed int
+}
+
+// clone returns a mutable successor of v for an epoch builder: the top-level
+// slices are copied so the published view is never written to, while the
+// *Peer values and leafInfo.peers slices stay shared until a copy-on-write
+// helper replaces them.
+func (v *view) clone() *view {
+	return &view{
+		epoch:    v.epoch + 1,
+		peers:    append([]*Peer(nil), v.peers...),
+		leaves:   append([]leafInfo(nil), v.leaves...),
+		departed: v.departed,
+	}
+}
+
+// peer returns the peer with the given id in this epoch.
+func (v *view) peer(id simnet.NodeID) (*Peer, error) {
+	if int(id) < 0 || int(id) >= len(v.peers) {
+		return nil, fmt.Errorf("pgrid: no peer %d", id)
+	}
+	if v.peers[id] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrDeparted, id)
+	}
+	return v.peers[id], nil
+}
+
+// member reports whether id names a peer of this epoch (not tombstoned).
+func (v *view) member(id simnet.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(v.peers) && v.peers[id] != nil
+}
+
+// leafRange returns the half-open index range of leaves whose path has the
+// given prefix.
+func (v *view) leafRange(prefix keys.Key) (int, int) {
+	lo := sort.Search(len(v.leaves), func(i int) bool {
+		return v.leaves[i].path.Compare(prefix) >= 0
+	})
+	hi := sort.Search(len(v.leaves), func(i int) bool {
+		return v.leaves[i].path.Compare(prefix) > 0 && !v.leaves[i].path.HasPrefix(prefix)
+	})
+	return lo, hi
+}
+
+// leafForHashed returns the index of the leaf responsible for a hashed key:
+// the single leaf whose path is a prefix of it, or, if the hashed key is
+// shorter than the trie at that point, the first leaf below it.
+func (v *view) leafForHashed(hk keys.Key) int {
+	lo, hi := v.leafRange(hk)
+	if lo < hi {
+		return lo
+	}
+	// hk extends some leaf path: the leaf with the longest path that is a
+	// prefix of hk sorts immediately at or before hk.
+	i := sort.Search(len(v.leaves), func(i int) bool {
+		return v.leaves[i].path.Compare(hk) > 0
+	})
+	if i > 0 && hk.HasPrefix(v.leaves[i-1].path) {
+		return i - 1
+	}
+	return -1
+}
+
+// leafIndexForPath finds the leaf with exactly the given path.
+func (v *view) leafIndexForPath(path keys.Key) int {
+	i := sort.Search(len(v.leaves), func(i int) bool {
+		return v.leaves[i].path.Compare(path) >= 0
+	})
+	if i < len(v.leaves) && v.leaves[i].path.Equal(path) {
+		return i
+	}
+	return -1
+}
+
+// leavesByLoad returns the leaf indices ordered by descending average load
+// per member, the order in which a joining peer should try partitions.
+func (v *view) leavesByLoad() []int {
+	loads := make([]int, len(v.leaves))
+	order := make([]int, len(v.leaves))
+	for i := range v.leaves {
+		load := 0
+		for _, id := range v.leaves[i].peers {
+			load += v.peers[id].StoreLen()
+		}
+		// Average per member: a partition with many replicas is fine.
+		loads[i] = load / len(v.leaves[i].peers)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	return order
+}
+
+// cloneForEpoch returns a copy-on-write successor of p for the next epoch:
+// refs and replicas are deep-copied (the builder will mutate them), while the
+// store is aliased so data written through either version stays shared.
+func (p *Peer) cloneForEpoch() *Peer {
+	q := &Peer{id: p.id, path: p.path, store: p.store}
+	q.refs = make([][]simnet.NodeID, len(p.refs))
+	for l := range p.refs {
+		q.refs[l] = append([]simnet.NodeID(nil), p.refs[l]...)
+	}
+	q.replicas = append([]simnet.NodeID(nil), p.replicas...)
+	return q
+}
+
+// snapshot returns the currently published epoch. Query paths call it once
+// per operation and thread the view through, so one operation never mixes
+// epochs.
+func (g *Grid) snapshot() *view { return g.cur.Load() }
+
+// publish installs the next epoch. Callers must hold g.memberMu.
+func (g *Grid) publish(v *view) { g.cur.Store(v) }
+
+// Epoch reports the current membership epoch, incremented by every published
+// structural change (Join, Leave, effective RefreshRefs).
+func (g *Grid) Epoch() uint64 { return g.snapshot().epoch }
+
+// DepartedCount reports how many peers have gracefully left the overlay.
+// Crashed peers are counted by the fabric's DownCount instead.
+func (g *Grid) DepartedCount() int { return g.snapshot().departed }
+
+// removeIDCopy returns ids without id, always in a fresh slice so published
+// epochs are never mutated in place.
+func removeIDCopy(ids []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(ids))
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

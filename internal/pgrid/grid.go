@@ -15,15 +15,21 @@
 // the data regardless of key skew — the property Section 6 of the paper
 // relies on ("we achieve a reasonable uniform distribution of data items
 // among peers regardless of the actual data distribution").
+//
+// Structural state is published in immutable epochs (see epoch.go): queries
+// snapshot one epoch and run against it, while Join, Leave and RefreshRefs
+// build and atomically publish the next one. Structural churn is therefore
+// safe concurrently with queries on both the serial and the concurrent
+// fabric.
 package pgrid
 
 import (
 	"container/heap"
 	"errors"
-	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/keys"
@@ -74,8 +80,30 @@ func (c *Config) normalize() {
 	}
 }
 
+// peerStore is the mutable local store of one logical peer. It is shared by
+// every epoch version of that peer (so runtime inserts are visible across
+// epochs) and replaced wholesale when data ownership changes (partition
+// split, replica handover) — old epochs then keep reading the previous
+// owner's untouched store.
+type peerStore struct {
+	mu sync.RWMutex
+	t  *btree.Tree[triples.Posting]
+}
+
+// newPeerStore materializes a store from a snapshot (empty snapshot = empty
+// store).
+func newPeerStore(s postingSet) *peerStore {
+	t := btree.New[triples.Posting]()
+	for i := range s.keys {
+		t.Insert(s.keys[i], s.postings[i])
+	}
+	return &peerStore{t: t}
+}
+
 // Peer is one simulated node: a trie leaf assignment, a routing table, and a
-// local ordered store of postings.
+// local ordered store of postings. A Peer value is immutable once its epoch
+// is published — membership changes produce new versions via cloneForEpoch —
+// except for the store contents, which are guarded by the shared peerStore.
 type Peer struct {
 	id   simnet.NodeID
 	path keys.Key
@@ -87,8 +115,7 @@ type Peer struct {
 	// (sigma(p) in the paper).
 	replicas []simnet.NodeID
 
-	mu    sync.RWMutex
-	store *btree.Tree[triples.Posting]
+	store *peerStore
 }
 
 // ID returns the peer's node id.
@@ -109,21 +136,21 @@ func (p *Peer) Responsible(k keys.Key) bool {
 
 // StoreLen reports the number of postings held locally.
 func (p *Peer) StoreLen() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.store.Len()
+	p.store.mu.RLock()
+	defer p.store.mu.RUnlock()
+	return p.store.t.Len()
 }
 
 func (p *Peer) localPut(k keys.Key, posting triples.Posting) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.store.Insert(k, posting)
+	p.store.mu.Lock()
+	defer p.store.mu.Unlock()
+	p.store.t.Insert(k, posting)
 }
 
 func (p *Peer) localDelete(k keys.Key, match func(triples.Posting) bool) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.store.DeleteFunc(k, match)
+	p.store.mu.Lock()
+	defer p.store.mu.Unlock()
+	return p.store.t.DeleteFunc(k, match)
 }
 
 // LocalPrefix returns the peer's local postings whose key extends k, without
@@ -134,10 +161,10 @@ func (p *Peer) LocalPrefix(k keys.Key) []triples.Posting { return p.localPrefix(
 // localPrefix returns postings whose key extends k (Algorithm 1, line 2:
 // {d in delta(p) | key(d) contains key as prefix}).
 func (p *Peer) localPrefix(k keys.Key) []triples.Posting {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	p.store.mu.RLock()
+	defer p.store.mu.RUnlock()
 	var out []triples.Posting
-	p.store.AscendPrefix(k, func(_ keys.Key, v triples.Posting) bool {
+	p.store.t.AscendPrefix(k, func(_ keys.Key, v triples.Posting) bool {
 		out = append(out, v)
 		return true
 	})
@@ -154,10 +181,10 @@ type postingSet struct {
 
 // allPostings snapshots the peer's whole store.
 func (p *Peer) allPostings() postingSet {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	p.store.mu.RLock()
+	defer p.store.mu.RUnlock()
 	var s postingSet
-	p.store.Ascend(func(k keys.Key, v triples.Posting) bool {
+	p.store.t.Ascend(func(k keys.Key, v triples.Posting) bool {
 		s.keys = append(s.keys, k)
 		s.postings = append(s.postings, v)
 		s.size++
@@ -166,24 +193,13 @@ func (p *Peer) allPostings() postingSet {
 	return s
 }
 
-// adoptStore replaces the peer's store contents with the snapshot.
-func (p *Peer) adoptStore(s postingSet) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t := btree.New[triples.Posting]()
-	for i := range s.keys {
-		t.Insert(s.keys[i], s.postings[i])
-	}
-	p.store = t
-}
-
 // partitionByHashedBit splits the peer's store by the given bit of the hashed
 // key: entries with the bit set form `moved` (the 1-side a splitting joiner
 // takes over), the rest `kept`.
 func (p *Peer) partitionByHashedBit(h *hasher, level int) (moved, kept postingSet) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	p.store.Ascend(func(k keys.Key, v triples.Posting) bool {
+	p.store.mu.RLock()
+	defer p.store.mu.RUnlock()
+	p.store.t.Ascend(func(k keys.Key, v triples.Posting) bool {
 		hk := h.hash(k)
 		dst := &kept
 		if hk.Len() > level && hk.Bit(level) == 1 {
@@ -199,10 +215,10 @@ func (p *Peer) partitionByHashedBit(h *hasher, level int) (moved, kept postingSe
 
 // localRange returns postings inside the interval, optionally filtered.
 func (p *Peer) localRange(iv keys.Interval, filter func(triples.Posting) bool) []triples.Posting {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	p.store.mu.RLock()
+	defer p.store.mu.RUnlock()
 	var out []triples.Posting
-	p.store.AscendRange(iv, func(_ keys.Key, v triples.Posting) bool {
+	p.store.t.AscendRange(iv, func(_ keys.Key, v triples.Posting) bool {
 		if filter == nil || filter(v) {
 			out = append(out, v)
 		}
@@ -279,12 +295,18 @@ func (h *hasher) hashHiPrefix(k keys.Key) keys.Key {
 // Grid is a fully constructed P-Grid overlay. The net field is the sending
 // surface (simnet.Fabric): the synchronous shared-memory simulator or the
 // concurrent asyncnet runtime — query code is identical under both.
+//
+// Membership state lives in an atomically published epoch (see epoch.go):
+// queries are safe concurrently with Join, Leave and RefreshRefs.
 type Grid struct {
-	net    simnet.Fabric
-	cfg    Config
-	h      *hasher
-	peers  []*Peer
-	leaves []leafInfo // sorted by path
+	net simnet.Fabric
+	cfg Config
+	h   *hasher
+
+	// cur is the published membership epoch read by every query.
+	cur atomic.Pointer[view]
+	// memberMu serializes epoch builders (Join, Leave, RefreshRefs).
+	memberMu sync.Mutex
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -329,14 +351,15 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 	leafPaths := splitTrie(hashed, targetLeaves, cfg.MaxDepth)
 
 	g := &Grid{net: net, cfg: cfg, h: h, rng: rng}
-	g.leaves = make([]leafInfo, len(leafPaths))
+	v := &view{leaves: make([]leafInfo, len(leafPaths))}
 	for i, lp := range leafPaths {
-		g.leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
+		v.leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
 	}
-	sort.Slice(g.leaves, func(i, j int) bool { return g.leaves[i].path.Less(g.leaves[j].path) })
+	sort.Slice(v.leaves, func(i, j int) bool { return v.leaves[i].path.Less(v.leaves[j].path) })
 
-	g.assignPeers(nPeers, rng)
-	g.buildRoutingTables(rng)
+	assignPeers(v, nPeers, rng)
+	g.buildRoutingTables(v, rng)
+	g.publish(v)
 	return g, nil
 }
 
@@ -396,32 +419,33 @@ func splittable(sorted []keys.Key, l buildLeaf, maxDepth int) bool {
 	return !sorted[l.lo].Equal(sorted[l.hi-1])
 }
 
-// assignPeers distributes nPeers over the leaves: one peer per leaf first
-// (the trie must stay complete), then the remainder proportionally to each
-// leaf's data share (hot partitions get more structural replicas).
-func (g *Grid) assignPeers(nPeers int, rng *rand.Rand) {
+// assignPeers distributes nPeers over the leaves of the view under
+// construction: one peer per leaf first (the trie must stay complete), then
+// the remainder proportionally to each leaf's data share (hot partitions get
+// more structural replicas).
+func assignPeers(v *view, nPeers int, rng *rand.Rand) {
 	ids := rng.Perm(nPeers)
-	counts := make([]int, len(g.leaves))
+	counts := make([]int, len(v.leaves))
 	total := 0
-	for i := range g.leaves {
+	for i := range v.leaves {
 		counts[i] = 1
-		total += g.leaves[i].items
+		total += v.leaves[i].items
 	}
-	extra := nPeers - len(g.leaves)
+	extra := nPeers - len(v.leaves)
 	if extra > 0 && total > 0 {
 		assigned := 0
-		for i := range g.leaves {
-			share := extra * g.leaves[i].items / total
+		for i := range v.leaves {
+			share := extra * v.leaves[i].items / total
 			counts[i] += share
 			assigned += share
 		}
 		// Distribute the remainder round-robin over the densest leaves.
-		order := make([]int, len(g.leaves))
+		order := make([]int, len(v.leaves))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			return g.leaves[order[a]].items > g.leaves[order[b]].items
+			return v.leaves[order[a]].items > v.leaves[order[b]].items
 		})
 		for i := 0; assigned < extra; i = (i + 1) % len(order) {
 			counts[order[i]]++
@@ -429,27 +453,27 @@ func (g *Grid) assignPeers(nPeers int, rng *rand.Rand) {
 		}
 	} else if extra > 0 {
 		// No sample data: spread evenly.
-		for i := 0; extra > 0; i = (i + 1) % len(g.leaves) {
+		for i := 0; extra > 0; i = (i + 1) % len(v.leaves) {
 			counts[i]++
 			extra--
 		}
 	}
 
-	g.peers = make([]*Peer, nPeers)
+	v.peers = make([]*Peer, nPeers)
 	next := 0
-	for li := range g.leaves {
+	for li := range v.leaves {
 		for c := 0; c < counts[li]; c++ {
 			id := simnet.NodeID(ids[next])
 			next++
-			p := &Peer{id: id, path: g.leaves[li].path, store: btree.New[triples.Posting]()}
-			g.peers[id] = p
-			g.leaves[li].peers = append(g.leaves[li].peers, id)
+			p := &Peer{id: id, path: v.leaves[li].path, store: newPeerStore(postingSet{})}
+			v.peers[id] = p
+			v.leaves[li].peers = append(v.leaves[li].peers, id)
 		}
 	}
-	for li := range g.leaves {
-		members := g.leaves[li].peers
+	for li := range v.leaves {
+		members := v.leaves[li].peers
 		for _, id := range members {
-			p := g.peers[id]
+			p := v.peers[id]
 			for _, other := range members {
 				if other != id {
 					p.replicas = append(p.replicas, other)
@@ -461,12 +485,12 @@ func (g *Grid) assignPeers(nPeers int, rng *rand.Rand) {
 
 // buildRoutingTables fills rho(p, l) for every peer: RefsPerLevel random
 // peers from the complementary subtrie at each level of the peer's path.
-func (g *Grid) buildRoutingTables(rng *rand.Rand) {
-	for _, p := range g.peers {
+func (g *Grid) buildRoutingTables(v *view, rng *rand.Rand) {
+	for _, p := range v.peers {
 		p.refs = make([][]simnet.NodeID, p.path.Len())
 		for l := 0; l < p.path.Len(); l++ {
 			sibling := p.path.Prefix(l + 1).FlipLast()
-			lo, hi := g.leafRange(sibling)
+			lo, hi := v.leafRange(sibling)
 			if lo >= hi {
 				// Cannot happen in a complete trie; keep the level empty
 				// rather than panicking so a corrupted build surfaces as
@@ -476,7 +500,7 @@ func (g *Grid) buildRoutingTables(rng *rand.Rand) {
 			seen := make(map[simnet.NodeID]bool)
 			want := g.cfg.RefsPerLevel
 			for attempt := 0; attempt < want*4 && len(p.refs[l]) < want; attempt++ {
-				leaf := &g.leaves[lo+rng.Intn(hi-lo)]
+				leaf := &v.leaves[lo+rng.Intn(hi-lo)]
 				id := leaf.peers[rng.Intn(len(leaf.peers))]
 				if !seen[id] {
 					seen[id] = true
@@ -487,42 +511,81 @@ func (g *Grid) buildRoutingTables(rng *rand.Rand) {
 	}
 }
 
-// RefreshRefs replaces routing references that point at failed peers with
-// live peers from the same complementary subtrie, modelling the continuous
-// routing-table maintenance of a self-organizing P-Grid (the redundancy that
-// keeps "the expected search cost ... logarithmic" under churn). It returns
-// the number of references replaced; references whose whole subtrie is down
+// RefreshRefs replaces routing references that point at dead peers (crashed,
+// or departed in the current epoch) with live peers from the same
+// complementary subtrie, modelling the continuous routing-table maintenance
+// of a self-organizing P-Grid (the redundancy that keeps "the expected search
+// cost ... logarithmic" under churn). The repair is built as a new epoch and
+// published atomically, so it is safe while queries run. It returns the
+// number of reference levels changed; references whose whole subtrie is down
 // are left in place.
 func (g *Grid) RefreshRefs() int {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	next := g.snapshot().clone()
+	changed := g.repairRefs(next)
+	if changed > 0 {
+		g.publish(next)
+	}
+	return changed
+}
+
+// repairRefs rewrites, inside the epoch under construction, every routing
+// table that references a dead peer: crashed per the fabric's failure set, or
+// tombstoned in next. Callers hold g.memberMu. Returns the number of levels
+// changed.
+func (g *Grid) repairRefs(next *view) int {
+	dead := func(id simnet.NodeID) bool {
+		return !next.member(id) || g.net.IsDown(id)
+	}
 	changed := 0
-	for _, p := range g.peers {
+	for idx, p := range next.peers {
+		if p == nil {
+			continue
+		}
+		hasDead := false
 		for l := range p.refs {
-			hasDown := false
 			for _, id := range p.refs[l] {
-				if g.net.IsDown(id) {
-					hasDown = true
+				if dead(id) {
+					hasDead = true
 					break
 				}
 			}
-			if !hasDown {
+			if hasDead {
+				break
+			}
+		}
+		if !hasDead {
+			continue
+		}
+		q := p.cloneForEpoch()
+		for l := range q.refs {
+			levelDead := false
+			for _, id := range q.refs[l] {
+				if dead(id) {
+					levelDead = true
+					break
+				}
+			}
+			if !levelDead {
 				continue
 			}
-			sibling := p.path.Prefix(l + 1).FlipLast()
-			lo, hi := g.leafRange(sibling)
+			sibling := q.path.Prefix(l + 1).FlipLast()
+			lo, hi := next.leafRange(sibling)
 			if lo >= hi {
 				continue
 			}
-			kept := p.refs[l][:0:0]
-			for _, id := range p.refs[l] {
-				if !g.net.IsDown(id) {
+			kept := make([]simnet.NodeID, 0, len(q.refs[l]))
+			for _, id := range q.refs[l] {
+				if !dead(id) {
 					kept = append(kept, id)
 				}
 			}
 			// Refill up to the configured redundancy with fresh live peers;
 			// drop dead entries that cannot be replaced. If the whole
-			// subtrie is down, keep the old table (no better information).
+			// subtrie is dead, keep the old table (no better information).
 			for len(kept) < g.cfg.RefsPerLevel {
-				alt, ok := g.pickLiveInRange(lo, hi, kept)
+				alt, ok := g.pickLiveInRange(next, lo, hi, kept)
 				if !ok {
 					break
 				}
@@ -531,18 +594,19 @@ func (g *Grid) RefreshRefs() int {
 			if len(kept) == 0 {
 				continue
 			}
-			p.refs[l] = kept
+			q.refs[l] = kept
 			changed++
 		}
+		next.peers[idx] = q
 	}
 	return changed
 }
 
-// pickLiveInRange draws a live peer from the leaves in [lo, hi) that is not
-// already present in exclude.
-func (g *Grid) pickLiveInRange(lo, hi int, exclude []simnet.NodeID) (simnet.NodeID, bool) {
+// pickLiveInRange draws a live peer from the leaves in [lo, hi) of the given
+// view that is not already present in exclude.
+func (g *Grid) pickLiveInRange(v *view, lo, hi int, exclude []simnet.NodeID) (simnet.NodeID, bool) {
 	isExcluded := func(id simnet.NodeID) bool {
-		if g.net.IsDown(id) {
+		if !v.member(id) || g.net.IsDown(id) {
 			return true
 		}
 		for _, e := range exclude {
@@ -553,7 +617,7 @@ func (g *Grid) pickLiveInRange(lo, hi int, exclude []simnet.NodeID) (simnet.Node
 		return false
 	}
 	for attempt := 0; attempt < 16; attempt++ {
-		leaf := &g.leaves[lo+g.randIntn(hi-lo)]
+		leaf := &v.leaves[lo+g.randIntn(hi-lo)]
 		id := leaf.peers[g.randIntn(len(leaf.peers))]
 		if !isExcluded(id) {
 			return id, true
@@ -561,7 +625,7 @@ func (g *Grid) pickLiveInRange(lo, hi int, exclude []simnet.NodeID) (simnet.Node
 	}
 	// Random probing failed (dense failures); fall back to a linear sweep.
 	for li := lo; li < hi; li++ {
-		for _, id := range g.leaves[li].peers {
+		for _, id := range v.leaves[li].peers {
 			if !isExcluded(id) {
 				return id, true
 			}
@@ -570,63 +634,48 @@ func (g *Grid) pickLiveInRange(lo, hi int, exclude []simnet.NodeID) (simnet.Node
 	return 0, false
 }
 
-// leafRange returns the half-open index range of leaves whose path has the
-// given prefix.
-func (g *Grid) leafRange(prefix keys.Key) (int, int) {
-	lo := sort.Search(len(g.leaves), func(i int) bool {
-		return g.leaves[i].path.Compare(prefix) >= 0
-	})
-	hi := sort.Search(len(g.leaves), func(i int) bool {
-		return g.leaves[i].path.Compare(prefix) > 0 && !g.leaves[i].path.HasPrefix(prefix)
-	})
-	return lo, hi
-}
-
-// leafForHashed returns the index of the leaf responsible for a hashed key:
-// the single leaf whose path is a prefix of it, or, if the hashed key is
-// shorter than the trie at that point, the first leaf below it.
-func (g *Grid) leafForHashed(hk keys.Key) int {
-	lo, hi := g.leafRange(hk)
-	if lo < hi {
-		return lo
-	}
-	// hk extends some leaf path: the leaf with the longest path that is a
-	// prefix of hk sorts immediately at or before hk.
-	i := sort.Search(len(g.leaves), func(i int) bool {
-		return g.leaves[i].path.Compare(hk) > 0
-	})
-	if i > 0 && hk.HasPrefix(g.leaves[i-1].path) {
-		return i - 1
-	}
-	return -1
-}
-
 // Net returns the underlying network fabric.
 func (g *Grid) Net() simnet.Fabric { return g.net }
 
 // Config returns the build configuration.
 func (g *Grid) Config() Config { return g.cfg }
 
-// PeerCount returns the number of peers.
-func (g *Grid) PeerCount() int { return len(g.peers) }
+// PeerCount returns the size of the peer id space (departed slots included:
+// ids are never reused, so this is also the next id a Join would take).
+func (g *Grid) PeerCount() int { return len(g.snapshot().peers) }
 
-// LeafCount returns the number of key-space partitions.
-func (g *Grid) LeafCount() int { return len(g.leaves) }
-
-// Peer returns the peer with the given id.
-func (g *Grid) Peer(id simnet.NodeID) (*Peer, error) {
-	if int(id) < 0 || int(id) >= len(g.peers) {
-		return nil, fmt.Errorf("pgrid: no peer %d", id)
-	}
-	return g.peers[id], nil
+// LiveCount returns the number of current members (departed slots excluded).
+func (g *Grid) LiveCount() int {
+	v := g.snapshot()
+	return len(v.peers) - v.departed
 }
 
-// RandomPeer returns a uniformly random peer id, e.g. to act as a query
-// initiator (the paper chooses initiating peers randomly in Section 6).
+// LeafCount returns the number of key-space partitions.
+func (g *Grid) LeafCount() int { return len(g.snapshot().leaves) }
+
+// Peer returns the peer with the given id in the current epoch. Departed
+// peers yield ErrDeparted.
+func (g *Grid) Peer(id simnet.NodeID) (*Peer, error) {
+	return g.snapshot().peer(id)
+}
+
+// RandomPeer returns a uniformly random current member id, e.g. to act as a
+// query initiator (the paper chooses initiating peers randomly in Section 6).
 func (g *Grid) RandomPeer() simnet.NodeID {
-	g.rngMu.Lock()
-	defer g.rngMu.Unlock()
-	return g.peers[g.rng.Intn(len(g.peers))].id
+	v := g.snapshot()
+	// Departed slots are tombstones: probe a few times, then sweep.
+	for attempt := 0; attempt < 8; attempt++ {
+		if p := v.peers[g.randIntn(len(v.peers))]; p != nil {
+			return p.id
+		}
+	}
+	start := g.randIntn(len(v.peers))
+	for i := range v.peers {
+		if p := v.peers[(start+i)%len(v.peers)]; p != nil {
+			return p.id
+		}
+	}
+	return 0
 }
 
 // randIntn returns a random int below n using the grid's seeded source.
@@ -638,7 +687,8 @@ func (g *Grid) randIntn(n int) int {
 
 // Stats summarizes the constructed overlay for tools and tests.
 type Stats struct {
-	Peers        int
+	Peers        int // current members (departed slots excluded)
+	Departed     int // peers that left gracefully
 	Leaves       int
 	MinDepth     int
 	MaxDepth     int
@@ -648,11 +698,13 @@ type Stats struct {
 	StoredItems  int
 }
 
-// Stats computes overlay statistics.
+// Stats computes overlay statistics over the current epoch.
 func (g *Grid) Stats() Stats {
-	s := Stats{Peers: len(g.peers), Leaves: len(g.leaves), MinDepth: 1 << 30}
+	v := g.snapshot()
+	s := Stats{Peers: len(v.peers) - v.departed, Departed: v.departed,
+		Leaves: len(v.leaves), MinDepth: 1 << 30}
 	depthSum := 0
-	for _, l := range g.leaves {
+	for _, l := range v.leaves {
 		d := l.path.Len()
 		if d < s.MinDepth {
 			s.MinDepth = d
@@ -665,18 +717,21 @@ func (g *Grid) Stats() Stats {
 			s.MaxLeafItems = l.items
 		}
 	}
-	if len(g.leaves) > 0 {
-		s.AvgDepth = float64(depthSum) / float64(len(g.leaves))
+	if len(v.leaves) > 0 {
+		s.AvgDepth = float64(depthSum) / float64(len(v.leaves))
 	}
 	refSum := 0
-	for _, p := range g.peers {
+	for _, p := range v.peers {
+		if p == nil {
+			continue
+		}
 		for _, level := range p.refs {
 			refSum += len(level)
 		}
 		s.StoredItems += p.StoreLen()
 	}
-	if len(g.peers) > 0 {
-		s.AvgRefs = float64(refSum) / float64(len(g.peers))
+	if s.Peers > 0 {
+		s.AvgRefs = float64(refSum) / float64(s.Peers)
 	}
 	return s
 }

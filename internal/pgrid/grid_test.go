@@ -73,7 +73,7 @@ func TestTrieComplete(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 16, 64, 100} {
 		g, _ := buildTestGrid(t, n, 500, DefaultConfig())
 		paths := make([]keys.Key, 0, g.LeafCount())
-		for _, l := range g.leaves {
+		for _, l := range g.snapshot().leaves {
 			paths = append(paths, l.path)
 		}
 		maxDepth := 0
@@ -107,7 +107,7 @@ func TestEveryPeerAssignedAndReplicasConsistent(t *testing.T) {
 	cfg.Replication = 3
 	g, _ := buildTestGrid(t, 30, 1000, cfg)
 	seen := map[simnet.NodeID]bool{}
-	for _, l := range g.leaves {
+	for _, l := range g.snapshot().leaves {
 		if len(l.peers) == 0 {
 			t.Fatal("leaf without peers")
 		}
@@ -135,7 +135,7 @@ func TestEveryPeerAssignedAndReplicasConsistent(t *testing.T) {
 
 func TestRoutingTablesPointToComplementarySubtries(t *testing.T) {
 	g, _ := buildTestGrid(t, 64, 2000, DefaultConfig())
-	for _, p := range g.peers {
+	for _, p := range g.snapshot().peers {
 		for l, refs := range p.refs {
 			if len(refs) == 0 {
 				t.Fatalf("peer %d has no refs at level %d (path %s)", p.id, l, p.path)
@@ -431,9 +431,10 @@ func TestInsertRoutedAndReplicated(t *testing.T) {
 		t.Fatalf("Lookup after insert = %v, %v", res, err)
 	}
 	// All replicas of the partition must hold the posting.
-	li := g.leafForHashed(g.h.hash(k))
-	for _, id := range g.leaves[li].peers {
-		if got := g.peers[id].localPrefix(k); len(got) != 1 {
+	v := g.snapshot()
+	li := v.leafForHashed(g.h.hash(k))
+	for _, id := range v.leaves[li].peers {
+		if got := v.peers[id].localPrefix(k); len(got) != 1 {
 			t.Errorf("replica %d holds %d copies", id, len(got))
 		}
 	}
@@ -468,7 +469,7 @@ func TestLookupSurvivesFailuresWithReplication(t *testing.T) {
 	g, net := buildTestGrid(t, 60, 1000, cfg)
 	rng := rand.New(rand.NewSource(8))
 	// Take down one replica of every partition (leaving at least one up).
-	for _, l := range g.leaves {
+	for _, l := range g.snapshot().leaves {
 		if len(l.peers) > 1 {
 			net.SetDown(l.peers[rng.Intn(len(l.peers))], true)
 		}
@@ -504,7 +505,7 @@ func TestRangeQuerySurvivesPartialFailures(t *testing.T) {
 	g, net := buildTestGrid(t, 40, 500, cfg)
 	// Take down a single peer; its partition replica must still answer.
 	var victim simnet.NodeID = -1
-	for _, l := range g.leaves {
+	for _, l := range g.snapshot().leaves {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break
@@ -535,7 +536,7 @@ func TestRefreshRefsRepairsRouting(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	// Take down 15% of peers, leaving at least one replica per partition.
 	down := 0
-	for _, l := range g.leaves {
+	for _, l := range g.snapshot().leaves {
 		if len(l.peers) > 1 && down < 12 {
 			net.SetDown(l.peers[rng.Intn(len(l.peers))], true)
 			down++
@@ -546,17 +547,19 @@ func TestRefreshRefsRepairsRouting(t *testing.T) {
 		t.Fatal("RefreshRefs replaced nothing despite failures")
 	}
 	// After the repair no live peer's table may reference a down peer while
-	// a live alternative exists in the sibling subtrie.
-	for _, p := range g.peers {
+	// a live alternative exists in the sibling subtrie. The repair published
+	// a new epoch: snapshot again.
+	v := g.snapshot()
+	for _, p := range v.peers {
 		if net.IsDown(p.id) {
 			continue
 		}
 		for l, refs := range p.refs {
 			sibling := p.path.Prefix(l + 1).FlipLast()
-			lo, hi := g.leafRange(sibling)
+			lo, hi := v.leafRange(sibling)
 			liveExists := false
 			for li := lo; li < hi && !liveExists; li++ {
-				for _, id := range g.leaves[li].peers {
+				for _, id := range v.leaves[li].peers {
 					if !net.IsDown(id) {
 						liveExists = true
 						break
@@ -611,7 +614,7 @@ func TestBuildDeterministicWithSeed(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out []string
-		for _, p := range g.peers {
+		for _, p := range g.snapshot().peers {
 			out = append(out, p.path.String())
 		}
 		return out
@@ -643,7 +646,7 @@ func TestLoadBalancedAcrossPeers(t *testing.T) {
 	// should hold a wildly disproportionate share.
 	g, _ := buildTestGrid(t, 32, 3200, DefaultConfig())
 	var loads []int
-	for _, p := range g.peers {
+	for _, p := range g.snapshot().peers {
 		loads = append(loads, p.StoreLen())
 	}
 	sort.Ints(loads)

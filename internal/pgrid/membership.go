@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/btree"
-	"repro/internal/keys"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/triples"
@@ -17,6 +15,13 @@ var (
 	ErrSoleOwner = errors.New("pgrid: peer is the sole owner of its partition; graceful leave needs a replica")
 	ErrNotMember = errors.New("pgrid: no such peer")
 )
+
+// Membership operations are epoch builders: each one serializes on
+// Grid.memberMu, clones the published view, rewrites only the peers and
+// leaves it touches (copy-on-write), and publishes the next epoch atomically.
+// Queries already in flight keep their snapshot — a splitting host and a
+// departing peer keep serving the old epoch from their untouched stores until
+// the last reader drops the view.
 
 // handoverMsg transfers stored postings to a joining or replacement peer.
 type handoverMsg struct {
@@ -42,42 +47,78 @@ func (m refExchangeMsg) Kind() string { return "pgrid.refexchange" }
 
 // Join adds one new peer to a running grid, reproducing the P-Grid
 // construction interaction of reference [2]: the newcomer meets the most
-// loaded partition; if that partition is replicated, the newcomer becomes a
-// further structural replica (copying the data); if it has a single owner,
-// owner and newcomer split the partition one bit deeper — the owner keeps the
-// 0-side, the newcomer adopts the 1-side, and the data is divided by the next
-// key bit. All transferred postings and exchanged routing entries are
-// accounted on the tally. The new peer's id is returned.
+// loaded partition with a live member; if that partition is replicated, the
+// newcomer becomes a further structural replica (copying the data); if it has
+// a single owner, owner and newcomer split the partition one bit deeper — the
+// owner keeps the 0-side, the newcomer adopts the 1-side, and the data is
+// divided by the next key bit. All transferred postings and exchanged routing
+// entries are accounted on the tally. The new peer's id is returned.
+//
+// Partitions whose members are all down are skipped (copying data from a
+// crashed host would silently hand over nothing); if every partition is down,
+// ErrNoLiveHost is returned and the grid is unchanged.
 func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
-	newID := simnet.NodeID(len(g.peers))
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	next := g.snapshot().clone()
+
+	li, hostID, err := g.pickHostPartition(next)
+	if err != nil {
+		return 0, err
+	}
+	host := next.peers[hostID]
+
+	newID := simnet.NodeID(len(next.peers))
 	g.net.Grow(int(newID) + 1)
+	np := &Peer{id: newID} // both join paths install the real store below
+	next.peers = append(next.peers, np)
 
-	li := g.mostLoadedLeaf()
-	leaf := &g.leaves[li]
-	host := g.peers[g.pickAlive(leaf.peers)]
-
-	np := &Peer{id: newID, store: btree.New[triples.Posting]()}
-	g.peers = append(g.peers, np)
-
-	if len(leaf.peers) > 1 || leaf.path.Len() >= g.h.width {
+	if len(next.leaves[li].peers) > 1 || next.leaves[li].path.Len() >= g.h.width {
 		// Replicated partition (or the trie cannot deepen further in the
 		// fixed-width hashed space): join as another replica.
-		g.joinAsReplica(t, np, li, host)
-		return newID, nil
+		g.joinAsReplica(next, t, np, li, host)
+	} else {
+		g.splitPartition(next, t, np, li, host)
 	}
-	g.splitPartition(t, np, li, host)
+	g.publish(next)
 	return newID, nil
 }
 
+// pickHostPartition walks the partitions from most to least loaded and
+// returns the first with a live member, together with that member.
+func (g *Grid) pickHostPartition(v *view) (int, simnet.NodeID, error) {
+	for _, li := range v.leavesByLoad() {
+		if id, err := g.pickAlive(v.leaves[li].peers); err == nil {
+			return li, id, nil
+		}
+	}
+	return 0, 0, ErrNoLiveHost
+}
+
+// pickAlive returns a live member of ids, or ErrNoLiveHost when every member
+// is down — callers must not fall back to a crashed host, which would
+// silently copy nothing during a handover.
+func (g *Grid) pickAlive(ids []simnet.NodeID) (simnet.NodeID, error) {
+	start := g.randIntn(len(ids))
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+i)%len(ids)]
+		if !g.net.IsDown(id) {
+			return id, nil
+		}
+	}
+	return 0, ErrNoLiveHost
+}
+
 // joinAsReplica copies the host's data and routing table to the newcomer and
-// registers it with every existing member of the partition.
-func (g *Grid) joinAsReplica(t *metrics.Tally, np *Peer, li int, host *Peer) {
-	leaf := &g.leaves[li]
-	np.path = leaf.path
+// registers it with every existing member of the partition. All touched
+// members are cloned into the epoch under construction.
+func (g *Grid) joinAsReplica(next *view, t *metrics.Tally, np *Peer, li int, host *Peer) {
+	members := append([]simnet.NodeID(nil), next.leaves[li].peers...)
+	np.path = next.leaves[li].path
 
 	all := host.allPostings()
 	_ = g.net.Send(t, host.id, np.id, handoverMsg{postings: all.postings})
-	np.adoptStore(all)
+	np.store = newPeerStore(all)
 
 	np.refs = make([][]simnet.NodeID, len(host.refs))
 	for l := range host.refs {
@@ -85,18 +126,22 @@ func (g *Grid) joinAsReplica(t *metrics.Tally, np *Peer, li int, host *Peer) {
 	}
 	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: len(host.refs)})
 
-	for _, id := range leaf.peers {
+	for _, id := range members {
 		np.replicas = append(np.replicas, id)
-		g.peers[id].replicas = append(g.peers[id].replicas, np.id)
+		q := next.peers[id].cloneForEpoch()
+		q.replicas = append(q.replicas, np.id)
+		next.peers[id] = q
 	}
-	leaf.peers = append(leaf.peers, np.id)
+	next.leaves[li].peers = append(members, np.id)
 }
 
 // splitPartition deepens the trie below the host's partition: host keeps
 // path+0, the newcomer takes path+1, and the host's postings whose hashed key
-// has bit len(path) set move to the newcomer.
-func (g *Grid) splitPartition(t *metrics.Tally, np *Peer, li int, host *Peer) {
-	oldPath := g.leaves[li].path
+// has bit len(path) set move to the newcomer. Both sides get fresh stores in
+// the new epoch; the pre-split host version keeps its full store for queries
+// still reading the previous epoch.
+func (g *Grid) splitPartition(next *view, t *metrics.Tally, np *Peer, li int, host *Peer) {
+	oldPath := next.leaves[li].path
 	level := oldPath.Len()
 	path0 := oldPath.AppendBit(0)
 	path1 := oldPath.AppendBit(1)
@@ -104,10 +149,11 @@ func (g *Grid) splitPartition(t *metrics.Tally, np *Peer, li int, host *Peer) {
 	moved, kept := host.partitionByHashedBit(g.h, level)
 	_ = g.net.Send(t, host.id, np.id, handoverMsg{postings: moved.postings})
 
-	host.path = path0
+	h2 := host.cloneForEpoch()
+	h2.path = path0
+	h2.store = newPeerStore(kept)
 	np.path = path1
-	host.adoptStore(kept)
-	np.adoptStore(moved)
+	np.store = newPeerStore(moved)
 
 	// Routing tables: both inherit the levels above the split and reference
 	// each other at the new level (pi(p, level+1) with last bit inverted is
@@ -117,94 +163,57 @@ func (g *Grid) splitPartition(t *metrics.Tally, np *Peer, li int, host *Peer) {
 		np.refs[l] = append([]simnet.NodeID(nil), host.refs[l]...)
 	}
 	np.refs[level] = []simnet.NodeID{host.id}
-	host.refs = append(host.refs, []simnet.NodeID{np.id})
+	h2.refs = append(h2.refs, []simnet.NodeID{np.id})
 	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: level + 1})
 
 	// The split dissolves replica relationships (host had none: it was a
 	// sole owner) and rewrites the leaf table.
-	counts0 := kept.size
-	counts1 := moved.size
-	g.leaves[li] = leafInfo{path: path0, peers: []simnet.NodeID{host.id}, items: counts0}
-	g.leaves = append(g.leaves, leafInfo{path: path1, peers: []simnet.NodeID{np.id}, items: counts1})
-	sort.Slice(g.leaves, func(i, j int) bool { return g.leaves[i].path.Less(g.leaves[j].path) })
+	next.peers[host.id] = h2
+	next.leaves[li] = leafInfo{path: path0, peers: []simnet.NodeID{host.id}, items: kept.size}
+	next.leaves = append(next.leaves, leafInfo{path: path1, peers: []simnet.NodeID{np.id}, items: moved.size})
+	sort.Slice(next.leaves, func(i, j int) bool { return next.leaves[i].path.Less(next.leaves[j].path) })
 }
 
 // Leave removes a peer gracefully: its partition must keep at least one
 // member, so a sole owner cannot leave (crash failures are modelled with
-// simnet.SetDown instead). The departing peer's replicas drop it from their
-// tables and other peers' routing references are repaired.
+// simnet.SetDown instead). In the next epoch the departing peer's slot is
+// tombstoned (nil), its partition and replica links drop it, and routing
+// references to it are repaired. The departed slot is never marked down on
+// the fabric — DownCount keeps counting crashes only — and the departing
+// peer's store stays intact so queries still holding the previous epoch
+// drain against it.
 func (g *Grid) Leave(t *metrics.Tally, id simnet.NodeID) error {
-	if int(id) < 0 || int(id) >= len(g.peers) || g.peers[id] == nil {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	cur := g.snapshot()
+	if int(id) < 0 || int(id) >= len(cur.peers) {
 		return fmt.Errorf("%w: %d", ErrNotMember, id)
 	}
-	p := g.peers[id]
-	li := g.leafIndexForPath(p.path)
+	p := cur.peers[id]
+	if p == nil {
+		return fmt.Errorf("%w: %d", ErrDeparted, id)
+	}
+	li := cur.leafIndexForPath(p.path)
 	if li < 0 {
 		return fmt.Errorf("pgrid: peer %d has no partition", id)
 	}
-	leaf := &g.leaves[li]
-	if len(leaf.peers) <= 1 {
+	if len(cur.leaves[li].peers) <= 1 {
 		return ErrSoleOwner
 	}
-	// Remove from the leaf and from replica lists.
-	leaf.peers = removeID(leaf.peers, id)
-	for _, other := range leaf.peers {
-		g.peers[other].replicas = removeID(g.peers[other].replicas, id)
+
+	next := cur.clone()
+	members := removeIDCopy(next.leaves[li].peers, id)
+	next.leaves[li].peers = members
+	for _, other := range members {
+		q := next.peers[other].cloneForEpoch()
+		q.replicas = removeIDCopy(q.replicas, id)
+		next.peers[other] = q
 	}
-	// Mark the peer gone and repair routing tables that referenced it.
-	g.net.SetDown(id, true)
-	g.RefreshRefs()
-	g.peers[id] = &Peer{id: id, path: keys.Empty, store: btree.New[triples.Posting]()}
+	next.peers[id] = nil // tombstone: the id is never reused
+	next.departed++
+	// Repair routing tables that referenced the departed peer (the tombstone
+	// counts as dead during the repair).
+	g.repairRefs(next)
+	g.publish(next)
 	return nil
-}
-
-// leafIndexForPath finds the leaf with exactly the given path.
-func (g *Grid) leafIndexForPath(path keys.Key) int {
-	i := sort.Search(len(g.leaves), func(i int) bool {
-		return g.leaves[i].path.Compare(path) >= 0
-	})
-	if i < len(g.leaves) && g.leaves[i].path.Equal(path) {
-		return i
-	}
-	return -1
-}
-
-// mostLoadedLeaf returns the index of the partition holding the most
-// postings, the one a joining peer relieves first (storage load balancing).
-func (g *Grid) mostLoadedLeaf() int {
-	best, bestLoad := 0, -1
-	for i := range g.leaves {
-		load := 0
-		for _, id := range g.leaves[i].peers {
-			load += g.peers[id].StoreLen()
-		}
-		// Average per member: a partition with many replicas is fine.
-		load /= len(g.leaves[i].peers)
-		if load > bestLoad {
-			best, bestLoad = i, load
-		}
-	}
-	return best
-}
-
-// pickAlive returns a live member of ids (falling back to the first).
-func (g *Grid) pickAlive(ids []simnet.NodeID) simnet.NodeID {
-	start := g.randIntn(len(ids))
-	for i := 0; i < len(ids); i++ {
-		id := ids[(start+i)%len(ids)]
-		if !g.net.IsDown(id) {
-			return id
-		}
-	}
-	return ids[0]
-}
-
-func removeID(ids []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
-	out := ids[:0]
-	for _, x := range ids {
-		if x != id {
-			out = append(out, x)
-		}
-	}
-	return out
 }

@@ -13,8 +13,9 @@ import (
 // space and every peer is registered exactly once.
 func checkTrieInvariants(t *testing.T, g *Grid) {
 	t.Helper()
+	v := g.snapshot()
 	maxDepth := 0
-	for _, l := range g.leaves {
+	for _, l := range v.leaves {
 		if l.path.Len() > maxDepth {
 			maxDepth = l.path.Len()
 		}
@@ -23,43 +24,54 @@ func checkTrieInvariants(t *testing.T, g *Grid) {
 		}
 	}
 	var total uint64
-	for _, l := range g.leaves {
+	for _, l := range v.leaves {
 		total += uint64(1) << uint(maxDepth-l.path.Len())
 	}
 	if total != uint64(1)<<uint(maxDepth) {
 		t.Fatalf("leaves tile %d/%d of key space", total, uint64(1)<<uint(maxDepth))
 	}
-	for i := range g.leaves {
-		for j := range g.leaves {
-			if i != j && g.leaves[j].path.HasPrefix(g.leaves[i].path) {
-				t.Fatalf("leaf %s is prefix of %s", g.leaves[i].path, g.leaves[j].path)
+	for i := range v.leaves {
+		for j := range v.leaves {
+			if i != j && v.leaves[j].path.HasPrefix(v.leaves[i].path) {
+				t.Fatalf("leaf %s is prefix of %s", v.leaves[i].path, v.leaves[j].path)
 			}
 		}
 	}
 	seen := map[simnet.NodeID]bool{}
-	for _, l := range g.leaves {
+	members := 0
+	for _, l := range v.leaves {
 		for _, id := range l.peers {
 			if seen[id] {
 				t.Fatalf("peer %d in two partitions", id)
 			}
 			seen[id] = true
-			if !g.peers[id].path.Equal(l.path) {
-				t.Fatalf("peer %d path %s != leaf %s", id, g.peers[id].path, l.path)
+			if v.peers[id] == nil {
+				t.Fatalf("leaf %s lists departed peer %d", l.path, id)
+			}
+			if !v.peers[id].path.Equal(l.path) {
+				t.Fatalf("peer %d path %s != leaf %s", id, v.peers[id].path, l.path)
 			}
 		}
+	}
+	for _, p := range v.peers {
+		if p != nil {
+			members++
+		}
+	}
+	if members != len(seen) {
+		t.Fatalf("%d live peers but %d registered in leaves", members, len(seen))
 	}
 }
 
 func lookupAll(t *testing.T, g *Grid, n int, rng *rand.Rand) {
 	t.Helper()
+	v := g.snapshot()
 	alive := func() simnet.NodeID {
 		for {
-			id := simnet.NodeID(rng.Intn(len(g.peers)))
-			if !g.net.IsDown(id) && g.peers[id].path.Len() >= 0 && len(g.leaves) > 0 {
-				// Departed peers have empty stores but are marked down.
-				if !g.net.IsDown(id) {
-					return id
-				}
+			id := simnet.NodeID(rng.Intn(len(v.peers)))
+			// Skip departed slots and crashed peers.
+			if v.peers[id] != nil && !g.net.IsDown(id) {
+				return id
 			}
 		}
 	}
@@ -111,7 +123,7 @@ func TestJoinManyPeersKeepsDataReachable(t *testing.T) {
 	// Load must have spread: the max partition load should have dropped
 	// well below the initial (600-ish on 3 peers).
 	maxLoad := 0
-	for _, p := range g.peers {
+	for _, p := range g.snapshot().peers {
 		if l := p.StoreLen(); l > maxLoad {
 			maxLoad = l
 		}
@@ -131,7 +143,10 @@ func TestJoinIntoReplicatedPartitionBecomesReplica(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := g.peers[id]
+	p, err := g.Peer(id)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Either it split (leaf count grew) or it joined as replica with data.
 	if g.LeafCount() == leavesBefore {
 		if len(p.replicas) == 0 {
@@ -151,7 +166,7 @@ func TestLeaveWithReplicaPreservesData(t *testing.T) {
 	g, _ := buildTestGrid(t, 24, 400, cfg)
 	// Find a peer with a replica.
 	var victim simnet.NodeID = -1
-	for _, l := range g.leaves {
+	for _, l := range g.snapshot().leaves {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break
@@ -169,7 +184,7 @@ func TestLeaveWithReplicaPreservesData(t *testing.T) {
 		var from simnet.NodeID
 		for {
 			from = simnet.NodeID(rng.Intn(24))
-			if !g.net.IsDown(from) {
+			if from != victim {
 				break
 			}
 		}
@@ -185,7 +200,7 @@ func TestLeaveWithReplicaPreservesData(t *testing.T) {
 
 func TestLeaveSoleOwnerRefused(t *testing.T) {
 	g, _ := buildTestGrid(t, 8, 200, DefaultConfig()) // replication 1
-	err := g.Leave(nil, g.leaves[0].peers[0])
+	err := g.Leave(nil, g.snapshot().leaves[0].peers[0])
 	if err != ErrSoleOwner {
 		t.Errorf("Leave sole owner = %v, want ErrSoleOwner", err)
 	}

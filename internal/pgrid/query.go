@@ -9,6 +9,11 @@ import (
 	"repro/internal/triples"
 )
 
+// Every query operation loads one membership epoch (Grid.snapshot) at its
+// start and threads the view through routing, fan-out and result collection,
+// so the whole operation observes a single consistent trie even while Join,
+// Leave and RefreshRefs publish new epochs concurrently.
+
 // cursor is branch-local virtual time and forwarding depth, threaded through
 // routing and fan-out. Sequential hops chain the cursor; parallel branches
 // each carry a copy forked at the same time, so the tally's max-folded
@@ -46,8 +51,10 @@ func routeSalt(k keys.Key) uint64 {
 // pure function of its inputs: no shared RNG state, so concurrent query
 // branches stay race-free and a fixed seed yields identical routes under the
 // serial and the concurrent runtime. Remaining redundant references serve as
-// fallback when peers are down.
-func (g *Grid) pickRef(p *Peer, l int, salt uint64) (simnet.NodeID, error) {
+// fallback when peers are down. References tombstoned in the query's own
+// epoch (possible only when a whole subtrie was irreparable) are skipped like
+// crashed ones.
+func (g *Grid) pickRef(v *view, p *Peer, l int, salt uint64) (simnet.NodeID, error) {
 	if l < 0 || l >= len(p.refs) || len(p.refs[l]) == 0 {
 		return 0, ErrUnreachable
 	}
@@ -56,7 +63,7 @@ func (g *Grid) pickRef(p *Peer, l int, salt uint64) (simnet.NodeID, error) {
 	start := int(h % uint64(len(refs)))
 	for i := 0; i < len(refs); i++ {
 		id := refs[(start+i)%len(refs)]
-		if !g.net.IsDown(id) {
+		if v.member(id) && !g.net.IsDown(id) {
 			return id, nil
 		}
 	}
@@ -70,13 +77,13 @@ func (g *Grid) pickRef(p *Peer, l int, salt uint64) (simnet.NodeID, error) {
 // modelled link latency. The common prefix with the target grows by at least
 // one bit per hop, so the loop terminates within target.Len() hops on a
 // complete trie.
-func (g *Grid) routeToward(t *metrics.Tally, from simnet.NodeID, target keys.Key,
+func (g *Grid) routeToward(v *view, t *metrics.Tally, from simnet.NodeID, target keys.Key,
 	stop func(*Peer) bool, mkMsg func() simnet.Message, cur cursor) (simnet.NodeID, cursor, error) {
 
 	salt := routeSalt(target)
 	at := from
 	for hop := 0; hop <= target.Len()+1; hop++ {
-		p, err := g.Peer(at)
+		p, err := v.peer(at)
 		if err != nil {
 			return 0, cur, err
 		}
@@ -84,7 +91,7 @@ func (g *Grid) routeToward(t *metrics.Tally, from simnet.NodeID, target keys.Key
 			return at, cur, nil
 		}
 		l := p.path.CommonPrefixLen(target)
-		next, err := g.pickRef(p, l, salt)
+		next, err := g.pickRef(v, p, l, salt)
 		if err != nil {
 			return 0, cur, err
 		}
@@ -112,14 +119,15 @@ func (g *Grid) Lookup(t *metrics.Tally, from simnet.NodeID, k keys.Key) ([]tripl
 // completion time of the lookup so callers can fan out several lookups from
 // one fork point.
 func (g *Grid) LookupAt(t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	v := g.snapshot()
 	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(v, t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
 		func() simnet.Message { return lookupMsg{key: k} }, cursor{at: start})
 	if err != nil {
 		return nil, cur.at, err
 	}
-	p := g.peers[dest]
+	p := v.peers[dest]
 	res := p.localPrefix(k)
 	if len(res) > 0 || g.cfg.ReplyEmpty {
 		arrive, err := g.net.SendTimed(t, dest, from, resultMsg{postings: res}, cur.at)
@@ -159,7 +167,7 @@ func (g *Grid) MultiLookupAt(t *metrics.Tally, from simnet.NodeID, ks []keys.Key
 	for i, k := range ks {
 		hks[i] = hashedKey{orig: k, h: g.h.hash(k)}
 	}
-	return g.multiStep(t, from, from, hks, 0, cursor{at: start})
+	return g.multiStep(g.snapshot(), t, from, from, hks, 0, cursor{at: start})
 }
 
 // subtrieBranch is one forward into a sibling subtrie during a multicast.
@@ -174,10 +182,10 @@ type subtrieBranch struct {
 // forwards are logically parallel: under the concurrent fabric they run on
 // goroutines forked at this peer's arrival time, under the serial fabric
 // they chain — the Fanout contract of simnet.Fabric.
-func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
+func (g *Grid) multiStep(v *view, t *metrics.Tally, initiator, at simnet.NodeID,
 	ks []hashedKey, scope int, cur cursor) ([]triples.Posting, simnet.VTime, error) {
 
-	p, err := g.Peer(at)
+	p, err := v.peer(at)
 	if err != nil {
 		return nil, cur.at, err
 	}
@@ -228,7 +236,7 @@ func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
 		if len(subset) == 0 {
 			continue
 		}
-		next, err := g.pickRef(p, l, routeSalt(sibling))
+		next, err := g.pickRef(v, p, l, routeSalt(sibling))
 		if err != nil {
 			pickErrs = append(pickErrs, err)
 			continue
@@ -249,7 +257,7 @@ func (g *Grid) multiStep(t *metrics.Tally, initiator, at simnet.NodeID,
 			errs[i] = err
 			return start
 		}
-		res, bEnd, err := g.multiStep(t, initiator, b.next, b.keys, b.level+1,
+		res, bEnd, err := g.multiStep(v, t, initiator, b.next, b.keys, b.level+1,
 			cursor{at: arrive, hops: cur.hops + 1})
 		results[i] = res
 		errs[i] = err
@@ -296,14 +304,15 @@ func (g *Grid) RangeQueryAt(t *metrics.Tally, from simnet.NodeID, iv keys.Interv
 	if !iv.Valid() {
 		return nil, start, errors.New("pgrid: invalid interval (Lo after Hi)")
 	}
+	v := g.snapshot()
 	ivH := keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}
-	dest, cur, err := g.routeToward(t, from, ivH.Lo,
+	dest, cur, err := g.routeToward(v, t, from, ivH.Lo,
 		func(p *Peer) bool { return ivH.OverlapsPrefix(p.path) },
 		func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} }, cursor{at: start})
 	if err != nil {
 		return nil, cur.at, err
 	}
-	return g.showerStep(t, from, dest, iv, ivH, 0, opts, cur)
+	return g.showerStep(v, t, from, dest, iv, ivH, 0, opts, cur)
 }
 
 // PrefixQuery retrieves every posting whose key extends the given prefix,
@@ -326,10 +335,10 @@ func (g *Grid) PrefixQueryAt(t *metrics.Tally, from simnet.NodeID, prefix keys.K
 // evaluated against stored keys; ivH is its hashed-space image used for trie
 // pruning. Sibling forwards fan out per the fabric's Fanout contract:
 // concurrently under asyncnet, chained under the serial simulator.
-func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
+func (g *Grid) showerStep(v *view, t *metrics.Tally, initiator, at simnet.NodeID,
 	iv, ivH keys.Interval, scope int, opts RangeOptions, cur cursor) ([]triples.Posting, simnet.VTime, error) {
 
-	p, err := g.Peer(at)
+	p, err := v.peer(at)
 	if err != nil {
 		return nil, cur.at, err
 	}
@@ -363,7 +372,7 @@ func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
 		if !ivH.OverlapsPrefix(sibling) {
 			continue
 		}
-		next, err := g.pickRef(p, l, routeSalt(sibling))
+		next, err := g.pickRef(v, p, l, routeSalt(sibling))
 		if err != nil {
 			pickErrs = append(pickErrs, err)
 			continue
@@ -381,7 +390,7 @@ func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
 			errs[i] = err
 			return start
 		}
-		res, bEnd, err := g.showerStep(t, initiator, b.next, iv, ivH, b.level+1, opts,
+		res, bEnd, err := g.showerStep(v, t, initiator, b.next, iv, ivH, b.level+1, opts,
 			cursor{at: arrive, hops: cur.hops + 1})
 		results[i] = res
 		errs[i] = err
@@ -405,14 +414,15 @@ func (g *Grid) showerStep(t *metrics.Tally, initiator, at simnet.NodeID,
 // hop and every replica update costs one message; replica pushes depart
 // together from the responsible peer.
 func (g *Grid) Insert(t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
+	v := g.snapshot()
 	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(v, t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
 		func() simnet.Message { return insertMsg{key: k, posting: posting} }, opStart(t))
 	if err != nil {
 		return err
 	}
-	p := g.peers[dest]
+	p := v.peers[dest]
 	p.localPut(k, posting)
 	end := cur.at
 	var errs []error
@@ -425,7 +435,7 @@ func (g *Grid) Insert(t *metrics.Tally, from simnet.NodeID, k keys.Key, posting 
 		if arrive > end {
 			end = arrive
 		}
-		g.peers[r].localPut(k, posting)
+		v.peers[r].localPut(k, posting)
 	}
 	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return errors.Join(errs...)
@@ -442,12 +452,13 @@ func boolInt64(b bool) int64 {
 // without routing or accounting. The evaluation uses it for the load phase,
 // whose cost the paper does not measure.
 func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
-	li := g.leafForHashed(g.h.hash(k))
+	v := g.snapshot()
+	li := v.leafForHashed(g.h.hash(k))
 	if li < 0 {
 		return errors.New("pgrid: no partition covers key")
 	}
-	for _, id := range g.leaves[li].peers {
-		g.peers[id].localPut(k, posting)
+	for _, id := range v.leaves[li].peers {
+		v.peers[id].localPut(k, posting)
 	}
 	return nil
 }
@@ -456,14 +467,15 @@ func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
 // first posting with key k accepted by match (nil matches any) there and at
 // its replicas. It reports whether anything was deleted.
 func (g *Grid) Delete(t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error) {
+	v := g.snapshot()
 	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(t, from, hk,
+	dest, cur, err := g.routeToward(v, t, from, hk,
 		func(p *Peer) bool { return p.Responsible(hk) },
 		func() simnet.Message { return deleteMsg{key: k} }, opStart(t))
 	if err != nil {
 		return false, err
 	}
-	p := g.peers[dest]
+	p := v.peers[dest]
 	deleted := p.localDelete(k, match)
 	end := cur.at
 	var errs []error
@@ -476,7 +488,7 @@ func (g *Grid) Delete(t *metrics.Tally, from simnet.NodeID, k keys.Key, match fu
 		if arrive > end {
 			end = arrive
 		}
-		g.peers[r].localDelete(k, match)
+		v.peers[r].localDelete(k, match)
 	}
 	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return deleted, errors.Join(errs...)
