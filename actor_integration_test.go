@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+)
+
+// execTriple builds three engines over identical data, seeds and latency
+// model, one per execution mode.
+func execTriple(t testing.TB, peers int, service time.Duration) (map[core.RuntimeMode]*core.Engine, []string) {
+	t.Helper()
+	corpus := dataset.BibleWords(500, 17)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	engines := make(map[core.RuntimeMode]*core.Engine)
+	for _, mode := range []core.RuntimeMode{core.RuntimeDirect, core.RuntimeFanout, core.RuntimeActor} {
+		eng, err := core.Open(tuples, core.Config{
+			Peers:   peers,
+			Runtime: mode,
+			Latency: asyncnet.DefaultLatency(5),
+			Service: service,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[mode] = eng
+	}
+	return engines, corpus
+}
+
+// TestActorMatchesOtherExecutorsEndToEnd is the engine-level half of the
+// cross-executor oracle: similarity queries, numeric top-N and full VQL
+// queries return identical results with identical message, byte and hop
+// counts under direct, fanout and actor execution, and the actor timeline
+// never exceeds the serial one.
+func TestActorMatchesOtherExecutorsEndToEnd(t *testing.T) {
+	engines, corpus := execTriple(t, 128, 0)
+	direct := engines[core.RuntimeDirect]
+	rng := rand.New(rand.NewSource(9))
+
+	for trial := 0; trial < 6; trial++ {
+		needle := corpus[rng.Intn(len(corpus))]
+		from := simnet.NodeID(rng.Intn(128))
+		d := 1 + rng.Intn(2)
+
+		var base metrics.Tally
+		want, err := direct.Store().Similar(&base, from, needle, "word", d, ops.SimilarOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []core.RuntimeMode{core.RuntimeFanout, core.RuntimeActor} {
+			var tally metrics.Tally
+			got, err := engines[mode].Store().Similar(&tally, from, needle, "word", d, ops.SimilarOptions{})
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v: similar(%q,%d) diverges from direct", mode, needle, d)
+			}
+			b, g := base.Snapshot(), tally.Snapshot()
+			if g.Messages != b.Messages || g.Bytes != b.Bytes || g.Hops != b.Hops {
+				t.Fatalf("%v: similar(%q,%d) cost %v, direct %v", mode, needle, d, g, b)
+			}
+			if g.Latency > b.Latency {
+				t.Fatalf("%v: latency %d exceeds serial %d", mode, g.Latency, b.Latency)
+			}
+			if g.Queue != 0 {
+				t.Fatalf("%v: queueing %dµs with zero service time", mode, g.Queue)
+			}
+		}
+	}
+
+	// Full VQL pipeline (parse, plan, execute) from a fixed initiator.
+	const q = `SELECT ?n WHERE { (?o,word,?n) FILTER (dist(?n,'lord') < 2) }`
+	wantRes, err := direct.QueryFrom(11, nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.RuntimeMode{core.RuntimeFanout, core.RuntimeActor} {
+		res, err := engines[mode].QueryFrom(11, nil, q)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if fmt.Sprint(res.Rows) != fmt.Sprint(wantRes.Rows) {
+			t.Fatalf("%v: VQL rows diverge from direct", mode)
+		}
+	}
+}
+
+// TestActorEngineReportsCongestion drives a concurrent query burst against
+// an actor engine with a nonzero per-peer service time: the per-query
+// tallies accumulate queueing delay and the engine's runtime exposes
+// per-peer load, while a direct engine over the same workload reports
+// neither.
+func TestActorEngineReportsCongestion(t *testing.T) {
+	engines, corpus := execTriple(t, 64, 2*time.Millisecond)
+	var queued = map[core.RuntimeMode]int64{}
+	for _, mode := range []core.RuntimeMode{core.RuntimeDirect, core.RuntimeActor} {
+		eng := engines[mode]
+		var total int64
+		for i := 0; i < 4; i++ {
+			var tally metrics.Tally
+			if _, err := eng.Store().Similar(&tally, simnet.NodeID(i), corpus[i], "word", 2,
+				ops.SimilarOptions{}); err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			total += tally.Snapshot().Queue
+		}
+		queued[mode] = total
+	}
+	if queued[core.RuntimeDirect] != 0 {
+		t.Errorf("direct engine reports %dµs queueing", queued[core.RuntimeDirect])
+	}
+	if queued[core.RuntimeActor] == 0 {
+		t.Error("actor engine reports no queueing despite 2ms per-message service time")
+	}
+
+	if engines[core.RuntimeDirect].Runtime() != nil {
+		t.Error("direct engine exposes an actor runtime")
+	}
+	rt := engines[core.RuntimeActor].Runtime()
+	if rt == nil {
+		t.Fatal("actor engine exposes no runtime")
+	}
+	delivered := 0
+	for _, l := range rt.AllStats() {
+		delivered += l.Stats.Delivered
+	}
+	if delivered == 0 {
+		t.Error("actor runtime processed no messages")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,8 +58,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		validate  = flag.Bool("validate", false, "measure routing hops vs 0.5*log2(N)")
 
-		async   = flag.Bool("async", false, "run queries on the concurrent asyncnet runtime")
-		workers = flag.Int("workers", 0, "async fan-out goroutine bound (0 = default)")
+		async = flag.Bool("async", false, "legacy alias for -exec fanout")
+		exec  = flag.String("exec", "",
+			"execution mode: direct (serial simulator), fanout (goroutine-parallel branches), actor (operators as message handlers on the discrete-event runtime)")
+		service = flag.Duration("service", 0,
+			"per-message service time of each peer in actor mode (e.g. 500us); makes queueing observable")
+		latAware = flag.Bool("latency-aware", false,
+			"route via the live reference with the lowest expected link latency instead of the hashed choice")
+		workers = flag.Int("workers", 0, "fanout goroutine bound (0 = default)")
 		latDist = flag.String("latency-dist", "uniform:10ms-100ms",
 			"per-link latency distribution: none, fixed:25ms, uniform:10ms-100ms, lognormal:20ms,0.5")
 		churn = flag.Float64("churn-rate", 0,
@@ -81,6 +88,13 @@ func main() {
 	if *churnMode != "crash" && *churnMode != "membership" {
 		fatal(fmt.Errorf("unknown churn mode %q (want crash or membership)", *churnMode))
 	}
+	mode, err := core.ParseRuntimeMode(*exec)
+	if err != nil {
+		fatal(err)
+	}
+	if *exec == "" && *async {
+		mode = core.RuntimeFanout
+	}
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
 	if err != nil {
 		fatal(err)
@@ -89,16 +103,12 @@ func main() {
 	tuples := dataset.StringTuples("word", "o", corpus)
 
 	if *mixes > 0 {
-		runtime := "sync"
-		if *async {
-			runtime = "async"
-		}
 		lat := "none"
 		if latency != nil {
 			lat = latency.String()
 		}
 		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s (%d mix initiations)\n\n",
-			runtime, m, lat, *churn, *churnMode, *mixes)
+			mode, m, lat, *churn, *churnMode, *mixes)
 	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part")
@@ -106,10 +116,12 @@ func main() {
 	// sweep over large sizes never holds more than one engine in memory.
 	for _, n := range peers {
 		eng, err := core.Open(tuples, core.Config{
-			Peers:   n,
-			Async:   *async,
-			Workers: *workers,
-			Latency: latency,
+			Peers:            n,
+			Runtime:          mode,
+			Workers:          *workers,
+			Latency:          latency,
+			Service:          *service,
+			LatencyAwareRefs: *latAware,
 		})
 		if err != nil {
 			fatal(err)
@@ -315,8 +327,51 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
 		fmt.Print(col.QueryReport())
 	}
+	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
 	return nil
+}
+
+// printActorLoad renders the per-peer service-load and backpressure table of
+// an actor-mode engine: the busiest peers by messages processed, their busy
+// and mailbox-wait times, and the deepest backlog each mailbox reached.
+func printActorLoad(eng *core.Engine) {
+	rt := eng.Runtime()
+	if rt == nil {
+		return
+	}
+	loads := rt.AllStats()
+	var (
+		totalQueued, totalBusy simnet.VTime
+		maxBacklog, dropped    int
+	)
+	for _, l := range loads {
+		totalQueued += l.Stats.QueueDelay
+		totalBusy += l.Stats.Busy
+		if l.Stats.MaxBacklog > maxBacklog {
+			maxBacklog = l.Stats.MaxBacklog
+		}
+		dropped += l.Stats.DroppedFull + l.Stats.DroppedDown
+	}
+	fmt.Printf("actors:   queued-total=%s busy-total=%s max-backlog=%d dropped=%d\n",
+		totalQueued, totalBusy, maxBacklog, dropped)
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Stats.Delivered != loads[j].Stats.Delivered {
+			return loads[i].Stats.Delivered > loads[j].Stats.Delivered
+		}
+		return loads[i].ID < loads[j].ID
+	})
+	const top = 8
+	fmt.Printf("%-8s %-10s %-12s %-12s %-11s %-8s\n",
+		"peer", "delivered", "busy", "queued", "max-backlog", "dropped")
+	for i, l := range loads {
+		if i >= top || l.Stats.Delivered == 0 {
+			break
+		}
+		fmt.Printf("%-8d %-10d %-12s %-12s %-11d %-8d\n",
+			l.ID, l.Stats.Delivered, l.Stats.Busy, l.Stats.QueueDelay,
+			l.Stats.MaxBacklog, l.Stats.DroppedFull+l.Stats.DroppedDown)
+	}
 }
 
 func parseMethod(s string) (ops.Method, error) {

@@ -272,6 +272,91 @@ func TestParseLatency(t *testing.T) {
 	}
 }
 
+// TestParseLatencyErrors sweeps the malformed-spec space: every spec must be
+// rejected with a non-nil error instead of panicking or yielding a model.
+func TestParseLatencyErrors(t *testing.T) {
+	bad := []string{
+		"fixed:",              // empty duration
+		"fixed:12",            // missing unit
+		"fixed:-5ms!",         // trailing garbage
+		"uniform:",            // no interval
+		"uniform:10ms-",       // empty upper bound
+		"uniform:-10ms",       // no separator match (cut on first dash)
+		"uniform:abc-def",     // non-durations
+		"lognormal:",          // no args
+		"lognormal:20ms",      // missing sigma
+		"lognormal:20ms,",     // empty sigma
+		"lognormal:20ms,abc",  // non-numeric sigma
+		"lognormal:20ms,-0.5", // negative sigma
+		"lognormal:xyz,0.5",   // bad median
+		"pareto:1ms",          // unknown family
+		"fixed",               // family without argument
+	}
+	for _, spec := range bad {
+		if m, err := ParseLatency(spec, 1); err == nil {
+			t.Errorf("ParseLatency(%q) = %v, want error", spec, m)
+		}
+	}
+	// Whitespace and the empty spec mean "no model", not an error.
+	for _, spec := range []string{"", "  ", "none", " none "} {
+		if m, err := ParseLatency(spec, 1); err != nil || m != nil {
+			t.Errorf("ParseLatency(%q) = %v, %v, want nil, nil", spec, m, err)
+		}
+	}
+}
+
+// TestUniformSamplingBounds pins the degenerate and boundary behaviour of
+// the uniform model: an empty or inverted interval collapses to Min, and
+// samples never leave [Min, Max).
+func TestUniformSamplingBounds(t *testing.T) {
+	for _, u := range []Uniform{
+		{Min: 500, Max: 500, Seed: 3}, // empty interval
+		{Min: 900, Max: 100, Seed: 3}, // inverted interval
+	} {
+		if d := u.Sample(1, 2, 0); d != u.Min {
+			t.Errorf("degenerate %+v sampled %d, want Min", u, d)
+		}
+	}
+	u := Uniform{Min: 0, Max: 1, Seed: 9}
+	for from := simnet.NodeID(0); from < 100; from++ {
+		if d := u.Sample(from, from+1, 0); d != 0 {
+			t.Errorf("1µs-wide uniform sampled %d, want 0 (floor of [0,1))", d)
+		}
+	}
+}
+
+// TestLogNormalSamplingBounds pins the heavy-tailed model: samples are never
+// negative, sigma=0 degenerates to the median exactly, and the per-link
+// draws straddle the median (it is the distribution's midpoint).
+func TestLogNormalSamplingBounds(t *testing.T) {
+	deg := LogNormal{Median: 20000, Sigma: 0, Seed: 4}
+	for from := simnet.NodeID(0); from < 20; from++ {
+		if d := deg.Sample(from, from+1, 0); d != 20000 {
+			t.Fatalf("sigma=0 sample = %d, want exactly the median", d)
+		}
+	}
+	ln := LogNormal{Median: 20000, Sigma: 1.5, Seed: 4}
+	below, above := 0, 0
+	for from := simnet.NodeID(0); from < 200; from++ {
+		for to := simnet.NodeID(0); to < 5; to++ {
+			d := ln.Sample(from, to, 0)
+			if d < 0 {
+				t.Fatalf("negative lognormal sample %d", d)
+			}
+			if d < 20000 {
+				below++
+			} else {
+				above++
+			}
+		}
+	}
+	// 1000 draws: both sides of the median must be populated heavily; a
+	// one-sided distribution would mean the Box-Muller transform is broken.
+	if below < 300 || above < 300 {
+		t.Errorf("samples below/above median = %d/%d; distribution skewed off its median", below, above)
+	}
+}
+
 // TestSendTimedAppliesLatency checks the fabric surface end to end: a timed
 // send advances virtual time by the model's sample and records the message.
 func TestSendTimedAppliesLatency(t *testing.T) {

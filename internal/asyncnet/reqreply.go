@@ -1,0 +1,219 @@
+package asyncnet
+
+import (
+	"errors"
+
+	"repro/internal/simnet"
+)
+
+// Request/reply on the discrete-event runtime.
+//
+// A call is a registered continuation keyed by a correlation id. Requests
+// travel as Envelope messages to the destination actor's handler; replies
+// travel back as Envelope messages with IsReply set and are dispatched to
+// the continuation after paying the initiator's mailbox wait and service
+// time (replies queue like any other message — a congested initiator is
+// slow to absorb its own results). Failures reach the continuation too:
+//
+//   - a request dropped en route (down actor, full mailbox, expired
+//     deadline) fails the call at the drop's virtual instant, so callers can
+//     retry on another peer immediately instead of waiting for a timeout;
+//   - a dropped reply fails the call the same way;
+//   - a timeout scheduled by Call fires a control event that fails the call
+//     if it is still open.
+//
+// Multi-shot calls (Open with multi=true) keep receiving replies until
+// Close; the shower/range operators use them to harvest streamed results
+// from many peers under one correlation id.
+
+// ErrTimeout reports a call whose reply did not arrive by its deadline.
+var ErrTimeout = errors.New("asyncnet: request timed out")
+
+// CorrID correlates a request with its replies.
+type CorrID uint64
+
+// Envelope is the wire frame of the request/reply protocol: a payload plus
+// correlation metadata. Envelopes travel only on the runtime; any fabric
+// accounting of the payload is the sender's business.
+type Envelope struct {
+	// Corr identifies the call this envelope belongs to.
+	Corr CorrID
+	// ReplyTo is the node replies should be addressed to (requests only).
+	ReplyTo simnet.NodeID
+	// Deadline, when nonzero, is the absolute virtual time after which the
+	// request is stale: arrival past the deadline drops it and fails the
+	// call.
+	Deadline simnet.VTime
+	// Payload is the operator message.
+	Payload simnet.Message
+	// IsReply marks reply envelopes, dispatched to the call continuation.
+	IsReply bool
+	// Err carries a remote failure instead of a payload on replies.
+	Err error
+}
+
+// Size implements simnet.Message by deferring to the payload.
+func (e Envelope) Size() int {
+	if e.Payload != nil {
+		return e.Payload.Size()
+	}
+	return 0
+}
+
+// Kind implements simnet.Message.
+func (e Envelope) Kind() string {
+	if e.Payload != nil {
+		return e.Payload.Kind()
+	}
+	if e.IsReply {
+		return "asyncnet.reply"
+	}
+	return "asyncnet.request"
+}
+
+// ReplyFn consumes one reply (or failure) of a call. ev is the delivery
+// event at the reply-to actor; on failures synthesized from drops or
+// timeouts, ev describes the dropped message and payload is nil.
+type ReplyFn func(rt *Runtime, ev Event, payload simnet.Message, err error)
+
+// call is one open continuation.
+type call struct {
+	fn    ReplyFn
+	multi bool
+}
+
+// Open registers a continuation and returns a fresh correlation id. With
+// multi set the continuation receives every reply until Close; otherwise the
+// first reply (or failure) closes the call and later replies count as late.
+func (rt *Runtime) Open(multi bool, fn ReplyFn) CorrID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextCorr++
+	corr := CorrID(rt.nextCorr)
+	rt.calls[corr] = &call{fn: fn, multi: multi}
+	return corr
+}
+
+// Close deregisters a call, reporting whether it was still open. Replies
+// arriving after Close are dropped and counted as late.
+func (rt *Runtime) Close(corr CorrID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, ok := rt.calls[corr]
+	delete(rt.calls, corr)
+	return ok
+}
+
+// LateReplies reports replies that arrived after their call was closed
+// (usually after a timeout fired).
+func (rt *Runtime) LateReplies() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.lateReplies
+}
+
+// lookupCall fetches the continuation for a correlation id, removing it for
+// single-shot calls. countLate marks a miss as a late reply; failure paths
+// (timeout timers, drop nacks) pass false, since firing against an
+// already-completed call is their normal no-op, not a lost reply.
+func (rt *Runtime) lookupCall(corr CorrID, countLate bool) (*call, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c, ok := rt.calls[corr]
+	if !ok {
+		if countLate {
+			rt.lateReplies++
+		}
+		return nil, false
+	}
+	if !c.multi {
+		delete(rt.calls, corr)
+	}
+	return c, true
+}
+
+// dispatchReply routes a processed reply envelope to its continuation.
+func (rt *Runtime) dispatchReply(ev Event, env Envelope) {
+	c, ok := rt.lookupCall(env.Corr, true)
+	if !ok {
+		return
+	}
+	c.fn(rt, ev, env.Payload, env.Err)
+}
+
+// failCall fails a call with the given reason, e.g. on a dropped request or
+// an expired deadline. Single-shot calls close; multi-shot calls stay open
+// (one lost branch must not tear down a streamed harvest).
+func (rt *Runtime) failCall(corr CorrID, ev Event, reason error) {
+	c, ok := rt.lookupCall(corr, false)
+	if !ok {
+		return
+	}
+	c.fn(rt, ev, nil, reason)
+}
+
+// Reply sends the answer of a request envelope back to its caller, arriving
+// at the given absolute virtual time (the sender accounts link latency). The
+// request's deadline carries over: a reply landing past it is dropped and
+// fails the call, instead of being delivered stale.
+func (rt *Runtime) Reply(from simnet.NodeID, req Envelope, payload simnet.Message, at simnet.VTime) error {
+	return rt.PostAt(from, req.ReplyTo, Envelope{
+		Corr:     req.Corr,
+		Deadline: req.Deadline,
+		Payload:  payload,
+		IsReply:  true,
+	}, at)
+}
+
+// ReplyErr reports a remote failure back to the caller.
+func (rt *Runtime) ReplyErr(from simnet.NodeID, req Envelope, err error, at simnet.VTime) error {
+	return rt.PostAt(from, req.ReplyTo,
+		Envelope{Corr: req.Corr, Deadline: req.Deadline, IsReply: true, Err: err}, at)
+}
+
+// Call posts a single request and registers a single-shot continuation. The
+// request arrives after delay; a nonzero timeout schedules a control event
+// that fails the call with ErrTimeout if no reply (or drop failure) arrived
+// first. The correlation id is returned so callers may Close early.
+func (rt *Runtime) Call(from, to simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, fn ReplyFn) (CorrID, error) {
+	corr := rt.Open(false, fn)
+	env := Envelope{Corr: corr, ReplyTo: from, Payload: payload}
+	if timeout > 0 {
+		env.Deadline = rt.Now() + delay + timeout
+		rt.After(delay+timeout, func(rt *Runtime, at simnet.VTime) {
+			rt.failCall(corr, Event{At: at, From: from, To: to, Msg: env}, ErrTimeout)
+		})
+	}
+	if err := rt.Post(from, to, env, delay); err != nil {
+		rt.Close(corr)
+		return 0, err
+	}
+	return corr, nil
+}
+
+// CallRetry is Call over an ordered candidate list: a request dropped at a
+// dead or saturated peer advances to the next candidate at the drop's
+// virtual instant, and the continuation observes only the final outcome —
+// the retry-on-dead-peer pattern of redundant routing references.
+func (rt *Runtime) CallRetry(from simnet.NodeID, candidates []simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, fn ReplyFn) error {
+	if len(candidates) == 0 {
+		return ErrNoActor
+	}
+	var attempt func(i int) error
+	attempt = func(i int) error {
+		_, err := rt.Call(from, candidates[i], payload, delay, timeout, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			if err != nil && i+1 < len(candidates) &&
+				(errors.Is(err, ErrActorDown) || errors.Is(err, ErrMailboxFull)) {
+				// Dead or saturated peer: move on. Posting errors at this
+				// point surface through the continuation, not a return value.
+				if postErr := attempt(i + 1); postErr != nil {
+					fn(rt, ev, nil, postErr)
+				}
+				return
+			}
+			fn(rt, ev, p, err)
+		})
+		return err
+	}
+	return attempt(0)
+}

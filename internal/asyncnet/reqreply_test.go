@@ -1,0 +1,257 @@
+package asyncnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// echoHandler replies to every request envelope with the same payload after
+// a fixed turnaround.
+func echoHandler(turnaround simnet.VTime) Handler {
+	return func(rt *Runtime, ev Event) {
+		env, ok := ev.Msg.(Envelope)
+		if !ok || env.IsReply {
+			return
+		}
+		_ = rt.Reply(ev.To, env, env.Payload, ev.At+turnaround)
+	}
+}
+
+// TestCallReply covers the happy path: the continuation receives the echoed
+// payload at the virtual time the reply reaches (and is processed by) the
+// caller.
+func TestCallReply(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(50))
+	rt.Register(2, 8, 0, nil)
+	var got simnet.Message
+	var at simnet.VTime
+	if _, err := rt.Call(2, 1, testMsg{id: 9}, 10, 0, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		if err != nil {
+			t.Errorf("continuation error: %v", err)
+		}
+		got, at = p, ev.At
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if got == nil || got.(testMsg).id != 9 {
+		t.Fatalf("reply payload = %v", got)
+	}
+	if at != 60 { // 10 request + 50 turnaround
+		t.Fatalf("reply processed at %d, want 60", at)
+	}
+	if rt.LateReplies() != 0 {
+		t.Fatalf("late replies = %d", rt.LateReplies())
+	}
+
+	// A timed call whose reply arrives in time must not be miscounted when
+	// its (now moot) timeout timer eventually fires.
+	ok := false
+	if _, err := rt.Call(2, 1, testMsg{id: 1}, 10, 10_000, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		ok = err == nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run() // drains both the reply and the timeout control event
+	if !ok {
+		t.Fatal("timed call did not complete successfully")
+	}
+	if rt.LateReplies() != 0 {
+		t.Fatalf("moot timeout counted as late reply: LateReplies = %d", rt.LateReplies())
+	}
+}
+
+// TestCallTimeout pins the timeout event: a silent peer fails the call with
+// ErrTimeout at the deadline, and the eventual reply — carrying the
+// propagated deadline — is dropped as expired rather than dispatched.
+func TestCallTimeout(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(500)) // replies long after the deadline
+	rt.Register(2, 8, 0, nil)
+	var errs []error
+	if _, err := rt.Call(2, 1, testMsg{}, 10, 100, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		errs = append(errs, err)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if len(errs) != 1 || !errors.Is(errs[0], ErrTimeout) {
+		t.Fatalf("continuation outcomes = %v, want one ErrTimeout", errs)
+	}
+	if rt.LateReplies() != 0 {
+		t.Fatalf("expired reply counted as late: LateReplies = %d", rt.LateReplies())
+	}
+
+	// A deadline-free reply to an already-closed call is the genuine
+	// late-reply case.
+	corr := rt.Open(false, func(rt *Runtime, ev Event, p simnet.Message, err error) {})
+	rt.Close(corr)
+	if err := rt.Reply(1, Envelope{Corr: corr, ReplyTo: 2}, testMsg{}, rt.Now()+5); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if rt.LateReplies() != 1 {
+		t.Fatalf("late replies = %d, want 1", rt.LateReplies())
+	}
+}
+
+// TestCallDropNacksImmediately: a request dropped at a down actor fails the
+// call at the drop's virtual instant — long before the timeout — so callers
+// can retry immediately.
+func TestCallDropNacksImmediately(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(0))
+	rt.Register(2, 8, 0, nil)
+	rt.SetDown(1, true)
+	var gotErr error
+	var at simnet.VTime
+	if _, err := rt.Call(2, 1, testMsg{}, 10, 10_000, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		gotErr, at = err, rt.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if !errors.Is(gotErr, ErrActorDown) {
+		t.Fatalf("continuation error = %v, want ErrActorDown", gotErr)
+	}
+	if at != 10 {
+		t.Fatalf("failure observed at %d, want 10 (the drop instant)", at)
+	}
+}
+
+// TestCallRetryFindsLivePeer walks the candidate list across two dead peers
+// and a full mailbox before succeeding on the live one.
+func TestCallRetryFindsLivePeer(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(5))
+	rt.Register(2, 8, 0, echoHandler(5))
+	rt.Register(3, 8, 0, echoHandler(5))
+	rt.Register(9, 8, 0, nil)
+	rt.SetDown(1, true)
+	rt.SetDown(2, true)
+	var ok bool
+	err := rt.CallRetry(9, []simnet.NodeID{1, 2, 3}, testMsg{id: 4}, 10, 0,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			if err != nil {
+				t.Errorf("final outcome error: %v", err)
+				return
+			}
+			ok = p.(testMsg).id == 4
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if !ok {
+		t.Fatal("retry chain did not reach the live peer")
+	}
+
+	// All candidates dead: the final outcome is the last drop error.
+	rt.SetDown(3, true)
+	var finalErr error
+	if err := rt.CallRetry(9, []simnet.NodeID{1, 2, 3}, testMsg{}, 10, 0,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) { finalErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if !errors.Is(finalErr, ErrActorDown) {
+		t.Fatalf("exhausted retry error = %v, want ErrActorDown", finalErr)
+	}
+}
+
+// TestEnvelopeDeadlineExpiresInFlight: a request whose deadline passes while
+// it is still in flight is dropped on arrival and fails its call with
+// ErrTimeout.
+func TestEnvelopeDeadlineExpiresInFlight(t *testing.T) {
+	rt := NewRuntime()
+	delivered := 0
+	rt.Register(1, 8, 0, func(rt *Runtime, ev Event) { delivered++ })
+	var gotErr error
+	corr := rt.Open(false, func(rt *Runtime, ev Event, p simnet.Message, err error) { gotErr = err })
+	env := Envelope{Corr: corr, ReplyTo: 0, Deadline: 50, Payload: testMsg{}}
+	if err := rt.Post(0, 1, env, 80); err != nil { // arrives at 80 > deadline 50
+		t.Fatal(err)
+	}
+	rt.Run()
+	if delivered != 0 {
+		t.Fatal("expired request still reached the handler")
+	}
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("expiry error = %v, want ErrTimeout", gotErr)
+	}
+}
+
+// TestMultiCallStreamsReplies: a multi-shot call harvests replies from many
+// peers under one correlation id, survives individual drop failures, and
+// stops only at Close.
+func TestMultiCallStreamsReplies(t *testing.T) {
+	rt := NewRuntime()
+	const initiator = simnet.NodeID(0)
+	rt.Register(initiator, 64, 0, nil)
+	var replies, failures int
+	corr := rt.Open(true, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		if err != nil {
+			failures++
+			return
+		}
+		replies++
+	})
+	req := Envelope{Corr: corr, ReplyTo: initiator}
+	for i := 1; i <= 5; i++ {
+		id := simnet.NodeID(i)
+		rt.Register(id, 8, 0, nil)
+		if err := rt.Reply(id, req, testMsg{id: i}, simnet.VTime(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One request dropped at a dead peer feeds a failure into the same call
+	// without closing it.
+	rt.Register(99, 8, 0, nil)
+	rt.SetDown(99, true)
+	if err := rt.Post(initiator, 99, Envelope{Corr: corr, ReplyTo: initiator, Payload: testMsg{}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if replies != 5 || failures != 1 {
+		t.Fatalf("replies=%d failures=%d, want 5/1", replies, failures)
+	}
+	if !rt.Close(corr) {
+		t.Fatal("multi call closed itself")
+	}
+}
+
+// TestRuntimeQueueAndBusyStats pins the new per-actor observability: with a
+// service time and burst arrivals, queue delay, busy time and max backlog
+// are all visible in ActorStats and AllStats.
+func TestRuntimeQueueAndBusyStats(t *testing.T) {
+	rt := NewRuntime()
+	var waits []simnet.VTime
+	rt.Register(5, 16, 10, func(rt *Runtime, ev Event) {
+		waits = append(waits, ev.At-ev.Enqueued)
+	})
+	for i := 0; i < 4; i++ {
+		if err := rt.Post(0, 5, testMsg{id: i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Run()
+	// Arrivals at 0, service 10: starts at 0,10,20,30 → waits 0,10,20,30.
+	if fmt.Sprint(waits) != fmt.Sprint([]simnet.VTime{0, 10, 20, 30}) {
+		t.Fatalf("waits = %v", waits)
+	}
+	st := rt.Stats(5)
+	if st.QueueDelay != 60 || st.Busy != 40 {
+		t.Fatalf("queue=%d busy=%d, want 60/40", st.QueueDelay, st.Busy)
+	}
+	if st.MaxBacklog != 4 {
+		t.Fatalf("max backlog = %d, want 4", st.MaxBacklog)
+	}
+	all := rt.AllStats()
+	if len(all) != 1 || all[0].ID != 5 || all[0].Stats != st {
+		t.Fatalf("AllStats = %+v", all)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/simnet"
@@ -16,6 +17,9 @@ var (
 	ErrMailboxFull = errors.New("asyncnet: mailbox full")
 	// ErrNoActor is returned by Post for an unregistered destination.
 	ErrNoActor = errors.New("asyncnet: no such actor")
+	// ErrActorDown marks a message dropped because the destination actor was
+	// down at arrival time.
+	ErrActorDown = errors.New("asyncnet: actor down")
 )
 
 // Event is one message delivery in the discrete-event runtime.
@@ -23,6 +27,10 @@ type Event struct {
 	// At is the virtual time of the delivery (for handlers: the time the
 	// actor starts processing the message).
 	At simnet.VTime
+	// Enqueued is the virtual time the message arrived at the actor's
+	// mailbox; At - Enqueued is the queueing delay the message waited behind
+	// earlier work.
+	Enqueued simnet.VTime
 	// From and To identify the link.
 	From, To simnet.NodeID
 	// Msg is the payload.
@@ -34,12 +42,20 @@ type Event struct {
 // messages (including to themselves, e.g. timers).
 type Handler func(rt *Runtime, ev Event)
 
-// item is a heap entry: an arrival or a processing start.
+// heap entry kinds.
+const (
+	kindArrival = iota // message reaches the destination mailbox
+	kindProcess        // actor starts processing a queued message
+	kindControl        // scheduler callback (timers, deadlines)
+)
+
+// item is a heap entry: an arrival, a processing start, or a control event.
 type item struct {
 	at   simnet.VTime
 	seq  uint64 // tie-break: FIFO among simultaneous events
-	kind int    // 0 = arrival, 1 = process
+	kind int
 	ev   Event
+	fn   func(rt *Runtime, at simnet.VTime) // kindControl only
 }
 
 type eventHeap []item
@@ -75,6 +91,9 @@ type actor struct {
 	delivered   int
 	droppedFull int
 	droppedDown int
+	maxPending  int
+	waitTotal   simnet.VTime // sum of (processing start - arrival) over deliveries
+	busyTotal   simnet.VTime // sum of service time over deliveries
 }
 
 // ActorStats reports one actor's counters.
@@ -83,6 +102,18 @@ type ActorStats struct {
 	DroppedFull int // messages dropped to mailbox backpressure
 	DroppedDown int // messages dropped while the actor was down
 	Pending     int // messages queued but not yet processed
+	MaxBacklog  int // largest mailbox depth ever observed (backpressure)
+	// QueueDelay is the total virtual time accepted messages waited in the
+	// mailbox before processing started.
+	QueueDelay simnet.VTime
+	// Busy is the total virtual service time the actor spent processing.
+	Busy simnet.VTime
+}
+
+// ActorLoad pairs an actor id with its stats for whole-runtime reports.
+type ActorLoad struct {
+	ID    simnet.NodeID
+	Stats ActorStats
 }
 
 // Runtime is a deterministic discrete-event scheduler: each registered actor
@@ -97,11 +128,19 @@ type Runtime struct {
 	heap   eventHeap
 	actors map[simnet.NodeID]*actor
 	trace  func(Event)
+
+	// request/reply state (see reqreply.go).
+	nextCorr    uint64
+	calls       map[CorrID]*call
+	lateReplies int
 }
 
 // NewRuntime returns an empty runtime at virtual time zero.
 func NewRuntime() *Runtime {
-	return &Runtime{actors: make(map[simnet.NodeID]*actor)}
+	return &Runtime{
+		actors: make(map[simnet.NodeID]*actor),
+		calls:  make(map[CorrID]*call),
+	}
 }
 
 // Register adds an actor. capacity bounds the mailbox (minimum 1); service
@@ -152,11 +191,37 @@ func (rt *Runtime) Now() simnet.VTime {
 func (rt *Runtime) Post(from, to simnet.NodeID, msg simnet.Message, delay simnet.VTime) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	return rt.postLocked(from, to, msg, rt.now+delay)
+}
+
+// PostAt schedules a message for arrival at the given absolute virtual time
+// (clamped to Now() so the past cannot be rewritten). Handlers use it to
+// forward a message whose arrival time was computed externally, e.g. by a
+// fabric's latency model.
+func (rt *Runtime) PostAt(from, to simnet.NodeID, msg simnet.Message, at simnet.VTime) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if at < rt.now {
+		at = rt.now
+	}
+	return rt.postLocked(from, to, msg, at)
+}
+
+func (rt *Runtime) postLocked(from, to simnet.NodeID, msg simnet.Message, at simnet.VTime) error {
 	if _, ok := rt.actors[to]; !ok {
 		return fmt.Errorf("%w: %d", ErrNoActor, to)
 	}
-	rt.push(item{at: rt.now + delay, kind: 0, ev: Event{At: rt.now + delay, From: from, To: to, Msg: msg}})
+	rt.push(item{at: at, kind: kindArrival, ev: Event{At: at, From: from, To: to, Msg: msg}})
 	return nil
+}
+
+// After schedules fn to run on the scheduler at Now()+delay. Control events
+// bypass mailboxes and service times; the request/reply facility uses them
+// for timeouts, and drivers may use them as timers.
+func (rt *Runtime) After(delay simnet.VTime, fn func(rt *Runtime, at simnet.VTime)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.push(item{at: rt.now + delay, kind: kindControl, fn: fn})
 }
 
 // push assigns the FIFO sequence under rt.mu.
@@ -178,29 +243,56 @@ func (rt *Runtime) Step() bool {
 	if it.at > rt.now {
 		rt.now = it.at
 	}
+	if it.kind == kindControl {
+		fn := it.fn
+		at := it.at
+		rt.mu.Unlock()
+		if fn != nil {
+			fn(rt, at)
+		}
+		return true
+	}
 	a := rt.actors[it.ev.To]
 	switch it.kind {
-	case 0: // arrival
+	case kindArrival:
+		var dropErr error
+		expired := false
+		if env, ok := it.ev.Msg.(Envelope); ok && env.Deadline > 0 && rt.now > env.Deadline {
+			expired = true
+		}
 		switch {
+		case expired:
+			dropErr = ErrTimeout
 		case a == nil || a.down:
 			if a != nil {
 				a.droppedDown++
 			}
+			dropErr = ErrActorDown
 		case a.pending >= a.capacity:
 			a.droppedFull++
+			dropErr = ErrMailboxFull
 		default:
 			a.pending++
+			if a.pending > a.maxPending {
+				a.maxPending = a.pending
+			}
 			start := rt.now
 			if a.busyUntil > start {
 				start = a.busyUntil
 			}
 			a.busyUntil = start + a.service
+			a.waitTotal += start - rt.now
+			a.busyTotal += a.service
 			ev := it.ev
+			ev.Enqueued = rt.now
 			ev.At = start
-			rt.push(item{at: start, kind: 1, ev: ev})
+			rt.push(item{at: start, kind: kindProcess, ev: ev})
 		}
 		rt.mu.Unlock()
-	case 1: // processing start
+		if dropErr != nil {
+			rt.notifyDrop(it.ev, dropErr)
+		}
+	case kindProcess:
 		a.pending--
 		a.delivered++
 		handler := a.handler
@@ -210,11 +302,28 @@ func (rt *Runtime) Step() bool {
 		if trace != nil {
 			trace(ev)
 		}
+		// Reply envelopes dispatch to the registered continuation; everything
+		// else (requests included) goes to the actor's handler. Either way the
+		// message paid its mailbox wait and service time above.
+		if env, ok := ev.Msg.(Envelope); ok && env.IsReply {
+			rt.dispatchReply(ev, env)
+			return true
+		}
 		if handler != nil {
 			handler(rt, ev)
 		}
 	}
 	return true
+}
+
+// notifyDrop routes a dropped envelope to whoever is waiting on it: request
+// envelopes fail their registered call at the drop's virtual instant (so
+// callers can retry on a live peer immediately), reply envelopes fail the
+// call they were answering. Runs outside rt.mu.
+func (rt *Runtime) notifyDrop(ev Event, reason error) {
+	if env, ok := ev.Msg.(Envelope); ok {
+		rt.failCall(env.Corr, ev, reason)
+	}
 }
 
 // Run drains the event queue, returning the number of processed events.
@@ -253,10 +362,30 @@ func (rt *Runtime) Stats(id simnet.NodeID) ActorStats {
 	if !ok {
 		return ActorStats{}
 	}
+	return a.stats()
+}
+
+func (a *actor) stats() ActorStats {
 	return ActorStats{
 		Delivered:   a.delivered,
 		DroppedFull: a.droppedFull,
 		DroppedDown: a.droppedDown,
 		Pending:     a.pending,
+		MaxBacklog:  a.maxPending,
+		QueueDelay:  a.waitTotal,
+		Busy:        a.busyTotal,
 	}
+}
+
+// AllStats snapshots every actor's counters, ordered by id, so tools can
+// render per-peer load tables deterministically.
+func (rt *Runtime) AllStats() []ActorLoad {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]ActorLoad, 0, len(rt.actors))
+	for id, a := range rt.actors {
+		out = append(out, ActorLoad{ID: id, Stats: a.stats()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

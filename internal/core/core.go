@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/asyncnet"
 	"repro/internal/metrics"
@@ -31,6 +32,52 @@ import (
 	"repro/internal/triples"
 	"repro/internal/vql"
 )
+
+// RuntimeMode selects how queries execute on the simulated overlay.
+type RuntimeMode int
+
+const (
+	// RuntimeDirect is the paper's serial shared-memory simulator: operators
+	// are direct calls, logically parallel branches chain, and virtual time
+	// is pure arithmetic.
+	RuntimeDirect RuntimeMode = iota
+	// RuntimeFanout keeps direct-call operators but executes logically
+	// parallel branches on goroutines (asyncnet.Net), so simulated latency
+	// follows the critical path and wall-clock time shrinks with cores.
+	RuntimeFanout
+	// RuntimeActor runs the operators themselves as message handlers on the
+	// asyncnet discrete-event runtime: every peer is an actor with a mailbox
+	// and a service time, making queueing delay, backpressure and per-peer
+	// load first-class observables. Results, routes and hop counts are
+	// identical to the other modes for the same seed.
+	RuntimeActor
+)
+
+// String names the mode for flags and reports.
+func (m RuntimeMode) String() string {
+	switch m {
+	case RuntimeFanout:
+		return "fanout"
+	case RuntimeActor:
+		return "actor"
+	default:
+		return "direct"
+	}
+}
+
+// ParseRuntimeMode maps the -exec flag syntax to a RuntimeMode.
+func ParseRuntimeMode(s string) (RuntimeMode, error) {
+	switch s {
+	case "", "direct", "sync":
+		return RuntimeDirect, nil
+	case "fanout", "async":
+		return RuntimeFanout, nil
+	case "actor":
+		return RuntimeActor, nil
+	default:
+		return 0, fmt.Errorf("core: unknown execution mode %q (want direct, fanout or actor)", s)
+	}
+}
 
 // Config assembles the sub-system configurations.
 type Config struct {
@@ -44,23 +91,36 @@ type Config struct {
 	// Plan configures query planning, notably the similarity method
 	// (q-grams, q-samples, or the naive scan).
 	Plan plan.Options
-	// Async selects the concurrent asyncnet runtime: logically parallel
-	// query branches (shower fan-out, similarity expansion, top-N probes,
-	// join selections) execute on goroutines and simulated latency follows
-	// the critical path. The default is the paper's serial shared-memory
-	// simulator.
+	// Runtime selects the execution mode (direct, fanout, actor). The
+	// default is the paper's serial shared-memory simulator.
+	Runtime RuntimeMode
+	// Async is the legacy switch for RuntimeFanout; it is honoured when
+	// Runtime is left at the default.
 	Async bool
-	// Workers bounds the async runtime's fan-out goroutines (0 = default).
+	// Workers bounds the fanout runtime's goroutines (0 = default).
 	Workers int
 	// Latency models per-link propagation delay (nil = instantaneous, the
 	// paper's cost model). With a model set, queries report simulated
-	// latency and hop counts under both runtimes.
+	// latency and hop counts under every runtime.
 	Latency asyncnet.LatencyModel
+	// Service is each peer's per-message service time in actor mode;
+	// nonzero values make congestion (queueing delay, backlog) visible
+	// under load.
+	Service time.Duration
+	// Mailbox bounds each peer's actor mailbox in actor mode (0 =
+	// effectively unbounded).
+	Mailbox int
+	// LatencyAwareRefs routes via the live reference with the lowest
+	// expected link latency instead of the hashed choice (needs Latency).
+	LatencyAwareRefs bool
 }
 
 func (c *Config) normalize() {
 	if c.Peers <= 0 {
 		c.Peers = 64
+	}
+	if c.Runtime == RuntimeDirect && c.Async {
+		c.Runtime = RuntimeFanout
 	}
 	if c.Grid.RefsPerLevel == 0 && c.Grid.Replication == 0 && c.Grid.MaxDepth == 0 {
 		seed := c.Grid.Seed
@@ -68,6 +128,16 @@ func (c *Config) normalize() {
 		if seed != 0 {
 			c.Grid.Seed = seed
 		}
+	}
+	if c.Runtime == RuntimeActor {
+		c.Grid.Exec = pgrid.ExecActor
+		c.Grid.Service = simnet.VTimeOf(c.Service)
+		c.Grid.Mailbox = c.Mailbox
+	}
+	if c.LatencyAwareRefs {
+		// Raise-only: a caller configuring pgrid.Config directly keeps their
+		// setting.
+		c.Grid.LatencyAwareRefs = true
 	}
 }
 
@@ -92,7 +162,7 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	net := simnet.New(cfg.Peers)
 	net.SetLatency(asyncnet.Func(cfg.Latency))
 	var fab simnet.Fabric = net
-	if cfg.Async {
+	if cfg.Runtime == RuntimeFanout {
 		fab = asyncnet.NewNet(net, asyncnet.Options{Workers: cfg.Workers})
 	}
 	sampler := ops.NewStore(nil, cfg.Store)
@@ -118,11 +188,18 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 func (e *Engine) Net() *simnet.Network { return e.net }
 
 // Fabric exposes the sending surface the overlay runs on: the serial
-// *simnet.Network, or the concurrent *asyncnet.Net when opened with Async.
+// *simnet.Network, or the concurrent *asyncnet.Net in fanout mode.
 func (e *Engine) Fabric() simnet.Fabric { return e.fab }
 
-// Async reports whether the engine runs on the concurrent runtime.
-func (e *Engine) Async() bool { return e.cfg.Async }
+// Async reports whether the engine runs on the concurrent fanout runtime.
+func (e *Engine) Async() bool { return e.cfg.Runtime == RuntimeFanout }
+
+// Mode reports the engine's execution mode.
+func (e *Engine) Mode() RuntimeMode { return e.cfg.Runtime }
+
+// Runtime exposes the discrete-event runtime of an actor-mode engine (nil
+// otherwise): tools read per-peer mailbox and load stats from it.
+func (e *Engine) Runtime() *asyncnet.Runtime { return e.grid.Runtime() }
 
 // Grid exposes the overlay.
 func (e *Engine) Grid() *pgrid.Grid { return e.grid }

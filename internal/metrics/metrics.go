@@ -39,6 +39,12 @@ type Tally struct {
 	// operations sharing a tally chain naturally: each starts at the
 	// previous maximum (see PathEnd).
 	Latency int64
+	// Queue is the total virtual time (µs) the query's messages spent
+	// waiting in actor mailboxes before processing began, summed over every
+	// delivery. Only the actor executor produces queueing: the chained
+	// executors model links but not per-peer serialization, so they always
+	// report zero.
+	Queue int64
 }
 
 // Add records one message of the given payload size.
@@ -56,6 +62,15 @@ func (t *Tally) ObservePath(hops, endUS int64) {
 	}
 	atomicMax(&t.Hops, hops)
 	atomicMax(&t.Latency, endUS)
+}
+
+// AddQueue accumulates mailbox waiting time (µs) observed by one delivered
+// message. Nil-safe, like ObservePath.
+func (t *Tally) AddQueue(waitUS int64) {
+	if t == nil || waitUS <= 0 {
+		return
+	}
+	atomic.AddInt64(&t.Queue, waitUS)
 }
 
 // PathEnd returns the latest observed path completion time, the virtual
@@ -83,6 +98,7 @@ func (t *Tally) Snapshot() Tally {
 		Bytes:    atomic.LoadInt64(&t.Bytes),
 		Hops:     atomic.LoadInt64(&t.Hops),
 		Latency:  atomic.LoadInt64(&t.Latency),
+		Queue:    atomic.LoadInt64(&t.Queue),
 	}
 }
 
@@ -96,11 +112,12 @@ func atomicMax(p *int64, v int64) {
 	}
 }
 
-// AddTally merges another tally into t: counters sum, path measures
-// max-fold.
+// AddTally merges another tally into t: counters (messages, bytes, queueing
+// delay) sum, path measures max-fold.
 func (t *Tally) AddTally(o Tally) {
 	atomic.AddInt64(&t.Messages, o.Messages)
 	atomic.AddInt64(&t.Bytes, o.Bytes)
+	atomic.AddInt64(&t.Queue, o.Queue)
 	atomicMax(&t.Hops, o.Hops)
 	atomicMax(&t.Latency, o.Latency)
 }
@@ -114,6 +131,7 @@ func (t Tally) Sub(o Tally) Tally {
 		Bytes:    t.Bytes - o.Bytes,
 		Hops:     t.Hops - o.Hops,
 		Latency:  t.Latency - o.Latency,
+		Queue:    t.Queue - o.Queue,
 	}
 }
 
@@ -122,6 +140,9 @@ func (t Tally) String() string {
 	s := fmt.Sprintf("%d msgs / %d bytes", t.Messages, t.Bytes)
 	if t.Hops > 0 || t.Latency > 0 {
 		s += fmt.Sprintf(" / %d hops / %.2fms", t.Hops, float64(t.Latency)/1000)
+	}
+	if t.Queue > 0 {
+		s += fmt.Sprintf(" / %.2fms queued", float64(t.Queue)/1000)
 	}
 	return s
 }
@@ -250,6 +271,7 @@ type Collector struct {
 
 	latency *Histogram
 	hops    *Histogram
+	queue   *Histogram
 }
 
 // NewCollector returns an empty collector.
@@ -258,6 +280,7 @@ func NewCollector() *Collector {
 		byKind:  make(map[string]Tally),
 		latency: NewHistogram(LatencyBounds()),
 		hops:    NewHistogram(HopBounds()),
+		queue:   NewHistogram(LatencyBounds()),
 	}
 }
 
@@ -273,14 +296,16 @@ func (c *Collector) Record(kind string, bytes int) {
 	c.byKind[kind] = t
 }
 
-// ObserveQuery folds one completed query's path measures into the latency
-// and hop histograms. Queries with no recorded path (hops == 0) are skipped.
+// ObserveQuery folds one completed query's path measures into the latency,
+// hop and queueing histograms. Queries with no recorded path (hops == 0) are
+// skipped.
 func (c *Collector) ObserveQuery(t Tally) {
 	if t.Hops == 0 && t.Latency == 0 {
 		return
 	}
 	c.hops.Observe(float64(t.Hops))
 	c.latency.Observe(float64(t.Latency))
+	c.queue.Observe(float64(t.Queue))
 }
 
 // LatencyHist exposes the per-query simulated latency histogram (µs).
@@ -288,6 +313,10 @@ func (c *Collector) LatencyHist() *Histogram { return c.latency }
 
 // HopsHist exposes the per-query hop-count histogram.
 func (c *Collector) HopsHist() *Histogram { return c.hops }
+
+// QueueHist exposes the per-query total queueing-delay histogram (µs),
+// populated only by the actor executor.
+func (c *Collector) QueueHist() *Histogram { return c.queue }
 
 // Total returns a snapshot of the aggregate tally.
 func (c *Collector) Total() Tally {
@@ -316,6 +345,7 @@ func (c *Collector) Reset() {
 	c.mu.Unlock()
 	c.latency.Reset()
 	c.hops.Reset()
+	c.queue.Reset()
 }
 
 // Report renders a deterministic multi-line per-kind breakdown, sorted by
@@ -345,6 +375,11 @@ func (c *Collector) QueryReport() string {
 		fmt.Fprintf(&b, "latency: mean=%.2fms p50=%.2fms p95=%.2fms max=%.2fms\n",
 			c.latency.Mean()/1000, c.latency.Quantile(0.5)/1000,
 			c.latency.Quantile(0.95)/1000, c.latency.Max()/1000)
+		if c.queue.Max() > 0 {
+			fmt.Fprintf(&b, "queued:  mean=%.2fms p50=%.2fms p95=%.2fms max=%.2fms (actor mailbox wait)\n",
+				c.queue.Mean()/1000, c.queue.Quantile(0.5)/1000,
+				c.queue.Quantile(0.95)/1000, c.queue.Max()/1000)
+		}
 	}
 	return b.String()
 }

@@ -186,3 +186,54 @@ func TestCollectorObserveQuery(t *testing.T) {
 		t.Error("Reset did not clear query histograms")
 	}
 }
+
+func TestTallyQueueAccounting(t *testing.T) {
+	var tally Tally
+	tally.AddQueue(0)  // zero waits are free
+	tally.AddQueue(-5) // defensive: never decrement
+	tally.AddQueue(1200)
+	tally.AddQueue(800)
+	if got := tally.Snapshot().Queue; got != 2000 {
+		t.Fatalf("Queue = %d, want 2000", got)
+	}
+	var nilTally *Tally
+	nilTally.AddQueue(100) // nil-safe like ObservePath
+
+	var sum Tally
+	sum.AddTally(tally.Snapshot())
+	sum.AddTally(Tally{Queue: 500})
+	if sum.Queue != 2500 {
+		t.Fatalf("AddTally queue = %d, want summed 2500", sum.Queue)
+	}
+	if d := sum.Sub(tally.Snapshot()); d.Queue != 500 {
+		t.Fatalf("Sub queue = %d, want 500", d.Queue)
+	}
+	s := Tally{Messages: 1, Hops: 2, Latency: 3000, Queue: 1500}.String()
+	if !strings.Contains(s, "queued") {
+		t.Fatalf("String() = %q, want queueing rendered", s)
+	}
+	if s := (Tally{Messages: 1}).String(); strings.Contains(s, "queued") {
+		t.Fatalf("String() = %q renders zero queueing", s)
+	}
+}
+
+func TestCollectorQueueHistogram(t *testing.T) {
+	c := NewCollector()
+	c.ObserveQuery(Tally{Hops: 3, Latency: 10_000, Queue: 4_000})
+	c.ObserveQuery(Tally{Hops: 5, Latency: 20_000, Queue: 0})
+	if c.QueueHist().Count() != 2 {
+		t.Fatalf("queue observations = %d, want 2", c.QueueHist().Count())
+	}
+	if r := c.QueryReport(); !strings.Contains(r, "queued") {
+		t.Errorf("QueryReport without queue line: %q", r)
+	}
+	c.Reset()
+	if c.QueueHist().Count() != 0 {
+		t.Error("Reset did not clear queue histogram")
+	}
+	// A run with no queueing (chained executors) hides the line.
+	c.ObserveQuery(Tally{Hops: 3, Latency: 10_000})
+	if r := c.QueryReport(); strings.Contains(r, "queued") {
+		t.Errorf("QueryReport renders queue line without queueing: %q", r)
+	}
+}

@@ -87,7 +87,7 @@ func (s *Store) SimJoin(t *metrics.Tally, from simnet.NodeID, ln, rn string, d i
 	matches := make([][]Match, len(sels))
 	errs := make([]error, len(sels))
 	start := simnet.VTime(t.PathEnd())
-	s.grid.Net().Fanout(start, len(sels), func(i int, st simnet.VTime) simnet.VTime {
+	s.grid.Fanout(start, len(sels), func(i int, st simnet.VTime) simnet.VTime {
 		ms, end, err := s.similarAt(t, from, sels[i].Triple.Val.Str, rn, d, opts.Similar, st)
 		matches[i], errs[i] = ms, err
 		return end

@@ -83,7 +83,7 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 	if withShort {
 		branches = 2
 	}
-	end := s.grid.Net().Fanout(start, branches, func(i int, st simnet.VTime) simnet.VTime {
+	end := s.grid.Fanout(start, branches, func(i int, st simnet.VTime) simnet.VTime {
 		if i == 0 {
 			var e simnet.VTime
 			gramOids, e, gramErr = s.gramCandidates(t, from, needle, attr, d, opts, st)
@@ -184,7 +184,7 @@ func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
 	}
 	results := make([][]triples.Posting, len(ks))
 	errs := make([]error, len(ks))
-	end := s.grid.Net().Fanout(start, len(ks), func(i int, st simnet.VTime) simnet.VTime {
+	end := s.grid.Fanout(start, len(ks), func(i int, st simnet.VTime) simnet.VTime {
 		ps, e, err := s.grid.LookupAt(t, from, ks[i], st)
 		results[i], errs[i] = ps, err
 		return e
@@ -238,7 +238,7 @@ func (s *Store) shortCandidates(t *metrics.Tally, from simnet.NodeID, needle, at
 	}
 	results := make([][]triples.Posting, len(cat))
 	errs := make([]error, len(cat))
-	end = s.grid.Net().Fanout(end, len(cat), func(i int, st simnet.VTime) simnet.VTime {
+	end = s.grid.Fanout(end, len(cat), func(i int, st simnet.VTime) simnet.VTime {
 		res, e, err := s.grid.PrefixQueryAt(t, from, triples.AttrPrefix(cat[i].Triple.Attr),
 			pgrid.RangeOptions{}, st)
 		results[i], errs[i] = res, err

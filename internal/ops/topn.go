@@ -142,7 +142,7 @@ func (s *Store) TopN(t *metrics.Tally, from simnet.NodeID, attr string, n int, r
 		segResults := make([][]triples.Posting, len(segs))
 		segErrs := make([]error, len(segs))
 		start := simnet.VTime(t.PathEnd())
-		s.grid.Net().Fanout(start, len(segs), func(i int, st simnet.VTime) simnet.VTime {
+		s.grid.Fanout(start, len(segs), func(i int, st simnet.VTime) simnet.VTime {
 			res, e, err := s.rangeNumericAt(t, from, attr, segs[i][0], segs[i][1], st)
 			segResults[i], segErrs[i] = res, err
 			return e

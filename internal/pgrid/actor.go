@@ -1,0 +1,578 @@
+package pgrid
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/asyncnet"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// actorExec runs query operators as message handlers on a discrete-event
+// runtime: every peer is an actor with a bounded mailbox and a per-message
+// service time, and every routing step, shower split, multicast split,
+// replica apply and result return is a real request or reply message with a
+// correlation id. Congestion is therefore modelled, not simulated by
+// arithmetic: messages wait behind earlier work in mailboxes, the wait is
+// tallied as queueing delay, and per-peer service load and backlog are
+// observable on the runtime.
+//
+// Invariants shared with the chained executor:
+//
+//   - every operation consumes exactly one membership epoch (the view in its
+//     actorOp), so structural churn stays safe mid-flight;
+//   - routes are picked by the same pure pickRef and the network cost of
+//     every step is accounted through the same fabric wire messages, so for
+//     a fixed seed, results, routes, hop counts, messages and bytes are
+//     identical across executors — only latency gains the queueing and
+//     service terms the arithmetic model cannot express.
+type actorExec struct {
+	g       *Grid
+	rt      *asyncnet.Runtime
+	service simnet.VTime
+	mailbox int
+
+	mu  sync.Mutex
+	ops map[asyncnet.CorrID]*actorOp
+}
+
+// actorMailboxDefault effectively unbounds mailboxes unless the
+// configuration asks for backpressure studies: dropping operator messages
+// would diverge from the chained executors' results.
+const actorMailboxDefault = 1 << 20
+
+func newActorExec(g *Grid) *actorExec {
+	mb := g.cfg.Mailbox
+	if mb <= 0 {
+		mb = actorMailboxDefault
+	}
+	return &actorExec{
+		g:       g,
+		rt:      asyncnet.NewRuntime(),
+		service: g.cfg.Service,
+		mailbox: mb,
+		ops:     make(map[asyncnet.CorrID]*actorOp),
+	}
+}
+
+// attach registers a peer as an actor. Departed peers stay registered: an
+// in-flight operation on an older epoch may still address them, and its view
+// keeps their stores readable (the drain semantics of epoch snapshots).
+func (x *actorExec) attach(id simnet.NodeID) {
+	x.rt.Register(id, x.mailbox, x.service, x.handle)
+}
+
+// opKind selects the routed operation's action at the responsible peer.
+type opKind int
+
+const (
+	opLookup opKind = iota
+	opInsert
+	opDelete
+	opShower
+	opMulti
+)
+
+// actorOp is the in-flight state of one operation: its epoch snapshot,
+// parameters, result collector and the outstanding-message counter that
+// detects completion (an operation is done when every posted message has
+// been processed, dropped or failed).
+type actorOp struct {
+	corr asyncnet.CorrID
+	v    *view
+	t    *metrics.Tally
+	from simnet.NodeID
+	kind opKind
+	// base maps runtime time back to the operation's requested timeline:
+	// the runtime clock is monotonic across operations, while callers chain
+	// operations from explicit start times.
+	base simnet.VTime
+	// deadline, when nonzero, is the runtime-timeline instant after which
+	// the operation's messages are stale: arrivals past it are dropped by
+	// the runtime and fail their step with ErrTimeout.
+	deadline simnet.VTime
+
+	// routed-operation parameters.
+	orig    keys.Key
+	target  keys.Key
+	salt    uint64
+	posting triples.Posting
+	match   func(triples.Posting) bool
+	// shower parameters.
+	iv, ivH keys.Interval
+	opts    RangeOptions
+
+	mu      sync.Mutex
+	pending int
+	results []triples.Posting
+	errs    []error
+	deleted bool
+	maxEnd  simnet.VTime // latest observed path end, runtime timeline
+	done    chan struct{}
+}
+
+// addPending records n in-flight messages.
+func (op *actorOp) addPending(n int) {
+	op.mu.Lock()
+	op.pending += n
+	op.mu.Unlock()
+}
+
+// finishMsg resolves one in-flight message; the last one completes the
+// operation.
+func (op *actorOp) finishMsg() {
+	op.mu.Lock()
+	op.pending--
+	last := op.pending == 0
+	op.mu.Unlock()
+	if last {
+		close(op.done)
+	}
+}
+
+// recordErr notes a failure without resolving a message.
+func (op *actorOp) recordErr(err error) {
+	op.mu.Lock()
+	op.errs = append(op.errs, err)
+	op.mu.Unlock()
+}
+
+// fail resolves one in-flight message with a failure (dropped or unpostable).
+func (op *actorOp) fail(err error) {
+	op.recordErr(err)
+	op.finishMsg()
+}
+
+// observe folds one completed path into the tally on the operation's own
+// timeline and tracks the operation's end time.
+func (op *actorOp) observe(hops int64, endRT simnet.VTime) {
+	op.t.ObservePath(hops, int64(endRT-op.base))
+	op.mu.Lock()
+	if endRT > op.maxEnd {
+		op.maxEnd = endRT
+	}
+	op.mu.Unlock()
+}
+
+// stop is the routing loop's termination predicate.
+func (op *actorOp) stop(p *Peer) bool {
+	if op.kind == opShower {
+		return op.ivH.OverlapsPrefix(p.path)
+	}
+	return p.Responsible(op.target)
+}
+
+// wire builds the accounted fabric message of one forwarding step.
+func (op *actorOp) wire() simnet.Message {
+	switch op.kind {
+	case opInsert:
+		return insertMsg{key: op.orig, posting: op.posting}
+	case opDelete:
+		return deleteMsg{key: op.orig}
+	case opShower:
+		return rangeMsg{iv: op.iv, filterBytes: op.opts.FilterBytes}
+	default:
+		return lookupMsg{key: op.orig}
+	}
+}
+
+// newOp builds an operation around one epoch snapshot and registers its
+// result-return continuation under a fresh correlation id.
+func (x *actorExec) newOp(v *view, t *metrics.Tally, from simnet.NodeID, kind opKind, start simnet.VTime) (*actorOp, simnet.VTime) {
+	op := &actorOp{v: v, t: t, from: from, kind: kind, done: make(chan struct{})}
+	op.corr = x.rt.Open(true, func(rt *asyncnet.Runtime, ev asyncnet.Event, payload simnet.Message, err error) {
+		if err != nil {
+			op.fail(err)
+			return
+		}
+		// The reply paid the initiator's mailbox wait and service time like
+		// any other message; harvest it.
+		op.t.AddQueue(int64(ev.At - ev.Enqueued))
+		r := payload.(opResult)
+		op.mu.Lock()
+		op.results = append(op.results, r.postings...)
+		op.mu.Unlock()
+		op.observe(r.hops, ev.At)
+		op.finishMsg()
+	})
+	at := start
+	if now := x.rt.Now(); at < now {
+		at = now
+	}
+	op.base = at - start
+	op.maxEnd = at
+	if x.g.cfg.Deadline > 0 {
+		op.deadline = at + x.g.cfg.Deadline
+	}
+	x.mu.Lock()
+	x.ops[op.corr] = op
+	x.mu.Unlock()
+	return op, at
+}
+
+// post schedules one protocol message, counting it against the operation.
+// arriveAt is the runtime-timeline arrival computed by the fabric's latency
+// model at send time.
+func (x *actorExec) post(op *actorOp, from, to simnet.NodeID, payload simnet.Message, arriveAt simnet.VTime) {
+	op.addPending(1)
+	env := asyncnet.Envelope{Corr: op.corr, ReplyTo: op.from, Deadline: op.deadline, Payload: payload}
+	if err := x.rt.PostAt(from, to, env, arriveAt); err != nil {
+		op.fail(err)
+	}
+}
+
+// reply sends the result-return leg: the fabric accounts a resultMsg from
+// the contacted peer to the initiator, and the matching reply envelope is
+// dispatched to the operation's continuation after queueing at the
+// initiator. A send failure (initiator crashed) mirrors the chained
+// executor: the error is recorded and the results are lost.
+func (x *actorExec) reply(op *actorOp, from simnet.NodeID, res []triples.Posting, hops int64, departRT simnet.VTime) bool {
+	arrive, err := x.g.net.SendTimed(op.t, from, op.from, resultMsg{postings: res}, departRT)
+	if err != nil {
+		op.recordErr(err)
+		return false
+	}
+	op.addPending(1)
+	if err := x.rt.Reply(from, asyncnet.Envelope{Corr: op.corr, ReplyTo: op.from, Deadline: op.deadline},
+		opResult{postings: res, hops: hops + 1}, arrive); err != nil {
+		op.fail(err)
+		return false
+	}
+	return true
+}
+
+// run drains the runtime until the operation completes, then collects its
+// outcome. Multiple goroutines may pump one shared runtime: whoever steps an
+// event executes its handler, and completion is signalled through the
+// operation's counter, so waiting never depends on which goroutine processed
+// the final message.
+//
+// Results, routes, hops and message counts stay exact under concurrent
+// issue, but per-operation latency and queueing tallies are only exact
+// under sequential issue: operations issued concurrently from several
+// goroutines share one monotonic runtime clock, so an operation's arrivals
+// can be clamped forward past virtual time another operation's pump has
+// already consumed, inflating its reported latency (the tools and
+// benchmarks issue sequentially; see the cross-operation item in ROADMAP).
+func (x *actorExec) run(op *actorOp) ([]triples.Posting, simnet.VTime, error) {
+	for {
+		select {
+		case <-op.done:
+			x.release(op)
+			op.mu.Lock()
+			res, end, err := op.results, op.maxEnd-op.base, errors.Join(op.errs...)
+			op.mu.Unlock()
+			return res, end, err
+		default:
+		}
+		if !x.rt.Step() {
+			// Nothing schedulable: either the operation just completed on
+			// another goroutine, or its next event is mid-processing there.
+			select {
+			case <-op.done:
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func (x *actorExec) release(op *actorOp) {
+	x.rt.Close(op.corr)
+	x.mu.Lock()
+	delete(x.ops, op.corr)
+	x.mu.Unlock()
+}
+
+// opFor resolves the operation a delivered envelope belongs to.
+func (x *actorExec) opFor(corr asyncnet.CorrID) *actorOp {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.ops[corr]
+}
+
+// handle is the per-peer message handler: it dispatches one delivered
+// protocol message for the peer the runtime addressed (ev.To) against the
+// owning operation's epoch snapshot.
+func (x *actorExec) handle(rt *asyncnet.Runtime, ev asyncnet.Event) {
+	env, ok := ev.Msg.(asyncnet.Envelope)
+	if !ok {
+		return
+	}
+	op := x.opFor(env.Corr)
+	if op == nil {
+		return
+	}
+	op.t.AddQueue(int64(ev.At - ev.Enqueued))
+	switch m := env.Payload.(type) {
+	case routeStepMsg:
+		x.onRouteStep(op, ev, m)
+	case multiStepMsg:
+		x.onMultiStep(op, ev, m)
+	case showerStepMsg:
+		x.onShowerStep(op, ev, m.scope, m.hops)
+	case applyMsg:
+		x.onApply(op, ev, m)
+	}
+}
+
+// onRouteStep is the actor form of the chained routing loop: one iteration
+// per delivery.
+func (x *actorExec) onRouteStep(op *actorOp, ev asyncnet.Event, m routeStepMsg) {
+	defer op.finishMsg()
+	if m.budget <= 0 {
+		op.recordErr(ErrRoutingExhausted)
+		return
+	}
+	here, now := ev.To, ev.At
+	p, err := op.v.peer(here)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	if op.stop(p) {
+		x.arrived(op, ev, p, m.hops)
+		return
+	}
+	l := p.path.CommonPrefixLen(op.target)
+	next, err := x.g.pickRef(op.v, p, l, op.salt)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	arrive, err := x.g.net.SendTimed(op.t, here, next, op.wire(), now)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	x.post(op, here, next, routeStepMsg{hops: m.hops + 1, budget: m.budget - 1}, arrive)
+}
+
+// arrived performs the operation's action at the peer the routing loop
+// stopped at.
+func (x *actorExec) arrived(op *actorOp, ev asyncnet.Event, p *Peer, hops int64) {
+	here, now := ev.To, ev.At
+	switch op.kind {
+	case opLookup:
+		res := p.localPrefix(op.orig)
+		if len(res) > 0 || x.g.cfg.ReplyEmpty {
+			if !x.reply(op, here, res, hops, now) {
+				// Mirror chainExec.lookup's error path: the postings were
+				// found even though the result message failed, so the caller
+				// still receives them alongside the recorded error.
+				op.mu.Lock()
+				op.results = append(op.results, res...)
+				op.mu.Unlock()
+				op.observe(hops, now)
+			}
+			return
+		}
+		op.observe(hops, now)
+	case opInsert:
+		p.localPut(op.orig, op.posting)
+		x.applyAtReplicas(op, p, here, false, hops, now)
+	case opDelete:
+		deleted := p.localDelete(op.orig, op.match)
+		if deleted {
+			op.mu.Lock()
+			op.deleted = true
+			op.mu.Unlock()
+		}
+		x.applyAtReplicas(op, p, here, true, hops, now)
+	case opShower:
+		x.onShowerStep(op, ev, 0, hops)
+	}
+}
+
+// applyAtReplicas pushes a routed write to the partition's structural
+// replicas; each push is an accounted fabric message followed by an apply at
+// the replica's actor.
+func (x *actorExec) applyAtReplicas(op *actorOp, p *Peer, here simnet.NodeID, del bool, hops int64, now simnet.VTime) {
+	end := now
+	wire := func() simnet.Message {
+		if del {
+			return deleteMsg{key: op.orig}
+		}
+		return replicateMsg{key: op.orig, posting: op.posting}
+	}
+	for _, r := range p.replicas {
+		arrive, err := x.g.net.SendTimed(op.t, here, r, wire(), now)
+		if err != nil {
+			op.recordErr(err)
+			continue
+		}
+		if arrive > end {
+			end = arrive
+		}
+		x.post(op, here, r, applyMsg{del: del, hops: hops + 1}, arrive)
+	}
+	op.observe(hops+boolInt64(len(p.replicas) > 0), end)
+}
+
+// onApply lands a replica push.
+func (x *actorExec) onApply(op *actorOp, ev asyncnet.Event, m applyMsg) {
+	defer op.finishMsg()
+	p, err := op.v.peer(ev.To)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	if m.del {
+		p.localDelete(op.orig, op.match)
+	} else {
+		p.localPut(op.orig, op.posting)
+	}
+	op.observe(m.hops, ev.At)
+}
+
+// onMultiStep is the actor form of the batched multicast node.
+func (x *actorExec) onMultiStep(op *actorOp, ev asyncnet.Event, m multiStepMsg) {
+	defer op.finishMsg()
+	here, now := ev.To, ev.At
+	p, err := op.v.peer(here)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	var local []triples.Posting
+	served := false
+	rest := m.keys[:0:0]
+	for _, k := range m.keys {
+		if p.Responsible(k.h) {
+			served = true
+			local = append(local, p.localPrefix(k.orig)...)
+		} else {
+			rest = append(rest, k)
+		}
+	}
+	if len(local) > 0 || (x.g.cfg.ReplyEmpty && served) {
+		x.reply(op, here, local, m.hops, now)
+	} else if served {
+		op.observe(m.hops, now)
+	}
+
+	branches, pickErrs := splitMultiBranches(x.g, op.v, p, rest, m.scope)
+	for _, e := range pickErrs {
+		op.recordErr(e)
+	}
+	for _, b := range branches {
+		arrive, err := x.g.net.SendTimed(op.t, here, b.next, multiLookupWire(b.keys), now)
+		if err != nil {
+			op.recordErr(err)
+			continue
+		}
+		x.post(op, here, b.next, multiStepMsg{keys: b.keys, scope: b.level + 1, hops: m.hops + 1}, arrive)
+	}
+}
+
+// onShowerStep is the actor form of the shower multicast node; the routing
+// entry peer calls it directly with scope 0.
+func (x *actorExec) onShowerStep(op *actorOp, ev asyncnet.Event, scope int, hops int64) {
+	if scope > 0 {
+		defer op.finishMsg()
+	}
+	here, now := ev.To, ev.At
+	p, err := op.v.peer(here)
+	if err != nil {
+		op.recordErr(err)
+		return
+	}
+	if op.ivH.OverlapsPrefix(p.path) {
+		res := p.localRange(op.iv, op.opts.Filter)
+		if len(res) > 0 || x.g.cfg.ReplyEmpty {
+			x.reply(op, here, res, hops, now)
+		} else {
+			// Silence means "no results", but the query still travelled
+			// here: fold the forwarding path into the tally.
+			op.observe(hops, now)
+		}
+	}
+	branches, pickErrs := splitShowerBranches(x.g, op.v, p, op.ivH, scope)
+	for _, e := range pickErrs {
+		op.recordErr(e)
+	}
+	for _, b := range branches {
+		arrive, err := x.g.net.SendTimed(op.t, here, b.next,
+			rangeMsg{iv: op.iv, filterBytes: op.opts.FilterBytes}, now)
+		if err != nil {
+			op.recordErr(err)
+			continue
+		}
+		x.post(op, here, b.next, showerStepMsg{scope: b.level + 1, hops: hops + 1}, arrive)
+	}
+}
+
+// --- executor interface ---
+
+// kickRoute posts the self-addressed first routing step: issuing a query is
+// itself a message through the initiator's mailbox.
+func (x *actorExec) kickRoute(op *actorOp, at simnet.VTime) {
+	x.post(op, op.from, op.from, routeStepMsg{budget: op.target.Len() + 2}, at)
+}
+
+func (x *actorExec) lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	op, at := x.newOp(v, t, from, opLookup, start)
+	op.orig, op.target = k, x.g.h.hash(k)
+	op.salt = routeSalt(op.target)
+	x.kickRoute(op, at)
+	return x.run(op)
+}
+
+func (x *actorExec) multiLookup(v *view, t *metrics.Tally, from simnet.NodeID, hks []hashedKey, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	op, at := x.newOp(v, t, from, opMulti, start)
+	x.post(op, from, from, multiStepMsg{keys: hks}, at)
+	return x.run(op)
+}
+
+func (x *actorExec) rangeQuery(v *view, t *metrics.Tally, from simnet.NodeID, iv, ivH keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	op, at := x.newOp(v, t, from, opShower, start)
+	op.iv, op.ivH, op.opts = iv, ivH, opts
+	op.target = ivH.Lo
+	op.salt = routeSalt(ivH.Lo)
+	x.kickRoute(op, at)
+	return x.run(op)
+}
+
+func (x *actorExec) insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
+	op, at := x.newOp(v, t, from, opInsert, simnet.VTime(t.PathEnd()))
+	op.orig, op.target, op.posting = k, x.g.h.hash(k), posting
+	op.salt = routeSalt(op.target)
+	x.kickRoute(op, at)
+	_, _, err := x.run(op)
+	return err
+}
+
+func (x *actorExec) remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error) {
+	op, at := x.newOp(v, t, from, opDelete, simnet.VTime(t.PathEnd()))
+	op.orig, op.target, op.match = k, x.g.h.hash(k), match
+	op.salt = routeSalt(op.target)
+	x.kickRoute(op, at)
+	_, _, err := x.run(op)
+	op.mu.Lock()
+	deleted := op.deleted
+	op.mu.Unlock()
+	return deleted, err
+}
+
+// fanout hands every branch the same virtual start time, so branch
+// *accounting* forks at one instant and the group ends at the max branch end
+// — the contract the fanout fabric implements with goroutines, which the
+// cross-executor oracle relies on. The branch bodies, however, are pumped to
+// completion one after another: each drains its own DES episode, so
+// mailbox contention BETWEEN sibling ops-level branches is not modelled —
+// only contention within one grid operation (multicast forwards, the reply
+// fan-in at the initiator) is. Modelling cross-branch contention needs
+// asynchronous operation issue (see ROADMAP).
+func (x *actorExec) fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime {
+	end := start
+	for i := 0; i < branches; i++ {
+		if e := run(i, start); e > end {
+			end = e
+		}
+	}
+	return end
+}

@@ -39,17 +39,23 @@ func buildChurnGrid(t *testing.T, mkFab func(*simnet.Network) simnet.Fabric,
 
 // TestChurnSafeMembershipDuringQueries is the acceptance test of the epoch
 // model: well over 100 interleaved Join/Leave/RefreshRefs operations execute
-// while lookups, multicasts and range queries run concurrently, on both the
-// serial and the concurrent fabric. Because every query reads one consistent
-// epoch and graceful churn never destroys data, every query must return
-// exactly the result of a churn-free run — no errors tolerated — and the
-// race detector must stay silent.
+// while lookups, multicasts and range queries run concurrently, on every
+// execution engine — the serial fabric, the concurrent fanout fabric, and
+// the discrete-event actor executor. Because every query reads one
+// consistent epoch and graceful churn never destroys data, every query must
+// return exactly the result of a churn-free run — no errors tolerated — and
+// the race detector must stay silent.
 func TestChurnSafeMembershipDuringQueries(t *testing.T) {
-	fabrics := map[string]func(*simnet.Network) simnet.Fabric{
-		"serial": func(n *simnet.Network) simnet.Fabric { return n },
-		"async":  func(n *simnet.Network) simnet.Fabric { return asyncnet.NewNet(n, asyncnet.Options{}) },
+	serial := func(n *simnet.Network) simnet.Fabric { return n }
+	engines := map[string]struct {
+		mkFab func(*simnet.Network) simnet.Fabric
+		exec  ExecMode
+	}{
+		"serial": {mkFab: serial},
+		"async":  {mkFab: func(n *simnet.Network) simnet.Fabric { return asyncnet.NewNet(n, asyncnet.Options{}) }},
+		"actor":  {mkFab: serial, exec: ExecActor},
 	}
-	for name, mkFab := range fabrics {
+	for name, eng := range engines {
 		t.Run(name, func(t *testing.T) {
 			const (
 				nPeers   = 24
@@ -59,7 +65,8 @@ func TestChurnSafeMembershipDuringQueries(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Replication = 2
 			cfg.RefsPerLevel = 3
-			g, net := buildChurnGrid(t, mkFab, nPeers, nItems, cfg)
+			cfg.Exec = eng.exec
+			g, net := buildChurnGrid(t, eng.mkFab, nPeers, nItems, cfg)
 
 			var (
 				wg        sync.WaitGroup

@@ -1,0 +1,70 @@
+package pgrid
+
+import (
+	"repro/internal/asyncnet"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// ExecMode selects the query execution engine of a grid.
+type ExecMode int
+
+const (
+	// ExecChain runs operators as direct calls threading virtual-time
+	// arithmetic (the paper's shared-memory model). Whether logically
+	// parallel branches chain or overlap is the fabric's Fanout contract:
+	// serial under *simnet.Network, goroutine-parallel under asyncnet.Net.
+	ExecChain ExecMode = iota
+	// ExecActor runs every operator step as a message handler on a
+	// discrete-event runtime: each peer is an actor with a bounded mailbox
+	// and a per-message service time, so queueing delay, backpressure and
+	// per-peer load become first-class observables. Routing, results and hop
+	// counts are identical to ExecChain for the same seed.
+	ExecActor
+)
+
+// String names the mode for flags and reports.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecActor:
+		return "actor"
+	default:
+		return "chain"
+	}
+}
+
+// executor runs the query operators against one epoch snapshot. Every method
+// receives the view its operation must observe throughout (epoch snapshotting
+// stays churn-safe regardless of engine) and an explicit virtual start time.
+type executor interface {
+	lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error)
+	multiLookup(v *view, t *metrics.Tally, from simnet.NodeID, hks []hashedKey, start simnet.VTime) ([]triples.Posting, simnet.VTime, error)
+	rangeQuery(v *view, t *metrics.Tally, from simnet.NodeID, iv, ivH keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error)
+	insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error
+	remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error)
+	// fanout runs logically parallel branch expansions issued above the grid
+	// (similarity candidate phases, top-N window probes, join selections).
+	fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime
+	// attach makes a newly joined peer addressable by the engine.
+	attach(id simnet.NodeID)
+}
+
+// Fanout executes logically parallel branch expansions under the grid's
+// execution model: chained or goroutine-parallel per the fabric's contract
+// (ExecChain), or forked at one virtual instant on the discrete-event
+// timeline (ExecActor). Operators above the grid use it instead of talking
+// to the fabric directly, so the same code measures all execution models.
+func (g *Grid) Fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime {
+	return g.exec.fanout(start, branches, run)
+}
+
+// Runtime exposes the discrete-event runtime of an actor-mode grid (nil for
+// chain mode): tools read per-peer mailbox stats from it.
+func (g *Grid) Runtime() *asyncnet.Runtime {
+	if x, ok := g.exec.(*actorExec); ok {
+		return x.rt
+	}
+	return nil
+}

@@ -56,6 +56,30 @@ type Config struct {
 	// when they hold no matches. The default (false) matches cost models in
 	// which silence means "no results".
 	ReplyEmpty bool
+	// Exec selects the query execution engine: chained virtual-time calls
+	// (ExecChain, the default) or discrete-event actors with per-peer
+	// mailboxes and service times (ExecActor). Routing, results and hop
+	// counts are identical for the same seed; only the latency model
+	// differs.
+	Exec ExecMode
+	// Service is each peer's virtual per-message service time in actor
+	// mode; 0 makes processing instantaneous, so actor latency matches the
+	// chained executors exactly under an uncongested grid.
+	Service simnet.VTime
+	// Mailbox bounds each peer's actor mailbox (actor mode; 0 = effectively
+	// unbounded). Overflowing messages are dropped — backpressure — and
+	// fail the operation branch that sent them.
+	Mailbox int
+	// Deadline, when nonzero, bounds each actor-mode operation: protocol
+	// messages arriving after start+Deadline are dropped and the operation
+	// completes with partial results and ErrTimeout failures.
+	Deadline simnet.VTime
+	// LatencyAwareRefs makes pickRef prefer the live routing reference with
+	// the lowest expected link latency (deterministic salt tie-break)
+	// instead of the salt-rotated hashed choice. Requires a latency model
+	// on the fabric; without one the hashed path is kept, as it is by
+	// default, so seeded route determinism is opt-out only.
+	LatencyAwareRefs bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -299,9 +323,10 @@ func (h *hasher) hashHiPrefix(k keys.Key) keys.Key {
 // Membership state lives in an atomically published epoch (see epoch.go):
 // queries are safe concurrently with Join, Leave and RefreshRefs.
 type Grid struct {
-	net simnet.Fabric
-	cfg Config
-	h   *hasher
+	net  simnet.Fabric
+	cfg  Config
+	h    *hasher
+	exec executor
 
 	// cur is the published membership epoch read by every query.
 	cur atomic.Pointer[view]
@@ -351,6 +376,11 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 	leafPaths := splitTrie(hashed, targetLeaves, cfg.MaxDepth)
 
 	g := &Grid{net: net, cfg: cfg, h: h, rng: rng}
+	if cfg.Exec == ExecActor {
+		g.exec = newActorExec(g)
+	} else {
+		g.exec = &chainExec{g: g}
+	}
 	v := &view{leaves: make([]leafInfo, len(leafPaths))}
 	for i, lp := range leafPaths {
 		v.leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
@@ -360,6 +390,9 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 	assignPeers(v, nPeers, rng)
 	g.buildRoutingTables(v, rng)
 	g.publish(v)
+	for id := range v.peers {
+		g.exec.attach(simnet.NodeID(id))
+	}
 	return g, nil
 }
 

@@ -80,6 +80,11 @@ func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
 	} else {
 		g.splitPartition(next, t, np, li, host)
 	}
+	// Make the newcomer addressable by the execution engine (actor mode
+	// registers a mailbox for it) BEFORE the epoch that routes to it is
+	// published: a query snapshotting the new epoch must never race to an
+	// unregistered actor.
+	g.exec.attach(newID)
 	g.publish(next)
 	return newID, nil
 }

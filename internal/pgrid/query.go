@@ -13,6 +13,13 @@ import (
 // start and threads the view through routing, fan-out and result collection,
 // so the whole operation observes a single consistent trie even while Join,
 // Leave and RefreshRefs publish new epochs concurrently.
+//
+// The operators themselves run on a pluggable executor (see exec.go): the
+// chained executor walks the trie with direct calls and virtual-time
+// arithmetic (the paper's shared-memory model, serial or goroutine-parallel
+// per the fabric), while the actor executor runs every routing step, shower
+// split and result return as a message handler on a discrete-event runtime
+// with per-peer mailboxes and service times (actor.go).
 
 // cursor is branch-local virtual time and forwarding depth, threaded through
 // routing and fan-out. Sequential hops chain the cursor; parallel branches
@@ -50,10 +57,15 @@ func routeSalt(k keys.Key) uint64 {
 // keeps expected search cost at 0.5*log N regardless of trie shape) but is a
 // pure function of its inputs: no shared RNG state, so concurrent query
 // branches stay race-free and a fixed seed yields identical routes under the
-// serial and the concurrent runtime. Remaining redundant references serve as
-// fallback when peers are down. References tombstoned in the query's own
+// serial, concurrent and actor runtimes. Remaining redundant references serve
+// as fallback when peers are down. References tombstoned in the query's own
 // epoch (possible only when a whole subtrie was irreparable) are skipped like
 // crashed ones.
+//
+// With Config.LatencyAwareRefs set and a latency model installed, the live
+// candidates are ranked by their expected link delay from p instead: the
+// fastest live reference wins, and the salt rotation breaks ties
+// deterministically (the first equally-fast candidate in salt order).
 func (g *Grid) pickRef(v *view, p *Peer, l int, salt uint64) (simnet.NodeID, error) {
 	if l < 0 || l >= len(p.refs) || len(p.refs[l]) == 0 {
 		return 0, ErrUnreachable
@@ -61,6 +73,28 @@ func (g *Grid) pickRef(v *view, p *Peer, l int, salt uint64) (simnet.NodeID, err
 	refs := p.refs[l]
 	h := simnet.Splitmix64(uint64(g.cfg.Seed) ^ salt ^ simnet.Splitmix64(uint64(p.id)<<20|uint64(l)))
 	start := int(h % uint64(len(refs)))
+	if g.cfg.LatencyAwareRefs {
+		if lat := g.net.Latency(); lat != nil {
+			best, bestDelay := simnet.NodeID(0), simnet.VTime(0)
+			found := false
+			for i := 0; i < len(refs); i++ {
+				id := refs[(start+i)%len(refs)]
+				if !v.member(id) || g.net.IsDown(id) {
+					continue
+				}
+				// Rank by the deterministic per-link expectation for a
+				// payload-free probe; strict < keeps the earliest candidate
+				// in salt order on ties.
+				if d := lat(p.id, id, 0); !found || d < bestDelay {
+					best, bestDelay, found = id, d, true
+				}
+			}
+			if found {
+				return best, nil
+			}
+			return 0, ErrUnreachable
+		}
+	}
 	for i := 0; i < len(refs); i++ {
 		id := refs[(start+i)%len(refs)]
 		if v.member(id) && !g.net.IsDown(id) {
@@ -68,42 +102,6 @@ func (g *Grid) pickRef(v *view, p *Peer, l int, salt uint64) (simnet.NodeID, err
 		}
 	}
 	return 0, ErrUnreachable
-}
-
-// routeToward implements the routing loop of Algorithm 1: starting at from,
-// repeatedly forward to a reference in the complementary subtrie at the
-// divergence level until stop(peer) holds. target is a hashed-space key. Each
-// hop sends one message built by mkMsg and advances the cursor by the
-// modelled link latency. The common prefix with the target grows by at least
-// one bit per hop, so the loop terminates within target.Len() hops on a
-// complete trie.
-func (g *Grid) routeToward(v *view, t *metrics.Tally, from simnet.NodeID, target keys.Key,
-	stop func(*Peer) bool, mkMsg func() simnet.Message, cur cursor) (simnet.NodeID, cursor, error) {
-
-	salt := routeSalt(target)
-	at := from
-	for hop := 0; hop <= target.Len()+1; hop++ {
-		p, err := v.peer(at)
-		if err != nil {
-			return 0, cur, err
-		}
-		if stop(p) {
-			return at, cur, nil
-		}
-		l := p.path.CommonPrefixLen(target)
-		next, err := g.pickRef(v, p, l, salt)
-		if err != nil {
-			return 0, cur, err
-		}
-		arrive, err := g.net.SendTimed(t, at, next, mkMsg(), cur.at)
-		if err != nil {
-			return 0, cur, err
-		}
-		cur.at = arrive
-		cur.hops++
-		at = next
-	}
-	return 0, cur, ErrRoutingExhausted
 }
 
 // Lookup retrieves all postings whose key extends k (Algorithm 1 semantics:
@@ -119,25 +117,7 @@ func (g *Grid) Lookup(t *metrics.Tally, from simnet.NodeID, k keys.Key) ([]tripl
 // completion time of the lookup so callers can fan out several lookups from
 // one fork point.
 func (g *Grid) LookupAt(t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
-	v := g.snapshot()
-	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(v, t, from, hk,
-		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return lookupMsg{key: k} }, cursor{at: start})
-	if err != nil {
-		return nil, cur.at, err
-	}
-	p := v.peers[dest]
-	res := p.localPrefix(k)
-	if len(res) > 0 || g.cfg.ReplyEmpty {
-		arrive, err := g.net.SendTimed(t, dest, from, resultMsg{postings: res}, cur.at)
-		if err != nil {
-			return res, cur.finish(t), err
-		}
-		cur.at = arrive
-		cur.hops++
-	}
-	return res, cur.finish(t), nil
+	return g.exec.lookup(g.snapshot(), t, from, k, start)
 }
 
 // hashedKey pairs an original key with its hashed-space image during batched
@@ -167,113 +147,14 @@ func (g *Grid) MultiLookupAt(t *metrics.Tally, from simnet.NodeID, ks []keys.Key
 	for i, k := range ks {
 		hks[i] = hashedKey{orig: k, h: g.h.hash(k)}
 	}
-	return g.multiStep(g.snapshot(), t, from, from, hks, 0, cursor{at: start})
+	return g.exec.multiLookup(g.snapshot(), t, from, hks, start)
 }
 
 // subtrieBranch is one forward into a sibling subtrie during a multicast.
 type subtrieBranch struct {
 	level int
 	next  simnet.NodeID
-	keys  []hashedKey // multiStep only
-}
-
-// multiStep serves the key subset this partition is responsible for and
-// forwards the rest into every relevant sibling subtrie. The sibling
-// forwards are logically parallel: under the concurrent fabric they run on
-// goroutines forked at this peer's arrival time, under the serial fabric
-// they chain — the Fanout contract of simnet.Fabric.
-func (g *Grid) multiStep(v *view, t *metrics.Tally, initiator, at simnet.NodeID,
-	ks []hashedKey, scope int, cur cursor) ([]triples.Posting, simnet.VTime, error) {
-
-	p, err := v.peer(at)
-	if err != nil {
-		return nil, cur.at, err
-	}
-	var local []triples.Posting
-	served := false
-	rest := ks[:0:0]
-	for _, k := range ks {
-		if p.Responsible(k.h) {
-			served = true
-			local = append(local, p.localPrefix(k.orig)...)
-		} else {
-			rest = append(rest, k)
-		}
-	}
-	end := cur.at
-	var localErr error
-	if len(local) > 0 || (g.cfg.ReplyEmpty && served) {
-		reply := cur
-		arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: local}, reply.at)
-		if err != nil {
-			localErr = err
-			local = nil
-		} else {
-			reply.at = arrive
-			reply.hops++
-			end = reply.finish(t)
-		}
-	} else if served {
-		end = cur.finish(t)
-	}
-
-	// Partition the remaining keys over the sibling subtries and pick all
-	// forwarding targets before forking; reference picking is deterministic,
-	// so branch sets are identical under both fabrics.
-	var branches []subtrieBranch
-	var pickErrs []error
-	for l := scope; l < p.path.Len() && len(rest) > 0; l++ {
-		sibling := p.path.Prefix(l + 1).FlipLast()
-		var subset, keep []hashedKey
-		for _, k := range rest {
-			if k.h.HasPrefix(sibling) || sibling.HasPrefix(k.h) {
-				subset = append(subset, k)
-			} else {
-				keep = append(keep, k)
-			}
-		}
-		rest = keep
-		if len(subset) == 0 {
-			continue
-		}
-		next, err := g.pickRef(v, p, l, routeSalt(sibling))
-		if err != nil {
-			pickErrs = append(pickErrs, err)
-			continue
-		}
-		branches = append(branches, subtrieBranch{level: l, next: next, keys: subset})
-	}
-
-	results := make([][]triples.Posting, len(branches))
-	errs := make([]error, len(branches))
-	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
-		b := branches[i]
-		origs := make([]keys.Key, len(b.keys))
-		for j, k := range b.keys {
-			origs[j] = k.orig
-		}
-		arrive, err := g.net.SendTimed(t, at, b.next, multiLookupMsg{keys: origs}, start)
-		if err != nil {
-			errs[i] = err
-			return start
-		}
-		res, bEnd, err := g.multiStep(v, t, initiator, b.next, b.keys, b.level+1,
-			cursor{at: arrive, hops: cur.hops + 1})
-		results[i] = res
-		errs[i] = err
-		return bEnd
-	})
-	if fanEnd > end {
-		end = fanEnd
-	}
-
-	out := local
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	all := append([]error{localErr}, pickErrs...)
-	all = append(all, errs...)
-	return out, end, errors.Join(all...)
+	keys  []hashedKey // multicast only
 }
 
 // RangeOptions customizes a range query.
@@ -304,15 +185,8 @@ func (g *Grid) RangeQueryAt(t *metrics.Tally, from simnet.NodeID, iv keys.Interv
 	if !iv.Valid() {
 		return nil, start, errors.New("pgrid: invalid interval (Lo after Hi)")
 	}
-	v := g.snapshot()
 	ivH := keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}
-	dest, cur, err := g.routeToward(v, t, from, ivH.Lo,
-		func(p *Peer) bool { return ivH.OverlapsPrefix(p.path) },
-		func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} }, cursor{at: start})
-	if err != nil {
-		return nil, cur.at, err
-	}
-	return g.showerStep(v, t, from, dest, iv, ivH, 0, opts, cur)
+	return g.exec.rangeQuery(g.snapshot(), t, from, iv, ivH, opts, start)
 }
 
 // PrefixQuery retrieves every posting whose key extends the given prefix,
@@ -329,116 +203,12 @@ func (g *Grid) PrefixQueryAt(t *metrics.Tally, from simnet.NodeID, prefix keys.K
 	return g.RangeQueryAt(t, from, keys.Interval{Lo: prefix, Hi: prefix}, opts, start)
 }
 
-// showerStep serves the range locally and forwards it into every overlapping
-// sibling subtrie at levels >= scope, which delivers the query to each
-// overlapping partition exactly once. iv is the original-space interval
-// evaluated against stored keys; ivH is its hashed-space image used for trie
-// pruning. Sibling forwards fan out per the fabric's Fanout contract:
-// concurrently under asyncnet, chained under the serial simulator.
-func (g *Grid) showerStep(v *view, t *metrics.Tally, initiator, at simnet.NodeID,
-	iv, ivH keys.Interval, scope int, opts RangeOptions, cur cursor) ([]triples.Posting, simnet.VTime, error) {
-
-	p, err := v.peer(at)
-	if err != nil {
-		return nil, cur.at, err
-	}
-	var local []triples.Posting
-	end := cur.at
-	var localErr error
-	if ivH.OverlapsPrefix(p.path) {
-		res := p.localRange(iv, opts.Filter)
-		if len(res) > 0 || g.cfg.ReplyEmpty {
-			reply := cur
-			arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: res}, reply.at)
-			if err != nil {
-				localErr = err
-			} else {
-				local = res
-				reply.at = arrive
-				reply.hops++
-				end = reply.finish(t)
-			}
-		} else {
-			// Silence means "no results", but the query still travelled
-			// here: fold the forwarding path into the tally.
-			end = cur.finish(t)
-		}
-	}
-
-	var branches []subtrieBranch
-	var pickErrs []error
-	for l := scope; l < p.path.Len(); l++ {
-		sibling := p.path.Prefix(l + 1).FlipLast()
-		if !ivH.OverlapsPrefix(sibling) {
-			continue
-		}
-		next, err := g.pickRef(v, p, l, routeSalt(sibling))
-		if err != nil {
-			pickErrs = append(pickErrs, err)
-			continue
-		}
-		branches = append(branches, subtrieBranch{level: l, next: next})
-	}
-
-	results := make([][]triples.Posting, len(branches))
-	errs := make([]error, len(branches))
-	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
-		b := branches[i]
-		arrive, err := g.net.SendTimed(t, at, b.next,
-			rangeMsg{iv: iv, filterBytes: opts.FilterBytes}, start)
-		if err != nil {
-			errs[i] = err
-			return start
-		}
-		res, bEnd, err := g.showerStep(v, t, initiator, b.next, iv, ivH, b.level+1, opts,
-			cursor{at: arrive, hops: cur.hops + 1})
-		results[i] = res
-		errs[i] = err
-		return bEnd
-	})
-	if fanEnd > end {
-		end = fanEnd
-	}
-
-	out := local
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	all := append([]error{localErr}, pickErrs...)
-	all = append(all, errs...)
-	return out, end, errors.Join(all...)
-}
-
 // Insert routes a posting from the initiating peer to the responsible
 // partition and replicates it to the partition's structural replicas. Every
 // hop and every replica update costs one message; replica pushes depart
 // together from the responsible peer.
 func (g *Grid) Insert(t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
-	v := g.snapshot()
-	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(v, t, from, hk,
-		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return insertMsg{key: k, posting: posting} }, opStart(t))
-	if err != nil {
-		return err
-	}
-	p := v.peers[dest]
-	p.localPut(k, posting)
-	end := cur.at
-	var errs []error
-	for _, r := range p.replicas {
-		arrive, err := g.net.SendTimed(t, dest, r, replicateMsg{key: k, posting: posting}, cur.at)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if arrive > end {
-			end = arrive
-		}
-		v.peers[r].localPut(k, posting)
-	}
-	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
-	return errors.Join(errs...)
+	return g.exec.insert(g.snapshot(), t, from, k, posting)
 }
 
 func boolInt64(b bool) int64 {
@@ -467,29 +237,5 @@ func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
 // first posting with key k accepted by match (nil matches any) there and at
 // its replicas. It reports whether anything was deleted.
 func (g *Grid) Delete(t *metrics.Tally, from simnet.NodeID, k keys.Key, match func(triples.Posting) bool) (bool, error) {
-	v := g.snapshot()
-	hk := g.h.hash(k)
-	dest, cur, err := g.routeToward(v, t, from, hk,
-		func(p *Peer) bool { return p.Responsible(hk) },
-		func() simnet.Message { return deleteMsg{key: k} }, opStart(t))
-	if err != nil {
-		return false, err
-	}
-	p := v.peers[dest]
-	deleted := p.localDelete(k, match)
-	end := cur.at
-	var errs []error
-	for _, r := range p.replicas {
-		arrive, err := g.net.SendTimed(t, dest, r, deleteMsg{key: k}, cur.at)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if arrive > end {
-			end = arrive
-		}
-		v.peers[r].localDelete(k, match)
-	}
-	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
-	return deleted, errors.Join(errs...)
+	return g.exec.remove(g.snapshot(), t, from, k, match)
 }

@@ -104,6 +104,10 @@ type Fabric interface {
 	SetDown(id NodeID, down bool)
 	// Collector exposes the global accounting.
 	Collector() *metrics.Collector
+	// Latency returns the installed propagation-delay model (nil when
+	// unset). Latency-aware reference selection reads it to rank candidate
+	// links without sending.
+	Latency() LatencyFunc
 	// Send accounts for one message from -> to without timing.
 	Send(t *metrics.Tally, from, to NodeID, m Message) error
 	// SendTimed accounts for one message departing at the given virtual
