@@ -22,11 +22,16 @@
 // Section 2 claim that expected search cost is ~0.5*log2(N) messages
 // (experiment E2).
 //
+// Loading runs the sharded parallel bulk-load pipeline (-load-workers); the
+// summary table reports the load wall-clock and postings/s of each build so
+// sweeps show the load speedup alongside query costs.
+//
 // Usage:
 //
 //	gridsim -peers 256 -items 20000 -async -latency-dist uniform:10ms-100ms
 //	gridsim -peers 256 -items 20000 -async -churn-rate 2 -churn-mode membership
 //	gridsim -peers 100,1000,10000 -items 20000 -validate -mix 0
+//	gridsim -peers 1024 -items 50000 -mix 0 -load-workers 1   # serial-load baseline
 package main
 
 import (
@@ -65,7 +70,9 @@ func main() {
 			"per-message service time of each peer in actor mode (e.g. 500us); makes queueing observable")
 		latAware = flag.Bool("latency-aware", false,
 			"route via the live reference with the lowest expected link latency instead of the hashed choice")
-		workers = flag.Int("workers", 0, "fanout goroutine bound (0 = default)")
+		workers     = flag.Int("workers", 0, "fanout goroutine bound (0 = default)")
+		loadWorkers = flag.Int("load-workers", 0,
+			"bulk-load pipeline concurrency: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
 		latDist = flag.String("latency-dist", "uniform:10ms-100ms",
 			"per-link latency distribution: none, fixed:25ms, uniform:10ms-100ms, lognormal:20ms,0.5")
 		churn = flag.Float64("churn-rate", 0,
@@ -110,15 +117,17 @@ func main() {
 		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s (%d mix initiations)\n\n",
 			mode, m, lat, *churn, *churnMode, *mixes)
 	}
-	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s\n",
-		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part")
+	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s %-10s %-12s\n",
+		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part", "load", "postings/s")
 	// Build, report and (optionally) exercise one overlay at a time so a
 	// sweep over large sizes never holds more than one engine in memory.
 	for _, n := range peers {
+		loadStart := time.Now()
 		eng, err := core.Open(tuples, core.Config{
 			Peers:            n,
 			Runtime:          mode,
 			Workers:          *workers,
+			LoadWorkers:      *loadWorkers,
 			Latency:          latency,
 			Service:          *service,
 			LatencyAwareRefs: *latAware,
@@ -126,10 +135,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		loadWall := time.Since(loadStart)
 		s := eng.Stats().Grid
-		fmt.Printf("%-10d %-11d %2d / %5.1f / %2d     %-12.1f %-10d %-10d\n",
+		postingsPerSec := 0.0
+		if secs := loadWall.Seconds(); secs > 0 {
+			postingsPerSec = float64(eng.Stats().Storage.Postings) / secs
+		}
+		fmt.Printf("%-10d %-11d %2d / %5.1f / %2d     %-12.1f %-10d %-10d %-10s %-12.0f\n",
 			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
-			s.AvgRefs, s.StoredItems, s.MaxLeafItems)
+			s.AvgRefs, s.StoredItems, s.MaxLeafItems,
+			loadWall.Round(time.Millisecond), postingsPerSec)
 		if *mixes > 0 {
 			if err := runWorkload(eng, corpus, m, *mixes, *seed, *churn, *churnMode); err != nil {
 				fatal(fmt.Errorf("workload at %d peers: %w", n, err))

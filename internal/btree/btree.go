@@ -139,6 +139,137 @@ func (n *node[V]) splitChild(i int) {
 	n.children[i+1] = right
 }
 
+// bulkTarget is the per-node occupancy the bottom-up bulk build aims for:
+// three quarters full, leaving headroom for later inserts without immediate
+// splits while staying comfortably above minEntries. With k =
+// ceil((m+1)/(bulkTarget+1)) nodes per level and entries spread evenly, every
+// node of a level with m > maxEntries items lands in [minEntries, maxEntries].
+const bulkTarget = 24
+
+// BulkLoadSorted inserts a batch of entries whose keys are in nondecreasing
+// order (ties keep slice order, matching repeated Insert calls). On an empty
+// tree the entries are assembled bottom-up in O(n) — the bulk-load fast path
+// every peer store uses during grid loading; on a non-empty tree it falls
+// back to one Insert per entry. It panics if the slices differ in length or
+// the keys are unsorted.
+func (t *Tree[V]) BulkLoadSorted(ks []keys.Key, vs []V) {
+	if len(ks) != len(vs) {
+		panic(fmt.Sprintf("btree: BulkLoadSorted got %d keys but %d values", len(ks), len(vs)))
+	}
+	t.BulkLoadSortedFunc(len(ks), func(i int) (keys.Key, V) { return ks[i], vs[i] })
+}
+
+// BulkLoadSortedFunc is BulkLoadSorted reading entry i through at(i), so
+// callers holding entries in their own layout (e.g. an index into a shared
+// batch) load without materializing key/value slices first. at is called
+// once per index, in ascending order. It panics if the keys are not in
+// nondecreasing order; the order check rides the single pass each path
+// already makes (replicas re-applying a shared shard pay no extra scan), so
+// a violation may leave a partially loaded tree — discard it.
+func (t *Tree[V]) BulkLoadSortedFunc(n int, at func(int) (keys.Key, V)) {
+	if n == 0 {
+		return
+	}
+	var prev keys.Key
+	checked := func(i int) (keys.Key, V) {
+		k, v := at(i)
+		if i > 0 && prev.Compare(k) > 0 {
+			panic(fmt.Sprintf("btree: bulk load keys out of order at index %d", i))
+		}
+		prev = k
+		return k, v
+	}
+	if t.size > 0 {
+		for i := 0; i < n; i++ {
+			t.Insert(checked(i))
+		}
+		return
+	}
+	t.root = buildSorted(n, checked)
+	t.size = n
+}
+
+// buildSorted assembles a valid B-tree bottom-up from sorted entries: the
+// leaf level chunks the input into nodes of near-bulkTarget occupancy,
+// hoisting the entry between adjacent chunks as the parent separator; upper
+// levels repeat the chunking over the hoisted separators until one root
+// holds everything.
+func buildSorted[V any](m int, at func(int) (keys.Key, V)) *node[V] {
+	mkEntry := func(i int) entry[V] {
+		k, v := at(i)
+		return entry[V]{key: k, val: v}
+	}
+	if m <= maxEntries {
+		root := &node[V]{entries: make([]entry[V], m)}
+		for i := range root.entries {
+			root.entries[i] = mkEntry(i)
+		}
+		return root
+	}
+	// Leaf level, reading entries straight from at — no intermediate slice.
+	k := (m + 1 + bulkTarget) / (bulkTarget + 1)
+	inNodes := m - (k - 1)
+	base, rem := inNodes/k, inNodes%k
+	nodes := make([]*node[V], 0, k)
+	seps := make([]entry[V], 0, k-1)
+	pos := 0
+	for j := 0; j < k; j++ {
+		take := base
+		if j < rem {
+			take++
+		}
+		n := &node[V]{entries: make([]entry[V], take)}
+		for i := range n.entries {
+			n.entries[i] = mkEntry(pos + i)
+		}
+		pos += take
+		nodes = append(nodes, n)
+		if j < k-1 {
+			seps = append(seps, mkEntry(pos))
+			pos++
+		}
+	}
+	items, children := seps, nodes
+	for len(items) > maxEntries {
+		items, children = buildLevel(items, children)
+	}
+	root := &node[V]{entries: append(make([]entry[V], 0, len(items)), items...)}
+	root.children = children
+	return root
+}
+
+// buildLevel packs m items (and, on internal levels, their m+1 children) into
+// k nodes, returning the k-1 separator entries and the nodes as the next
+// level's items and children. Entry slices are copied with exact capacity so
+// sibling nodes never share append space.
+func buildLevel[V any](items []entry[V], children []*node[V]) ([]entry[V], []*node[V]) {
+	m := len(items)
+	k := (m + 1 + bulkTarget) / (bulkTarget + 1) // ceil((m+1)/(bulkTarget+1))
+	inNodes := m - (k - 1)
+	base, rem := inNodes/k, inNodes%k
+	nodes := make([]*node[V], 0, k)
+	seps := make([]entry[V], 0, k-1)
+	pos, cpos := 0, 0
+	for j := 0; j < k; j++ {
+		take := base
+		if j < rem {
+			take++
+		}
+		n := &node[V]{entries: append(make([]entry[V], 0, take), items[pos:pos+take]...)}
+		if children != nil {
+			n.children = append(make([]*node[V], 0, take+1), children[cpos:cpos+take+1]...)
+			cpos += take + 1
+		}
+		pos += take
+		nodes = append(nodes, n)
+		if j < k-1 {
+			seps = append(seps, items[pos])
+			pos++
+		}
+	}
+	return seps, nodes
+}
+
 // Get returns all values stored under k.
 func (t *Tree[V]) Get(k keys.Key) []V {
 	var out []V

@@ -429,3 +429,118 @@ func TestDeleteRandomizedHeavy(t *testing.T) {
 		t.Fatalf("Len = %d after full drain", tr.Len())
 	}
 }
+
+// TestBulkLoadSortedMatchesInserts checks, across a sweep of sizes spanning
+// the single-node, two-level and three-level regimes, that the bottom-up bulk
+// build yields a structurally valid tree whose iteration order — including
+// insertion order among duplicate keys — is identical to sequential Insert.
+func TestBulkLoadSortedMatchesInserts(t *testing.T) {
+	sizes := []int{0, 1, 2, 15, 31, 32, 33, 50, 56, 75, 76, 100, 200, 777, 1000, 5000}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range sizes {
+		ks := make([]keys.Key, n)
+		vs := make([]int, n)
+		for i := 0; i < n; i++ {
+			// ~n/4 distinct keys so duplicate runs are long enough to
+			// straddle node boundaries.
+			ks[i] = key(rng.Intn(n/4 + 1))
+			vs[i] = i
+		}
+		sort.SliceStable(vs, func(a, b int) bool { return ks[vs[a]].Less(ks[vs[b]]) })
+		sorted := make([]keys.Key, n)
+		for i, v := range vs {
+			sorted[i] = ks[v]
+		}
+
+		bulk := New[int]()
+		bulk.BulkLoadSorted(sorted, vs)
+		ref := New[int]()
+		for i := range sorted {
+			ref.Insert(sorted[i], vs[i])
+		}
+
+		if bulk.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, bulk.Len())
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var got, want []int
+		bulk.Ascend(func(_ keys.Key, v int) bool { got = append(got, v); return true })
+		ref.Ascend(func(_ keys.Key, v int) bool { want = append(want, v); return true })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: bulk iterated %d entries, ref %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: order diverges at %d: bulk %d, ref %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBulkLoadSortedIntoNonEmpty checks the fallback path: loading into a
+// tree that already has entries behaves like repeated Insert.
+func TestBulkLoadSortedIntoNonEmpty(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(key(i), i)
+	}
+	var ks []keys.Key
+	var vs []int
+	for i := 1; i < 100; i += 2 {
+		ks = append(ks, key(i))
+		vs = append(vs, i)
+	}
+	tr.BulkLoadSorted(ks, vs)
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := tr.Get(key(i)); len(got) != 1 || got[0] != i {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+}
+
+// TestBulkLoadSortedRejectsUnsorted pins the misuse guard.
+func TestBulkLoadSortedRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BulkLoadSorted accepted unsorted keys")
+		}
+	}()
+	New[int]().BulkLoadSorted([]keys.Key{key(2), key(1)}, []int{0, 0})
+}
+
+// TestBulkLoadSortedThenMutate exercises inserts and deletes after a bulk
+// build, confirming the built structure rebalances like an incrementally
+// grown one.
+func TestBulkLoadSortedThenMutate(t *testing.T) {
+	const n = 1500
+	ks := make([]keys.Key, n)
+	vs := make([]int, n)
+	for i := 0; i < n; i++ {
+		ks[i] = key(i)
+		vs[i] = i
+	}
+	tr := New[int]()
+	tr.BulkLoadSorted(ks, vs)
+	for i := 0; i < n; i += 3 {
+		if !tr.DeleteFunc(key(i), nil) {
+			t.Fatalf("DeleteFunc(%d) = false", i)
+		}
+	}
+	for i := n; i < n+300; i++ {
+		tr.Insert(key(i), i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if want := n - (n+2)/3 + 300; tr.Len() != want {
+		t.Fatalf("Len = %d, want %d", tr.Len(), want)
+	}
+}

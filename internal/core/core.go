@@ -113,6 +113,11 @@ type Config struct {
 	// LatencyAwareRefs routes via the live reference with the lowest
 	// expected link latency instead of the hashed choice (needs Latency).
 	LatencyAwareRefs bool
+	// LoadWorkers bounds the bulk-load pipeline's concurrency: entry
+	// extraction and per-partition batch appliers. 0 uses GOMAXPROCS; 1 runs
+	// the pipeline serially. The loaded state is byte-identical for every
+	// value, so seeded determinism is preserved.
+	LoadWorkers int
 }
 
 func (c *Config) normalize() {
@@ -157,6 +162,13 @@ type Engine struct {
 // structure is identical for the same seed either way, so sync and async
 // engines over the same data answer queries with identical results and
 // message counts.
+//
+// Loading runs the sharded bulk-load pipeline: one planning pass extracts
+// every tuple's index entries exactly once across cfg.LoadWorkers workers
+// (the extracted keys double as the balancing sample), then Grid.BulkLoad
+// shards the entries by responsible partition and applies each shard as one
+// sorted batch. The loaded state is byte-identical to a serial per-tuple
+// load for every worker count, so results stay deterministic.
 func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	cfg.normalize()
 	net := simnet.New(cfg.Peers)
@@ -165,20 +177,17 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	if cfg.Runtime == RuntimeFanout {
 		fab = asyncnet.NewNet(net, asyncnet.Options{Workers: cfg.Workers})
 	}
-	sampler := ops.NewStore(nil, cfg.Store)
-	sample, err := sampler.CollectKeys(data)
+	plan, err := ops.PlanLoad(data, cfg.Store, cfg.LoadWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("core: collecting keys: %w", err)
 	}
-	grid, err := pgrid.Build(fab, cfg.Peers, sample, cfg.Grid)
+	grid, err := pgrid.Build(fab, cfg.Peers, plan.SampleKeys(), cfg.Grid)
 	if err != nil {
 		return nil, fmt.Errorf("core: building grid: %w", err)
 	}
 	store := ops.NewStore(grid, cfg.Store)
-	for _, tu := range data {
-		if err := store.LoadTuple(tu); err != nil {
-			return nil, fmt.Errorf("core: loading %s: %w", tu.OID, err)
-		}
+	if err := store.ApplyLoadPlan(plan, cfg.LoadWorkers); err != nil {
+		return nil, fmt.Errorf("core: loading: %w", err)
 	}
 	net.Collector().Reset()
 	return &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}, nil

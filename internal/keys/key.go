@@ -12,6 +12,7 @@
 package keys
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strings"
@@ -60,6 +61,25 @@ func FromBytes(b []byte) Key {
 	c := make([]byte, len(b))
 	copy(c, b)
 	return Key{bits: c, n: len(b) * 8}
+}
+
+// FromPackedBits returns the key holding the first n bits of the packed
+// big-endian representation b (the layout Bytes returns). It copies b and
+// zeroes any slack bits past n, so callers may reuse their buffer. It panics
+// if b is too short for n bits. This is the one-allocation constructor hot
+// paths use to materialize computed keys (e.g. hashed rank keys) without
+// bit-by-bit appends.
+func FromPackedBits(b []byte, n int) Key {
+	nb := (n + 7) / 8
+	if len(b) < nb {
+		panic(fmt.Sprintf("keys: FromPackedBits needs %d bytes for %d bits, got %d", nb, n, len(b)))
+	}
+	c := make([]byte, nb)
+	copy(c, b[:nb])
+	if rem := uint(n % 8); rem != 0 && nb > 0 {
+		c[nb-1] &= 0xFF << (8 - rem)
+	}
+	return Key{bits: c, n: n}
 }
 
 // Len reports the number of bits in k.
@@ -172,28 +192,17 @@ func (k Key) FlipLast() Key {
 // a prefix of the other, the shorter key sorts first. The result is -1, 0 or
 // +1. This ordering is consistent with the order-preserving encoders below:
 // StringKey(a) < StringKey(b) iff a < b, NumberKey(x) < NumberKey(y) iff x < y.
+//
+// Because every constructor zeroes the slack bits past n, bit-lexicographic
+// order with the prefix rule coincides with byte-lexicographic order of the
+// packed representations followed by a length tiebreak: a differing bit
+// dominates its byte, and in the prefix case the shorter key's zero padding
+// never sorts it after the longer key. bytes.Compare is the load and query
+// hot spot (balancing-sample sort, hash-rank searches, per-shard batch sorts,
+// every B-tree descent), so this must stay a memcmp.
 func (k Key) Compare(o Key) int {
-	min := k.n
-	if o.n < min {
-		min = o.n
-	}
-	nb := min / 8
-	for i := 0; i < nb; i++ {
-		if k.bits[i] != o.bits[i] {
-			if k.bits[i] < o.bits[i] {
-				return -1
-			}
-			return 1
-		}
-	}
-	for i := nb * 8; i < min; i++ {
-		kb, ob := k.Bit(i), o.Bit(i)
-		if kb != ob {
-			if kb < ob {
-				return -1
-			}
-			return 1
-		}
+	if c := bytes.Compare(k.bits, o.bits); c != 0 {
+		return c
 	}
 	switch {
 	case k.n < o.n:
@@ -227,6 +236,15 @@ func (k Key) Bytes() []byte {
 	copy(c, k.bits)
 	return c
 }
+
+// PackedLen reports the number of bytes in the packed representation,
+// ceil(Len()/8).
+func (k Key) PackedLen() int { return len(k.bits) }
+
+// PackedByte returns byte i of the packed big-endian representation without
+// copying (the final byte is zero-padded). Radix sorts over keys use it for
+// allocation-free byte access; i must be below PackedLen.
+func (k Key) PackedByte(i int) byte { return k.bits[i] }
 
 // MaxInPrefix returns the largest key of the given total bit length that still
 // has k as prefix (k padded with 1-bits). It panics if length < k.Len().

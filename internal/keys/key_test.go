@@ -560,3 +560,32 @@ func TestCompareTransitive(t *testing.T) {
 		}
 	}
 }
+
+func TestFromPackedBits(t *testing.T) {
+	cases := []struct {
+		bits string
+	}{
+		{""}, {"1"}, {"0"}, {"10110"}, {"11111111"}, {"101101011"}, {"0000000000000001"},
+	}
+	for _, c := range cases {
+		want := FromBits(c.bits)
+		got := FromPackedBits(want.Bytes(), want.Len())
+		if !got.Equal(want) {
+			t.Errorf("FromPackedBits round-trip of %q = %q", c.bits, got)
+		}
+	}
+	// Slack bits past n must be cleared even if set in the source buffer.
+	got := FromPackedBits([]byte{0xFF}, 3)
+	if want := FromBits("111"); !got.Equal(want) {
+		t.Errorf("FromPackedBits([0xFF], 3) = %q, want %q", got, want)
+	}
+	if got.Bytes()[0] != 0xE0 {
+		t.Errorf("slack bits not cleared: % x", got.Bytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromPackedBits accepted a short buffer")
+		}
+	}()
+	FromPackedBits([]byte{0}, 9)
+}

@@ -1,0 +1,189 @@
+package ops
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/pgrid"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+func loadTestTuples() []triples.Tuple {
+	words := []string{"alpha", "beta", "gamma", "delta", "beta", "epsilon", "ze", "a"}
+	var tuples []triples.Tuple
+	for i, w := range words {
+		tuples = append(tuples, triples.MustTuple(fmt.Sprintf("o%03d", i),
+			"word", w, "len", float64(len(w)), "tag", fmt.Sprintf("t%d", i%3)))
+	}
+	return tuples
+}
+
+// TestPlanLoadSampleMatchesCollectKeys pins the tentpole's grid-identity
+// invariant: the plan's balancing sample is the same key multiset CollectKeys
+// produced, so a grid built from either is identical.
+func TestPlanLoadSampleMatchesCollectKeys(t *testing.T) {
+	tuples := loadTestTuples()
+	cfg := StoreConfig{}
+	want, err := NewStore(nil, cfg).CollectKeys(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		p, err := PlanLoad(tuples, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.SampleKeys()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: sample has %d keys, CollectKeys %d", workers, len(got), len(want))
+		}
+		gs := make([]string, len(got))
+		ws := make([]string, len(want))
+		for i := range got {
+			gs[i], ws[i] = got[i].String(), want[i].String()
+		}
+		// Grid construction sorts the sample, so only the multiset matters —
+		// but the plan preserves data order, so compare directly first.
+		for i := range gs {
+			if gs[i] != ws[i] {
+				sort.Strings(gs)
+				sort.Strings(ws)
+				break
+			}
+		}
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Fatalf("workers=%d: sample multiset diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestApplyLoadPlanMatchesSerialLoad checks plan-based loading leaves store
+// statistics and grid contents identical to the serial LoadTuple path, for
+// several worker counts, including the catalog postings of first-seen
+// attributes.
+func TestApplyLoadPlanMatchesSerialLoad(t *testing.T) {
+	tuples := loadTestTuples()
+	cfg := StoreConfig{}
+	const nPeers = 16
+
+	serial := func() *Store {
+		sample, err := NewStore(nil, cfg).CollectKeys(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := pgrid.Build(simnet.New(nPeers), nPeers, sample, pgrid.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(grid, cfg)
+		for _, tu := range tuples {
+			if err := st.LoadTuple(tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}()
+	wantStats := serial.Stats()
+
+	for _, workers := range []int{1, 4} {
+		p, err := PlanLoad(tuples, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := pgrid.Build(simnet.New(nPeers), nPeers, p.SampleKeys(), pgrid.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(grid, cfg)
+		if err := st.ApplyLoadPlan(p, workers); err != nil {
+			t.Fatal(err)
+		}
+		got := st.Stats()
+		if got.Triples != wantStats.Triples || got.Postings != wantStats.Postings {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, got, wantStats)
+		}
+		for kind, n := range wantStats.ByIndex {
+			if got.ByIndex[kind] != n {
+				t.Fatalf("workers=%d: index %v has %d postings, want %d", workers, kind, got.ByIndex[kind], n)
+			}
+		}
+		if p.Postings() != int(wantStats.Postings) || p.Triples() != wantStats.Triples {
+			t.Fatalf("plan reports %d postings / %d triples, want %d / %d",
+				p.Postings(), p.Triples(), wantStats.Postings, wantStats.Triples)
+		}
+		// Per-peer stores are byte-identical (same grid for the same sample).
+		for id := 0; id < nPeers; id++ {
+			a, _ := serial.Grid().Peer(simnet.NodeID(id))
+			b, _ := grid.Peer(simnet.NodeID(id))
+			if a.StoreLen() != b.StoreLen() {
+				t.Fatalf("workers=%d: peer %d holds %d postings, serial %d",
+					workers, id, b.StoreLen(), a.StoreLen())
+			}
+		}
+		// A runtime insert after plan loading must not duplicate catalog
+		// postings: the plan's attribute set was adopted.
+		if err := st.InsertTriple(nil, grid.RandomPeer(),
+			triples.Triple{OID: "oX", Attr: "word", Val: triples.String("omega")}); err != nil {
+			t.Fatal(err)
+		}
+		if n := st.Stats().ByIndex[triples.IndexCatalog]; n != wantStats.ByIndex[triples.IndexCatalog] {
+			t.Fatalf("catalog postings grew to %d on a known attribute", n)
+		}
+	}
+}
+
+// TestPlanLoadValidationDeterministic pins error behaviour: the first invalid
+// tuple in data order is reported, whatever the worker count.
+func TestPlanLoadValidationDeterministic(t *testing.T) {
+	tuples := loadTestTuples()
+	bad := triples.Tuple{OID: "bad", Fields: []triples.Field{
+		{Name: "word", Val: triples.String("ok")},
+		{Name: "word", Val: triples.String("has\x01pad")},
+	}}
+	tuples = append(tuples[:3], append([]triples.Tuple{bad}, tuples[3:]...)...)
+	for _, workers := range []int{1, 4} {
+		_, err := PlanLoad(tuples, StoreConfig{}, workers)
+		if !errors.Is(err, triples.ErrBadValueChar) {
+			t.Fatalf("workers=%d: err = %v, want ErrBadValueChar", workers, err)
+		}
+	}
+}
+
+// TestApplyLoadPlanConfigMismatch pins the guard against loading a plan into
+// a store with different storage parameters.
+func TestApplyLoadPlanConfigMismatch(t *testing.T) {
+	p, err := PlanLoad(loadTestTuples(), StoreConfig{Q: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := pgrid.Build(simnet.New(4), 4, p.SampleKeys(), pgrid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStore(grid, StoreConfig{Q: 3}).ApplyLoadPlan(p, 1); err == nil {
+		t.Fatal("ApplyLoadPlan accepted a mismatched config")
+	}
+}
+
+// TestPlanLoadEmptyDataset: an empty plan loads nothing and errors nowhere.
+func TestPlanLoadEmptyDataset(t *testing.T) {
+	p, err := PlanLoad(nil, StoreConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Postings() != 0 || len(p.SampleKeys()) != 0 || p.Triples() != 0 {
+		t.Fatalf("empty plan not empty: %d postings, %d sample keys", p.Postings(), len(p.SampleKeys()))
+	}
+	grid, err := pgrid.Build(simnet.New(2), 2, p.SampleKeys(), pgrid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStore(grid, StoreConfig{}).ApplyLoadPlan(p, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,10 @@ type Store struct {
 	grid *pgrid.Grid
 	cfg  StoreConfig
 
+	// scratch pools entry-extraction buffers (gram buffer, per-attribute gram
+	// cache) across routed inserts, keeping the entry hot path allocation-lean.
+	scratch sync.Pool
+
 	mu        sync.Mutex
 	attrsSeen map[string]bool
 	counts    map[triples.IndexKind]int64
@@ -100,6 +104,7 @@ func NewStore(grid *pgrid.Grid, cfg StoreConfig) *Store {
 	return &Store{
 		grid:      grid,
 		cfg:       cfg,
+		scratch:   sync.Pool{New: func() any { return newEntryScratch() }},
 		attrsSeen: make(map[string]bool),
 		counts:    make(map[triples.IndexKind]int64),
 	}
@@ -111,25 +116,55 @@ func (s *Store) Grid() *pgrid.Grid { return s.grid }
 // Config returns the normalized store configuration.
 func (s *Store) Config() StoreConfig { return s.cfg }
 
-// indexEntry pairs a storage key with its posting.
-type indexEntry struct {
-	key     keys.Key
-	posting triples.Posting
+// entryScratch holds the reusable buffers of one entry-extraction worker: a
+// gram buffer for string values (every value has different grams) and a cache
+// of attribute-name grams (attribute names repeat on virtually every triple,
+// so their expansion is computed once per distinct name).
+type entryScratch struct {
+	grams     []strdist.Gram
+	attrGrams map[string][]strdist.Gram
 }
 
-// entriesForTriple computes every index entry of one triple per the storage
+func newEntryScratch() *entryScratch {
+	return &entryScratch{attrGrams: make(map[string][]strdist.Gram)}
+}
+
+// gramsForAttr returns the cached padded grams of an attribute name.
+func (sc *entryScratch) gramsForAttr(attr string, q int) []strdist.Gram {
+	if gs, ok := sc.attrGrams[attr]; ok {
+		return gs
+	}
+	gs := strdist.PaddedGrams(attr, q)
+	if len(sc.attrGrams) < 1<<14 { // schemas are small; bound pathological ones
+		sc.attrGrams[attr] = gs
+	}
+	return gs
+}
+
+// appendTripleEntries appends every index entry of one triple per the storage
 // scheme: oid, attr#value and value postings carrying the full triple; one
 // slim posting per padded q-gram of a string value (keyed attr#gram) and per
 // padded q-gram of the attribute name (keyed by the gram alone); a
 // short-value posting when the value is below the guarantee threshold; and a
-// catalog posting the first time an attribute name is seen.
-func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []indexEntry {
-	full := triples.Posting{Triple: tr}
-	out := make([]indexEntry, 0, 8)
+// catalog posting the first time an attribute name is seen. It is the shared
+// entry-extraction core of the bulk-load planner and the routed insert path.
+func appendTripleEntries(dst []pgrid.BulkEntry, cfg *StoreConfig, tr triples.Triple, newAttr bool, sc *entryScratch) []pgrid.BulkEntry {
+	// Exact upper bound on the entries of this triple: 3 base postings, the
+	// padded grams of value and attribute (len+q-1 each), short + catalog.
+	need := 3 + len(tr.Attr) + cfg.Q + 1
+	if tr.Val.Kind == triples.KindString {
+		need += len(tr.Val.Str) + cfg.Q
+	}
+	if free := cap(dst) - len(dst); free < need {
+		grown := make([]pgrid.BulkEntry, len(dst), cap(dst)+need+cap(dst)/2)
+		copy(grown, dst)
+		dst = grown
+	}
 
+	full := triples.Posting{Triple: tr}
 	add := func(kind triples.IndexKind, k keys.Key, p triples.Posting) {
 		p.Index = kind
-		out = append(out, indexEntry{key: k, posting: p})
+		dst = append(dst, pgrid.BulkEntry{Key: k, Posting: p})
 	}
 
 	add(triples.IndexOID, triples.OIDKey(tr.OID), full)
@@ -139,12 +174,13 @@ func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []indexEntry {
 	if tr.Val.Kind == triples.KindString {
 		v := tr.Val.Str
 		slim := triples.Posting{Triple: triples.Triple{OID: tr.OID, Attr: tr.Attr}}
-		for _, g := range strdist.PaddedGrams(v, s.cfg.Q) {
+		sc.grams = strdist.AppendPaddedGrams(sc.grams[:0], v, cfg.Q)
+		for _, g := range sc.grams {
 			p := slim
 			p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(v)
 			add(triples.IndexGram, triples.GramKey(tr.Attr, g.Text), p)
 		}
-		if !s.cfg.DisableShortIndex && len(v) < s.cfg.ShortLimit {
+		if !cfg.DisableShortIndex && len(v) < cfg.ShortLimit {
 			add(triples.IndexShort, triples.ShortValueKey(tr.Attr, tr.Val), full)
 		}
 	}
@@ -153,16 +189,25 @@ func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []indexEntry {
 	// triple (Section 4: key(q_j^Ai) -> (oid, q_j^Ai, vi)). The posting
 	// carries the oid; the full object is reconstructed via the oid index.
 	slimAttr := triples.Posting{Triple: triples.Triple{OID: tr.OID}}
-	for _, g := range strdist.PaddedGrams(tr.Attr, s.cfg.Q) {
+	for _, g := range sc.gramsForAttr(tr.Attr, cfg.Q) {
 		p := slimAttr
 		p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(tr.Attr)
 		add(triples.IndexSchemaGram, triples.SchemaGramKey(g.Text), p)
 	}
 
-	if newAttr && !s.cfg.DisableShortIndex {
+	if newAttr && !cfg.DisableShortIndex {
 		add(triples.IndexCatalog, triples.CatalogKey(tr.Attr),
 			triples.Posting{Triple: triples.Triple{Attr: tr.Attr}})
 	}
+	return dst
+}
+
+// entriesForTriple computes the index entries of one triple using pooled
+// extraction buffers.
+func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []pgrid.BulkEntry {
+	sc := s.scratch.Get().(*entryScratch)
+	out := appendTripleEntries(nil, &s.cfg, tr, newAttr, sc)
+	s.scratch.Put(sc)
 	return out
 }
 
@@ -177,11 +222,11 @@ func (s *Store) markAttr(attr string) bool {
 	return true
 }
 
-func (s *Store) recordEntries(es []indexEntry) {
+func (s *Store) recordEntries(es []pgrid.BulkEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range es {
-		s.counts[e.posting.Index]++
+		s.counts[e.Posting.Index]++
 	}
 	s.loaded++
 }
@@ -206,7 +251,7 @@ func (s *Store) IndexKeys(tr triples.Triple) ([]keys.Key, error) {
 	es := s.entriesForTriple(tr, false)
 	ks := make([]keys.Key, len(es))
 	for i, e := range es {
-		ks[i] = e.key
+		ks[i] = e.Key
 	}
 	return ks, nil
 }
@@ -239,7 +284,7 @@ func (s *Store) LoadTriple(tr triples.Triple) error {
 	}
 	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
 	for _, e := range es {
-		if err := s.grid.BulkInsert(e.key, e.posting); err != nil {
+		if err := s.grid.BulkInsert(e.Key, e.Posting); err != nil {
 			return fmt.Errorf("ops: loading %s: %w", tr, err)
 		}
 	}
@@ -271,7 +316,7 @@ func (s *Store) InsertTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Tr
 	}
 	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
 	for _, e := range es {
-		if err := s.grid.Insert(t, from, e.key, e.posting); err != nil {
+		if err := s.grid.Insert(t, from, e.Key, e.Posting); err != nil {
 			return fmt.Errorf("ops: inserting %s: %w", tr, err)
 		}
 	}
@@ -301,16 +346,16 @@ func (s *Store) DeleteTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Tr
 	es := s.entriesForTriple(tr, false)
 	for _, e := range es {
 		match := func(p triples.Posting) bool {
-			return p.Triple.OID == tr.OID && p.GramText == e.posting.GramText &&
-				p.GramPos == e.posting.GramPos
+			return p.Triple.OID == tr.OID && p.GramText == e.Posting.GramText &&
+				p.GramPos == e.Posting.GramPos
 		}
-		if _, err := s.grid.Delete(t, from, e.key, match); err != nil {
+		if _, err := s.grid.Delete(t, from, e.Key, match); err != nil {
 			return err
 		}
 	}
 	s.mu.Lock()
 	for _, e := range es {
-		s.counts[e.posting.Index]--
+		s.counts[e.Posting.Index]--
 	}
 	s.loaded--
 	s.mu.Unlock()

@@ -1,0 +1,221 @@
+package pgrid
+
+// Sharded parallel bulk load.
+//
+// The load phase dominates wall-clock time when building large engines (the
+// paper treats it as free, but every string triple fans out into ~8+ postings
+// replicated across a partition's members). BulkInsert pays, per posting, one
+// epoch snapshot, one hash, one leaf search and one per-store lock
+// acquisition. BulkLoad amortizes all four over a whole batch:
+//
+//  1. pre-hash: every key resolves to its responsible leaf through a
+//     rank→leaf table (one binary search over the hash anchors per key, one
+//     array lookup instead of a leaf search), in parallel chunks;
+//  2. shard: a counting sort groups entry indices by leaf, preserving data
+//     order within each shard;
+//  3. apply: one owner goroutine per partition sorts its shard by key
+//     (stable, so duplicate keys keep data order — byte-identical store
+//     iteration with a serial BulkInsert loop) and applies the batch to every
+//     member store under a single lock, bottom-up when the store is empty.
+//     Replicas alias the shard's key/posting slices; nothing is copied per
+//     member, and no two goroutines ever touch the same partition store, so
+//     there is no cross-shard lock contention.
+//
+// Like BulkInsert, BulkLoad reads one membership epoch: it is safe
+// concurrently with queries, and a batch racing a split of the same
+// partition lands in the pre-split store only (the documented epoch
+// trade-off).
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keys"
+	"repro/internal/triples"
+)
+
+// BulkEntry pairs a storage key with its posting for batched loading.
+type BulkEntry struct {
+	Key     keys.Key
+	Posting triples.Posting
+}
+
+// ErrNoPartition reports a key no partition of the current epoch covers
+// (impossible in a complete trie; it surfaces corrupted builds).
+var ErrNoPartition = errors.New("pgrid: no partition covers key")
+
+// BulkLoad stores a batch of postings at every peer of each responsible
+// partition without routing or accounting, sharded by partition and applied
+// with at most `workers` concurrent goroutines (<= 0 means GOMAXPROCS). The
+// resulting stores are byte-identical to a serial BulkInsert of the same
+// entries in slice order, for any worker count.
+//
+// When the batch is already sorted by key — the order ops.PlanLoad emits —
+// responsibility resolution degrades from one binary search per entry to a
+// linear merge against the hash anchors, and shard batches skip their sort
+// entirely (the counting sort preserves input order).
+func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	v := g.snapshot()
+
+	sorted := true
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key.Compare(entries[i].Key) > 0 {
+			sorted = false
+			break
+		}
+	}
+
+	// Rank → leaf table: hashing collapses every key to a rank, so per-entry
+	// responsibility is one table lookup instead of a leaf search. Ranks
+	// scale with distinct sample keys, so the table is filled by iterating
+	// the (far fewer) leaves: a leaf whose hashed-space path p has l <=
+	// hash-width bits covers exactly the contiguous rank interval
+	// [p << (width-l), (p+1) << (width-l)) — no per-rank key allocation or
+	// leaf search. Deeper leaves (possible only in degenerate tries) fall
+	// back to the per-rank search.
+	rankLeaf := make([]int32, g.h.ranks())
+	for r := range rankLeaf {
+		rankLeaf[r] = -1
+	}
+	for li := range v.leaves {
+		path := v.leaves[li].path
+		l := path.Len()
+		if l > g.h.width {
+			continue
+		}
+		val := 0
+		for b := 0; b < l; b++ {
+			val = val<<1 | path.Bit(b)
+		}
+		shift := uint(g.h.width - l)
+		lo, hi := val<<shift, (val+1)<<shift
+		if hi > len(rankLeaf) {
+			hi = len(rankLeaf)
+		}
+		for r := lo; r < hi; r++ {
+			rankLeaf[r] = int32(li)
+		}
+	}
+	for r, li := range rankLeaf {
+		if li < 0 {
+			rankLeaf[r] = int32(v.leafForHashed(g.h.rankKey(r)))
+		}
+	}
+
+	// Pass 1 (parallel): resolve every key to its responsible leaf. Sorted
+	// batches advance a rank cursor instead of re-searching per key.
+	leafOf := make([]int32, len(entries))
+	var uncovered atomic.Bool
+	parallelRanges(len(entries), workers, func(lo, hi int) {
+		rank := g.h.rank(entries[lo].Key)
+		for i := lo; i < hi; i++ {
+			if sorted {
+				rank = g.h.advanceRank(rank, entries[i].Key)
+			} else if i > lo {
+				rank = g.h.rank(entries[i].Key)
+			}
+			li := rankLeaf[rank]
+			if li < 0 {
+				uncovered.Store(true)
+				return
+			}
+			leafOf[i] = li
+		}
+	})
+	if uncovered.Load() {
+		return ErrNoPartition
+	}
+
+	// Pass 2 (serial counting sort): group entry indices by leaf, keeping
+	// data order inside each shard.
+	counts := make([]int, len(v.leaves))
+	for _, li := range leafOf {
+		counts[li]++
+	}
+	offs := make([]int, len(v.leaves)+1)
+	for i, c := range counts {
+		offs[i+1] = offs[i] + c
+	}
+	order := make([]int32, len(entries))
+	next := append([]int(nil), offs[:len(v.leaves)]...)
+	for i, li := range leafOf {
+		order[next[li]] = int32(i)
+		next[li]++
+	}
+
+	// Pass 3 (parallel): one owner goroutine per partition shard.
+	var wg sync.WaitGroup
+	work := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for li := range work {
+				g.applyShard(v, li, entries, order[offs[li]:offs[li+1]], sorted)
+			}
+		}()
+	}
+	for li := range v.leaves {
+		if counts[li] > 0 {
+			work <- li
+		}
+	}
+	close(work)
+	wg.Wait()
+	return nil
+}
+
+// applyShard applies one partition's shard of entry indices to every member
+// store as a single sorted batch (stable by key: duplicate keys keep batch
+// order, matching serial inserts). Pre-sorted batches need no re-sort — the
+// counting sort preserved input order. Members read the shared shard through
+// an index closure; nothing is copied per replica.
+func (g *Grid) applyShard(v *view, li int, entries []BulkEntry, shard []int32, sorted bool) {
+	if !sorted {
+		sort.SliceStable(shard, func(a, b int) bool {
+			return entries[shard[a]].Key.Compare(entries[shard[b]].Key) < 0
+		})
+	}
+	at := func(j int) (keys.Key, triples.Posting) {
+		e := &entries[shard[j]]
+		return e.Key, e.Posting
+	}
+	for _, id := range v.leaves[li].peers {
+		v.peers[id].localPutBatchSortedFunc(len(shard), at)
+	}
+}
+
+// parallelRanges runs fn over contiguous chunks of [0, n) on up to `workers`
+// goroutines, returning when all chunks are done. workers <= 1 runs inline.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,224 @@
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/simnet"
+)
+
+// bulkEntries builds a batch with duplicate keys (several postings per key)
+// and skew, so shard sorting, tie order and replica aliasing are all
+// exercised.
+func bulkEntries(n int) []BulkEntry {
+	rng := rand.New(rand.NewSource(11))
+	out := make([]BulkEntry, n)
+	for i := range out {
+		k := rng.Intn(n/3 + 1) // ~3 postings per distinct key
+		out[i] = BulkEntry{Key: testKey(k), Posting: testPosting(i)}
+	}
+	return out
+}
+
+// TestBulkLoadMatchesSerialBulkInsert is the package-level equivalence
+// oracle: for several worker counts, BulkLoad must leave every peer store
+// byte-identical — same length, same iteration order including duplicate-key
+// ties — to a serial BulkInsert loop over the same entries, and lookups must
+// return identical postings.
+func TestBulkLoadMatchesSerialBulkInsert(t *testing.T) {
+	const nPeers, nItems = 64, 4000
+	entries := bulkEntries(nItems)
+	sample := make([]keys.Key, len(entries))
+	for i, e := range entries {
+		sample[i] = e.Key
+	}
+	cfg := Config{Replication: 2, RefsPerLevel: 2, MaxDepth: 64, Seed: 3}
+
+	build := func() (*Grid, *simnet.Network) {
+		net := simnet.New(nPeers)
+		g, err := Build(net, nPeers, sample, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, net
+	}
+
+	ref, _ := build()
+	for _, e := range entries {
+		if err := ref.BulkInsert(e.Key, e.Posting); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g, _ := build()
+			if err := g.BulkLoad(entries, workers); err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < nPeers; id++ {
+				want, _ := ref.Peer(simnet.NodeID(id))
+				got, _ := g.Peer(simnet.NodeID(id))
+				if got.StoreLen() != want.StoreLen() {
+					t.Fatalf("peer %d: store len %d, want %d", id, got.StoreLen(), want.StoreLen())
+				}
+				wp := want.allPostings()
+				gp := got.allPostings()
+				for i := range wp.keys {
+					if !gp.keys[i].Equal(wp.keys[i]) || gp.postings[i] != wp.postings[i] {
+						t.Fatalf("peer %d: store diverges at entry %d", id, i)
+					}
+				}
+			}
+			// Routed lookups agree too (messages and results).
+			for i := 0; i < 50; i++ {
+				k := testKey(i * 17 % (nItems/3 + 1))
+				want, err := ref.Lookup(nil, simnet.NodeID(i%nPeers), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := g.Lookup(nil, simnet.NodeID(i%nPeers), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("lookup %s: %d postings, want %d", k, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("lookup %s: posting %d diverges", k, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBulkLoadIntoNonEmptyStores checks the incremental path: a second
+// BulkLoad over a grid that already holds data merges like serial inserts.
+func TestBulkLoadIntoNonEmptyStores(t *testing.T) {
+	const nPeers = 32
+	entries := bulkEntries(1000)
+	sample := make([]keys.Key, len(entries))
+	for i, e := range entries {
+		sample[i] = e.Key
+	}
+	cfg := DefaultConfig()
+
+	net := simnet.New(nPeers)
+	g, err := Build(net, nPeers, sample, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNet := simnet.New(nPeers)
+	ref, err := Build(refNet, nPeers, sample, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := len(entries) / 2
+	if err := g.BulkLoad(entries[:half], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BulkLoad(entries[half:], 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := ref.BulkInsert(e.Key, e.Posting); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := g.Stats().StoredItems, ref.Stats().StoredItems; got != want {
+		t.Fatalf("stored items %d, want %d", got, want)
+	}
+	for i := 0; i < 30; i++ {
+		k := testKey(i * 13 % 334)
+		got, err := g.Lookup(nil, simnet.NodeID(i%nPeers), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Lookup(nil, simnet.NodeID(i%nPeers), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("lookup %s after two batches: %d postings, want %d", k, len(got), len(want))
+		}
+	}
+}
+
+// TestBulkLoadThenMembershipChurn is the churn regression of the load
+// pipeline: a grid populated through BulkLoad must survive Join/Leave/
+// RefreshRefs with exact query results, i.e. bulk-built stores hand data
+// over during splits exactly like incrementally grown ones.
+func TestBulkLoadThenMembershipChurn(t *testing.T) {
+	const nPeers, nItems = 48, 3000
+	entries := make([]BulkEntry, nItems)
+	sample := make([]keys.Key, nItems)
+	for i := range entries {
+		entries[i] = BulkEntry{Key: testKey(i), Posting: testPosting(i)}
+		sample[i] = entries[i].Key
+	}
+	net := simnet.New(nPeers)
+	g, err := Build(net, nPeers, sample, Config{Replication: 2, RefsPerLevel: 2, MaxDepth: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BulkLoad(entries, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for i := 0; i < nItems; i += 97 {
+			res, err := g.Lookup(nil, g.RandomPeer(), testKey(i))
+			if err != nil {
+				t.Fatalf("%s: lookup %d: %v", stage, i, err)
+			}
+			if len(res) != 1 || res[0].Triple.OID != fmt.Sprintf("o%d", i) {
+				t.Fatalf("%s: lookup %d returned %v", stage, i, res)
+			}
+		}
+	}
+	check("after load")
+
+	rng := rand.New(rand.NewSource(4))
+	joins, leaves := 0, 0
+	for round := 0; round < 30; round++ {
+		if rng.Intn(2) == 0 {
+			if _, err := g.Join(nil); err != nil {
+				t.Fatalf("join %d: %v", round, err)
+			}
+			joins++
+		} else {
+			id := g.RandomPeer()
+			switch err := g.Leave(nil, id); err {
+			case nil:
+				leaves++
+			case ErrSoleOwner, ErrDeparted:
+			default:
+				t.Fatalf("leave %d: %v", round, err)
+			}
+		}
+		g.RefreshRefs()
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("churn mix degenerate: %d joins, %d leaves", joins, leaves)
+	}
+	check("after churn")
+
+	// Postings survive with full multiplicity across the whole key range.
+	var tally int
+	for i := 0; i < nItems; i++ {
+		res, err := g.Lookup(nil, g.RandomPeer(), testKey(i))
+		if err != nil {
+			t.Fatalf("final lookup %d: %v", i, err)
+		}
+		tally += len(res)
+	}
+	if tally != nItems {
+		t.Fatalf("final sweep found %d postings, want %d", tally, nItems)
+	}
+}

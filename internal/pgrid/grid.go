@@ -171,6 +171,17 @@ func (p *Peer) localPut(k keys.Key, posting triples.Posting) {
 	p.store.t.Insert(k, posting)
 }
 
+// localPutBatchSortedFunc applies a key-sorted batch of postings, read
+// through at, under one store lock. An empty store is built bottom-up from
+// the batch; a non-empty one falls back to ordinary inserts. Replicas of a
+// partition are handed the same closure over the shared shard, so the batch
+// is never copied per replica.
+func (p *Peer) localPutBatchSortedFunc(n int, at func(int) (keys.Key, triples.Posting)) {
+	p.store.mu.Lock()
+	defer p.store.mu.Unlock()
+	p.store.t.BulkLoadSortedFunc(n, at)
+}
+
 func (p *Peer) localDelete(k keys.Key, match func(triples.Posting) bool) bool {
 	p.store.mu.Lock()
 	defer p.store.mu.Unlock()
@@ -286,22 +297,46 @@ func newHasher(sortedSample []keys.Key) *hasher {
 	return &hasher{anchors: anchors, width: width}
 }
 
-// rankKey renders rank as a big-endian key of h.width bits.
+// rankKey renders rank as a big-endian key of h.width bits in one allocation
+// (hashing runs once per posting during bulk load and once per key on every
+// routed operation, so bit-by-bit construction was a measured hot spot).
 func (h *hasher) rankKey(rank int) keys.Key {
-	k := keys.Empty
-	for b := h.width - 1; b >= 0; b-- {
-		k = k.AppendBit((rank >> uint(b)) & 1)
+	var buf [8]byte
+	shifted := uint64(rank) << uint(64-h.width)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(shifted >> (56 - 8*uint(i)))
 	}
-	return k
+	return keys.FromPackedBits(buf[:], h.width)
 }
+
+// rank maps a key to |{anchors <= k}|, the integer the rank key renders.
+func (h *hasher) rank(k keys.Key) int {
+	return sort.Search(len(h.anchors), func(i int) bool {
+		return h.anchors[i].Compare(k) > 0
+	})
+}
+
+// advanceRank returns the rank of k given a cursor already at the rank of
+// some key <= k. Callers walking keys in ascending order (the bulk-load and
+// construction merge passes) get |{anchors <= k}| with one overall linear
+// sweep of the anchors instead of a binary search per key; rank and
+// advanceRank must agree, so "anchor <= key" is defined here and in rank
+// only.
+func (h *hasher) advanceRank(rank int, k keys.Key) int {
+	for rank < len(h.anchors) && h.anchors[rank].Compare(k) <= 0 {
+		rank++
+	}
+	return rank
+}
+
+// ranks reports the size of the rank space: every key hashes to a rank in
+// [0, ranks).
+func (h *hasher) ranks() int { return len(h.anchors) + 1 }
 
 // hash maps a key to the rank key of |{anchors <= k}|. Monotone: a <= b
 // implies hash(a) <= hash(b).
 func (h *hasher) hash(k keys.Key) keys.Key {
-	n := sort.Search(len(h.anchors), func(i int) bool {
-		return h.anchors[i].Compare(k) > 0
-	})
-	return h.rankKey(n)
+	return h.rankKey(h.rank(k))
 }
 
 // hashHiPrefix maps the upper bound of an interval, counting anchors that are
@@ -363,10 +398,20 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
 
 	h := newHasher(sorted)
-	// A monotone hash keeps the sorted order, so the hashed sample is sorted.
+	// A monotone hash keeps the sorted order, so the hashed sample is sorted —
+	// and because the anchors come from this very slice, ranks follow from a
+	// linear merge (no per-key binary search), with equal keys sharing both
+	// rank and rank key.
 	hashed := make([]keys.Key, len(sorted))
+	rank := 0
 	for i, k := range sorted {
-		hashed[i] = h.hash(k)
+		next := h.advanceRank(rank, k)
+		if i > 0 && next == rank {
+			hashed[i] = hashed[i-1]
+		} else {
+			hashed[i] = h.rankKey(next)
+		}
+		rank = next
 	}
 
 	targetLeaves := nPeers / cfg.Replication

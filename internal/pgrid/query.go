@@ -220,12 +220,13 @@ func boolInt64(b bool) int64 {
 
 // BulkInsert stores a posting at every peer of the responsible partition
 // without routing or accounting. The evaluation uses it for the load phase,
-// whose cost the paper does not measure.
+// whose cost the paper does not measure; whole-dataset loads should use
+// BulkLoad, which shards a batch by partition and applies it in parallel.
 func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
 	v := g.snapshot()
 	li := v.leafForHashed(g.h.hash(k))
 	if li < 0 {
-		return errors.New("pgrid: no partition covers key")
+		return ErrNoPartition
 	}
 	for _, id := range v.leaves[li].peers {
 		v.peers[id].localPut(k, posting)

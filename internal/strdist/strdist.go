@@ -184,13 +184,34 @@ func pad(s string, q int) string {
 // These are the grams the storage layer indexes and the q-gram query variant
 // probes.
 func PaddedGrams(s string, q int) []Gram {
+	return AppendPaddedGrams(nil, s, q)
+}
+
+// AppendPaddedGrams appends the padded positional q-grams of s to dst and
+// returns the extended slice. Bulk-load workers and the insert hot path pass
+// a reused buffer so gram expansion — the dominant CPU cost of indexing a
+// string triple — allocates only the padded backing string per call instead
+// of a fresh gram slice too.
+func AppendPaddedGrams(dst []Gram, s string, q int) []Gram {
 	if q <= 0 {
 		panic("strdist: q must be positive")
 	}
-	if q == 1 {
-		return Grams(s, 1)
+	p := s
+	if q > 1 {
+		p = pad(s, q)
 	}
-	return Grams(pad(s, q), q)
+	if len(p) < q {
+		return dst
+	}
+	if need := len(dst) + len(p) - q + 1; cap(dst) < need {
+		grown := make([]Gram, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i+q <= len(p); i++ {
+		dst = append(dst, Gram{Text: p[i : i+q], Pos: i})
+	}
+	return dst
 }
 
 // Samples returns the q-sample of s for maximum edit distance d: d+1

@@ -416,3 +416,31 @@ func BenchmarkPaddedGramsTitle(b *testing.B) {
 		PaddedGrams(title, 3)
 	}
 }
+
+func TestAppendPaddedGramsReusesBuffer(t *testing.T) {
+	for _, s := range []string{"", "a", "word", "similarity"} {
+		for _, q := range []int{1, 2, 3, 4} {
+			want := PaddedGrams(s, q)
+			buf := make([]Gram, 0, 64)
+			got := AppendPaddedGrams(buf, s, q)
+			if len(got) != len(want) {
+				t.Fatalf("AppendPaddedGrams(%q, %d): %d grams, want %d", s, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("AppendPaddedGrams(%q, %d)[%d] = %v, want %v", s, q, i, got[i], want[i])
+				}
+			}
+			if len(got) > 0 && cap(buf) >= len(got) && &got[0] != &buf[:1][0] {
+				t.Fatalf("AppendPaddedGrams(%q, %d) reallocated despite capacity", s, q)
+			}
+		}
+	}
+	// Appending after existing content keeps it.
+	pre := AppendPaddedGrams(nil, "ab", 2)
+	n := len(pre)
+	both := AppendPaddedGrams(pre, "cd", 2)
+	if len(both) <= n || both[0] != pre[0] {
+		t.Fatal("AppendPaddedGrams dropped existing content")
+	}
+}
