@@ -95,6 +95,77 @@ func TestActorMatchesOtherExecutorsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestQueryBatchConcurrentClientsOracle pins the engine-level half of the
+// asynchronous-issue oracle: a batch of VQL queries executed by concurrent
+// closed-loop clients on one shared virtual timeline returns identical rows
+// and identical message/byte costs to sequential issue on every execution
+// mode — and on the actor engine the concurrent run reports strictly
+// positive cross-operation queueing while per-query latencies never fall
+// below the uncontended sequential ones.
+func TestQueryBatchConcurrentClientsOracle(t *testing.T) {
+	engines, corpus := execTriple(t, 64, 2*time.Millisecond)
+	queries := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		queries = append(queries,
+			fmt.Sprintf(`SELECT ?n WHERE { (?o,word,?n) FILTER (dist(?n,'%s') < 2) }`, corpus[i*7]))
+	}
+
+	// One fixed initiator schedule shared by every run and mode.
+	froms := make([]simnet.NodeID, len(queries))
+	for i := range froms {
+		froms[i] = simnet.NodeID((i * 13) % 64)
+	}
+
+	// Sequential baseline on the actor engine (clients=1).
+	actor := engines[core.RuntimeActor]
+	seq := actor.QueryBatchFrom(queries, froms, 1)
+	conc := actor.QueryBatchFrom(queries, froms, 4)
+	var seqQueue, concQueue int64
+	for i := range queries {
+		if seq[i].Err != nil || conc[i].Err != nil {
+			t.Fatalf("query %d: seq err %v, conc err %v", i, seq[i].Err, conc[i].Err)
+		}
+		if fmt.Sprint(conc[i].Result.Rows) != fmt.Sprint(seq[i].Result.Rows) {
+			t.Errorf("query %d: concurrent rows diverge from sequential", i)
+		}
+		if conc[i].Tally.Messages != seq[i].Tally.Messages || conc[i].Tally.Bytes != seq[i].Tally.Bytes {
+			t.Errorf("query %d: concurrent cost %d msgs/%d bytes, sequential %d/%d", i,
+				conc[i].Tally.Messages, conc[i].Tally.Bytes, seq[i].Tally.Messages, seq[i].Tally.Bytes)
+		}
+		if conc[i].Tally.Latency < seq[i].Tally.Latency {
+			t.Errorf("query %d: concurrent latency %dµs below sequential %dµs", i,
+				conc[i].Tally.Latency, seq[i].Tally.Latency)
+		}
+		seqQueue += seq[i].Tally.Queue
+		concQueue += conc[i].Tally.Queue
+	}
+	if concQueue <= 0 {
+		t.Error("concurrent batch reports no queueing despite a 2ms service time")
+	}
+	if concQueue < seqQueue {
+		t.Errorf("concurrent batch queueing %dµs below sequential %dµs", concQueue, seqQueue)
+	}
+
+	// The direct engine answers the identical schedule with identical rows
+	// and message costs (cross-executor oracle), and zero queueing.
+	direct := engines[core.RuntimeDirect]
+	dconc := direct.QueryBatchFrom(queries, froms, 4)
+	for i := range queries {
+		if dconc[i].Err != nil {
+			t.Fatalf("direct query %d: %v", i, dconc[i].Err)
+		}
+		if fmt.Sprint(dconc[i].Result.Rows) != fmt.Sprint(seq[i].Result.Rows) {
+			t.Errorf("direct query %d: rows diverge from the actor engine", i)
+		}
+		if dconc[i].Tally.Messages != seq[i].Tally.Messages {
+			t.Errorf("direct query %d: %d msgs, actor %d", i, dconc[i].Tally.Messages, seq[i].Tally.Messages)
+		}
+		if dconc[i].Tally.Queue != 0 {
+			t.Errorf("direct query %d: %dµs queueing on a chained engine", i, dconc[i].Tally.Queue)
+		}
+	}
+}
+
 // TestActorEngineReportsCongestion drives a concurrent query burst against
 // an actor engine with a nonzero per-peer service time: the per-query
 // tallies accumulate queueing delay and the engine's runtime exposes

@@ -43,6 +43,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asyncnet"
@@ -70,6 +72,8 @@ func main() {
 			"per-message service time of each peer in actor mode (e.g. 500us); makes queueing observable")
 		latAware = flag.Bool("latency-aware", false,
 			"route via the live reference with the lowest expected link latency instead of the hashed choice")
+		clients = flag.Int("clients", 1,
+			"closed-loop concurrent clients issuing the query mix on one shared virtual timeline (actor mode; 1 = sequential issue)")
 		workers     = flag.Int("workers", 0, "fanout goroutine bound (0 = default)")
 		loadWorkers = flag.Int("load-workers", 0,
 			"bulk-load pipeline concurrency: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
@@ -92,15 +96,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Flag-enum and combination validation: reject unknown or conflicting
+	// values up front with the accepted choices listed, instead of silently
+	// falling back to a default behaviour mid-run.
 	if *churnMode != "crash" && *churnMode != "membership" {
 		fatal(fmt.Errorf("unknown churn mode %q (want crash or membership)", *churnMode))
+	}
+	if *churn < 0 {
+		fatal(fmt.Errorf("negative churn rate %v (want events per simulated second >= 0)", *churn))
 	}
 	mode, err := core.ParseRuntimeMode(*exec)
 	if err != nil {
 		fatal(err)
 	}
-	if *exec == "" && *async {
+	if *async {
+		if *exec != "" && mode != core.RuntimeFanout {
+			fatal(fmt.Errorf("-async conflicts with -exec %s (it is a legacy alias for -exec fanout)", mode))
+		}
 		mode = core.RuntimeFanout
+	}
+	if *clients < 1 {
+		fatal(fmt.Errorf("invalid -clients %d (want a client count >= 1)", *clients))
+	}
+	if *clients > 1 && mode != core.RuntimeActor {
+		fatal(fmt.Errorf("-clients %d needs -exec actor: only the discrete-event engine shares one virtual timeline across concurrently issued operations (direct/fanout model no cross-operation contention)", *clients))
 	}
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
 	if err != nil {
@@ -114,8 +133,8 @@ func main() {
 		if latency != nil {
 			lat = latency.String()
 		}
-		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s (%d mix initiations)\n\n",
-			mode, m, lat, *churn, *churnMode, *mixes)
+		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
+			mode, m, lat, *churn, *churnMode, *clients, *mixes)
 	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s %-10s %-12s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part", "load", "postings/s")
@@ -146,7 +165,13 @@ func main() {
 			s.AvgRefs, s.StoredItems, s.MaxLeafItems,
 			loadWall.Round(time.Millisecond), postingsPerSec)
 		if *mixes > 0 {
-			if err := runWorkload(eng, corpus, m, *mixes, *seed, *churn, *churnMode); err != nil {
+			var err error
+			if *clients > 1 {
+				err = runWorkloadClients(eng, corpus, m, *mixes, *clients, *seed, *churn, *churnMode)
+			} else {
+				err = runWorkload(eng, corpus, m, *mixes, *seed, *churn, *churnMode)
+			}
+			if err != nil {
 				fatal(fmt.Errorf("workload at %d peers: %w", n, err))
 			}
 			fmt.Println()
@@ -208,6 +233,73 @@ func tolerableChurnErr(err error) bool {
 	return false
 }
 
+// churnDriver performs one churn event per step — graceful membership churn
+// (Join/Leave published as grid epochs) or crash toggling, followed by the
+// routing-table refresh a self-organizing P-Grid continuously does. Both
+// workload drivers share it: the sequential driver steps it from its own
+// driver runtime, the concurrent driver from control events on the engine's
+// runtime. Steps always run on one scheduler goroutine, so the fields need
+// no locking; failures go through reportErr (whose sink supplies any
+// locking it needs).
+type churnDriver struct {
+	eng       *core.Engine
+	rng       *rand.Rand
+	mode      string
+	reportErr func(error)
+
+	toggles       int
+	joins, leaves int
+	downList      []simnet.NodeID
+}
+
+func (c *churnDriver) step() {
+	c.toggles++
+	switch c.mode {
+	case "membership":
+		// Half the events remove a random peer gracefully (skipping sole
+		// owners and already-departed slots), half add a fresh one — the
+		// sustained-churn regime of the NearBucket-LSH and image-similarity
+		// P2P evaluations. Only those two expected refusals are skipped; any
+		// other membership error is an invariant violation and aborts the
+		// run.
+		if c.rng.Intn(2) == 0 {
+			// RandomPeer skips tombstones, so the leave rate does not decay
+			// as departures accumulate in the id space.
+			id := c.eng.Grid().RandomPeer()
+			switch err := c.eng.Leave(id); {
+			case err == nil:
+				c.leaves++
+			case errors.Is(err, pgrid.ErrSoleOwner), errors.Is(err, pgrid.ErrDeparted):
+				// Sole owners must stay; tombstones cannot leave twice.
+			default:
+				c.reportErr(fmt.Errorf("churn leave(%d): %w", id, err))
+			}
+		} else {
+			if _, _, err := c.eng.Join(); err == nil {
+				c.joins++
+			} else {
+				// Without crash injection every partition has a live host, so
+				// a failed join is always a bug.
+				c.reportErr(fmt.Errorf("churn join: %w", err))
+			}
+		}
+	default: // crash
+		// Revive the longest-failed peer once a few are down, otherwise fail
+		// a random live one.
+		if len(c.downList) >= 3 {
+			c.eng.Net().SetDown(c.downList[0], false)
+			c.downList = c.downList[1:]
+		} else {
+			id := simnet.NodeID(c.rng.Intn(c.eng.Grid().PeerCount()))
+			if !c.eng.Net().IsDown(id) {
+				c.eng.Net().SetDown(id, true)
+				c.downList = append(c.downList, id)
+			}
+		}
+	}
+	c.eng.RefreshRefs()
+}
+
 // runWorkload executes the query mix on one engine and prints the summary
 // table. Queries and churn are interleaved deterministically by scheduling
 // them as events of an asyncnet.Runtime: each mix initiation runs at its
@@ -224,19 +316,25 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 	col.Reset()
 
 	var (
-		totals        metrics.Tally
-		queries       int
-		failed        int
-		toggles       int
-		joins, leaves int
-		runErr        error
-		downList      []simnet.NodeID
+		totals  metrics.Tally
+		queries int
+		failed  int
+		runErr  error
 	)
-	rng := rand.New(rand.NewSource(seed))
 	observe := func(qt metrics.Tally) {
 		queries++
 		totals.AddTally(qt)
 		col.ObserveQuery(qt)
+	}
+	churn := &churnDriver{
+		eng:  eng,
+		rng:  rand.New(rand.NewSource(seed)),
+		mode: churnMode,
+		reportErr: func(err error) {
+			if runErr == nil {
+				runErr = err
+			}
+		},
 	}
 
 	const driver = simnet.NodeID(0)
@@ -256,53 +354,7 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 				}
 			}
 		case churnEvent:
-			toggles++
-			switch churnMode {
-			case "membership":
-				// Half the events remove a random peer gracefully (skipping
-				// sole owners and already-departed slots), half add a fresh
-				// one — the sustained-churn regime of the NearBucket-LSH and
-				// image-similarity P2P evaluations. Only those two expected
-				// refusals are skipped; any other membership error is an
-				// invariant violation and aborts the run.
-				if rng.Intn(2) == 0 {
-					// RandomPeer skips tombstones, so the leave rate does not
-					// decay as departures accumulate in the id space.
-					id := eng.Grid().RandomPeer()
-					switch err := eng.Leave(id); {
-					case err == nil:
-						leaves++
-					case errors.Is(err, pgrid.ErrSoleOwner), errors.Is(err, pgrid.ErrDeparted):
-						// Sole owners must stay; tombstones cannot leave twice.
-					default:
-						if runErr == nil {
-							runErr = fmt.Errorf("churn leave(%d): %w", id, err)
-						}
-					}
-				} else {
-					if _, _, err := eng.Join(); err == nil {
-						joins++
-					} else if runErr == nil {
-						// Without crash injection every partition has a live
-						// host, so a failed join is always a bug.
-						runErr = fmt.Errorf("churn join: %w", err)
-					}
-				}
-			default: // crash
-				// Revive the longest-failed peer once a few are down,
-				// otherwise fail a random live one.
-				if len(downList) >= 3 {
-					eng.Net().SetDown(downList[0], false)
-					downList = downList[1:]
-				} else {
-					id := simnet.NodeID(rng.Intn(eng.Grid().PeerCount()))
-					if !eng.Net().IsDown(id) {
-						eng.Net().SetDown(id, true)
-						downList = append(downList, id)
-					}
-				}
-			}
-			eng.RefreshRefs()
+			churn.step()
 		}
 	})
 
@@ -335,11 +387,113 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 		return runErr
 	}
 	fmt.Printf("peers=%d queries=%d failed-mixes=%d churn-events=%d joins=%d leaves=%d down-now=%d departed=%d\n",
-		eng.Grid().LiveCount(), queries, failed, toggles, joins, leaves,
+		eng.Grid().LiveCount(), queries, failed, churn.toggles, churn.joins, churn.leaves,
 		eng.Net().DownCount(), eng.Grid().DepartedCount())
 	if queries > 0 {
 		fmt.Printf("messages: total=%d mean/query=%.1f\n", totals.Messages, float64(totals.Messages)/float64(queries))
 		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
+		fmt.Print(col.QueryReport())
+	}
+	printActorLoad(eng)
+	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
+	return nil
+}
+
+// runWorkloadClients is the concurrent-issue form of runWorkload: `clients`
+// closed-loop clients issue the query mix on the actor engine's own
+// discrete-event runtime — the workload driver and the query engine share
+// one runtime and one virtual timeline. Each client's next mix round starts
+// the moment its previous one completed, operations of different clients
+// queue behind each other in peer mailboxes (reported as metrics.Tally.Queue
+// and in the per-peer load table), and churn events are control events on
+// the same timeline: a membership or crash event lands *between* the very
+// message deliveries of in-flight queries, not merely between query rounds.
+func runWorkloadClients(eng *core.Engine, corpus []string, m ops.Method, mixes, clients int, seed int64, churnRate float64, churnMode string) error {
+	w := bench.QueryMix()
+	w.Repeats = 1
+	col := eng.Net().Collector()
+	col.Reset()
+	rt := eng.Runtime() // non-nil: -clients > 1 requires actor mode
+
+	var (
+		mu      sync.Mutex
+		totals  metrics.Tally
+		queries int
+		failed  int
+		runErr  error
+	)
+	observe := func(qt metrics.Tally) {
+		mu.Lock()
+		queries++
+		totals.AddTally(qt)
+		col.ObserveQuery(qt)
+		mu.Unlock()
+	}
+
+	// Churn: a self-rearming control event on the engine's runtime. The
+	// callback runs on the drain loop between message deliveries, so the
+	// usual churn-safety contract (epoch snapshots) is all it relies on.
+	var stopped atomic.Bool
+	churn := &churnDriver{
+		eng:  eng,
+		rng:  rand.New(rand.NewSource(seed)),
+		mode: churnMode,
+		reportErr: func(err error) {
+			mu.Lock()
+			if runErr == nil {
+				runErr = err
+			}
+			mu.Unlock()
+		},
+	}
+	if churnRate > 0 {
+		const tick = simnet.VTime(1_000_000) // churn rates are per simulated second
+		interval := simnet.VTime(float64(tick) / churnRate)
+		if interval < 1 {
+			interval = 1
+		}
+		var arm func(delay simnet.VTime)
+		arm = func(delay simnet.VTime) {
+			rt.After(delay, func(rt *asyncnet.Runtime, at simnet.VTime) {
+				if stopped.Load() {
+					return
+				}
+				churn.step()
+				arm(interval)
+			})
+		}
+		arm(interval / 2)
+	}
+
+	startWall := time.Now()
+	eng.Concurrent(clients, func(client int) {
+		for r := client; r < mixes; r += clients {
+			if _, err := bench.RunMixObserved(eng, "word", corpus, w, m,
+				seed+int64(r), observe); err != nil {
+				mu.Lock()
+				if churnRate > 0 && tolerableChurnErr(err) {
+					failed++
+				} else if runErr == nil {
+					runErr = err
+				}
+				mu.Unlock()
+			}
+		}
+	})
+	stopped.Store(true)
+	wall := time.Since(startWall)
+
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("peers=%d clients=%d queries=%d failed-mixes=%d churn-events=%d joins=%d leaves=%d down-now=%d departed=%d\n",
+		eng.Grid().LiveCount(), clients, queries, failed, churn.toggles, churn.joins, churn.leaves,
+		eng.Net().DownCount(), eng.Grid().DepartedCount())
+	if queries > 0 {
+		fmt.Printf("messages: total=%d mean/query=%.1f\n", totals.Messages, float64(totals.Messages)/float64(queries))
+		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
+		fmt.Printf("queued:   total=%.2fms cross-operation mailbox wait (mean/query=%.2fms)\n",
+			float64(totals.Queue)/1000, float64(totals.Queue)/float64(queries)/1000)
 		fmt.Print(col.QueryReport())
 	}
 	printActorLoad(eng)

@@ -80,6 +80,11 @@ type ReplyFn func(rt *Runtime, ev Event, payload simnet.Message, err error)
 type call struct {
 	fn    ReplyFn
 	multi bool
+	// timer is the pending timeout control event of a Call, cancelled (removed
+	// from the event heap) the moment the call completes: a stale timer left
+	// behind would keep Run stepping dead control events and would spin the
+	// clock forward on no-ops during a drain-once loop.
+	timer *item
 }
 
 // Open registers a continuation and returns a fresh correlation id. With
@@ -94,12 +99,16 @@ func (rt *Runtime) Open(multi bool, fn ReplyFn) CorrID {
 	return corr
 }
 
-// Close deregisters a call, reporting whether it was still open. Replies
-// arriving after Close are dropped and counted as late.
+// Close deregisters a call, reporting whether it was still open, and cancels
+// its pending timeout timer. Replies arriving after Close are dropped and
+// counted as late.
 func (rt *Runtime) Close(corr CorrID) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	_, ok := rt.calls[corr]
+	c, ok := rt.calls[corr]
+	if ok {
+		rt.cancelLocked(c.timer)
+	}
 	delete(rt.calls, corr)
 	return ok
 }
@@ -128,6 +137,9 @@ func (rt *Runtime) lookupCall(corr CorrID, countLate bool) (*call, bool) {
 	}
 	if !c.multi {
 		delete(rt.calls, corr)
+		// The call is settled; its timeout timer must not fire (and, during
+		// a drain, must not advance the clock as a dead event).
+		rt.cancelLocked(c.timer)
 	}
 	return c, true
 }
@@ -174,15 +186,22 @@ func (rt *Runtime) ReplyErr(from simnet.NodeID, req Envelope, err error, at simn
 // Call posts a single request and registers a single-shot continuation. The
 // request arrives after delay; a nonzero timeout schedules a control event
 // that fails the call with ErrTimeout if no reply (or drop failure) arrived
-// first. The correlation id is returned so callers may Close early.
+// first. The timer is cancelled — removed from the event heap — as soon as
+// the call settles, so a completed call leaves no dead control event behind.
+// The correlation id is returned so callers may Close early.
 func (rt *Runtime) Call(from, to simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, fn ReplyFn) (CorrID, error) {
 	corr := rt.Open(false, fn)
 	env := Envelope{Corr: corr, ReplyTo: from, Payload: payload}
 	if timeout > 0 {
-		env.Deadline = rt.Now() + delay + timeout
-		rt.After(delay+timeout, func(rt *Runtime, at simnet.VTime) {
+		rt.mu.Lock()
+		env.Deadline = rt.now + delay + timeout
+		timer := rt.afterLocked(delay+timeout, func(rt *Runtime, at simnet.VTime) {
 			rt.failCall(corr, Event{At: at, From: from, To: to, Msg: env}, ErrTimeout)
 		})
+		if c, ok := rt.calls[corr]; ok {
+			c.timer = timer
+		}
+		rt.mu.Unlock()
 	}
 	if err := rt.Post(from, to, env, delay); err != nil {
 		rt.Close(corr)

@@ -224,6 +224,105 @@ func TestMultiCallStreamsReplies(t *testing.T) {
 	}
 }
 
+// TestCallTimerCancelledOnReply is the stale-timer regression: a Call whose
+// reply arrives in time must cancel its timeout control event — remove it
+// from the event heap — the moment the call settles. A leftover timer would
+// keep Run stepping dead control events and would spin the virtual clock
+// forward on no-ops during a drain-once loop.
+func TestCallTimerCancelledOnReply(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(50))
+	rt.Register(2, 8, 0, nil)
+	const timeout = simnet.VTime(1_000_000)
+	ok := false
+	if _, err := rt.Call(2, 1, testMsg{id: 3}, 10, timeout, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+		ok = err == nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	steps := rt.Run()
+	if !ok {
+		t.Fatal("timed call did not complete successfully")
+	}
+	// Heap must be empty after the successful call: the reply settled the
+	// call and cancelled the timer in place.
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events after a successful call, want 0", n)
+	}
+	// The clock stops at the reply's processing instant; a surviving timer
+	// would have dragged it to the timeout deadline.
+	if now := rt.Now(); now != 60 {
+		t.Fatalf("virtual clock at %d after the call, want 60 (not the %d timeout)", now, 10+timeout)
+	}
+	// Run/Drain on the settled runtime are no-ops: no dead control events.
+	if again := rt.Run(); again != 0 {
+		t.Fatalf("Run stepped %d dead events after completion (first Run: %d)", again, steps)
+	}
+	if n := rt.Drain(nil); n != 0 {
+		t.Fatalf("Drain stepped %d dead events after completion", n)
+	}
+
+	// The drop-nack path settles the call too: its timer must also go.
+	rt.SetDown(1, true)
+	if _, err := rt.Call(2, 1, testMsg{}, 10, timeout, func(rt *Runtime, ev Event, p simnet.Message, err error) {}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events after a drop-nacked call, want 0", n)
+	}
+
+	// CallRetry walks candidates with one timer per attempt; all of them must
+	// be cancelled once the chain settles on the live peer.
+	rt.SetDown(1, false)
+	rt.Register(3, 8, 0, echoHandler(5))
+	rt.SetDown(1, true)
+	if err := rt.CallRetry(2, []simnet.NodeID{1, 3}, testMsg{id: 8}, 10, timeout,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			if err != nil {
+				t.Errorf("retry outcome: %v", err)
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events after a settled retry chain, want 0", n)
+	}
+}
+
+// TestDrainRespectsIssueWindow pins the issue-window gate: Drain must not
+// step (and so must not advance the virtual clock past) work that an open
+// issue window still protects — the kickoff a concurrent issuer is about to
+// post lands at its intended virtual time, never clamped forward.
+func TestDrainRespectsIssueWindow(t *testing.T) {
+	rt := NewRuntime()
+	var order []int
+	rt.Register(1, 8, 0, func(rt *Runtime, ev Event) {
+		order = append(order, ev.Msg.(testMsg).id)
+	})
+	// A later event is already scheduled; the gated issuer will post an
+	// earlier one. Without the window the drain would process the later
+	// event first and the earlier kickoff would be clamped forward.
+	if err := rt.Post(0, 1, testMsg{id: 2}, 100); err != nil {
+		t.Fatal(err)
+	}
+	rt.BeginIssue()
+	posted := make(chan struct{})
+	go func() {
+		if err := rt.Post(0, 1, testMsg{id: 1}, 5); err != nil {
+			t.Error(err)
+		}
+		close(posted)
+		rt.EndIssue()
+	}()
+	<-posted // deterministic test: the kickoff is in the heap before draining
+	rt.Drain(nil)
+	if fmt.Sprint(order) != fmt.Sprint([]int{1, 2}) {
+		t.Fatalf("delivery order = %v, want [1 2] (issue-window kickoff first)", order)
+	}
+}
+
 // TestRuntimeQueueAndBusyStats pins the new per-actor observability: with a
 // service time and burst arrivals, queue delay, busy time and max backlog
 // are all visible in ActorStats and AllStats.

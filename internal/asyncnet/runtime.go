@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -50,15 +51,20 @@ const (
 )
 
 // item is a heap entry: an arrival, a processing start, or a control event.
+// Items are heap-allocated and track their index so schedulers can cancel
+// them in place (heap.Remove) instead of stepping dead events — a timeout
+// timer whose call already completed must not spin the clock forward during
+// a drain.
 type item struct {
 	at   simnet.VTime
 	seq  uint64 // tie-break: FIFO among simultaneous events
 	kind int
 	ev   Event
 	fn   func(rt *Runtime, at simnet.VTime) // kindControl only
+	idx  int                                // heap index; -1 once popped or removed
 }
 
-type eventHeap []item
+type eventHeap []*item
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -67,12 +73,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
+	old[n-1] = nil
+	x.idx = -1
 	*h = old[:n-1]
 	return x
 }
@@ -129,6 +145,16 @@ type Runtime struct {
 	actors map[simnet.NodeID]*actor
 	trace  func(Event)
 
+	// issuers counts open issue windows (see BeginIssue): goroutines that
+	// may still post events at the current virtual instant. Drain refuses to
+	// step while any window is open, so a kickoff about to be posted is never
+	// outrun — and then clamped forward — by the clock. Guarded by issueMu;
+	// issueCond is signalled on every EndIssue so waiters park instead of
+	// spinning through a client's compute stretch.
+	issueMu   sync.Mutex
+	issueCond *sync.Cond
+	issuers   int64
+
 	// request/reply state (see reqreply.go).
 	nextCorr    uint64
 	calls       map[CorrID]*call
@@ -137,10 +163,12 @@ type Runtime struct {
 
 // NewRuntime returns an empty runtime at virtual time zero.
 func NewRuntime() *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		actors: make(map[simnet.NodeID]*actor),
 		calls:  make(map[CorrID]*call),
 	}
+	rt.issueCond = sync.NewCond(&rt.issueMu)
+	return rt
 }
 
 // Register adds an actor. capacity bounds the mailbox (minimum 1); service
@@ -211,7 +239,7 @@ func (rt *Runtime) postLocked(from, to simnet.NodeID, msg simnet.Message, at sim
 	if _, ok := rt.actors[to]; !ok {
 		return fmt.Errorf("%w: %d", ErrNoActor, to)
 	}
-	rt.push(item{at: at, kind: kindArrival, ev: Event{At: at, From: from, To: to, Msg: msg}})
+	rt.push(&item{at: at, kind: kindArrival, ev: Event{At: at, From: from, To: to, Msg: msg}})
 	return nil
 }
 
@@ -221,14 +249,40 @@ func (rt *Runtime) postLocked(from, to simnet.NodeID, msg simnet.Message, at sim
 func (rt *Runtime) After(delay simnet.VTime, fn func(rt *Runtime, at simnet.VTime)) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rt.push(item{at: rt.now + delay, kind: kindControl, fn: fn})
+	rt.afterLocked(delay, fn)
+}
+
+// afterLocked schedules a control event under rt.mu and returns its heap
+// item so the caller may cancel it (see cancelLocked).
+func (rt *Runtime) afterLocked(delay simnet.VTime, fn func(rt *Runtime, at simnet.VTime)) *item {
+	it := &item{at: rt.now + delay, kind: kindControl, fn: fn}
+	rt.push(it)
+	return it
+}
+
+// cancelLocked removes a scheduled item from the heap if it has not fired
+// yet. Must run under rt.mu.
+func (rt *Runtime) cancelLocked(it *item) {
+	if it != nil && it.idx >= 0 {
+		heap.Remove(&rt.heap, it.idx)
+	}
 }
 
 // push assigns the FIFO sequence under rt.mu.
-func (rt *Runtime) push(it item) {
+func (rt *Runtime) push(it *item) {
 	it.seq = rt.seq
 	rt.seq++
 	heap.Push(&rt.heap, it)
+}
+
+// PendingEvents reports the number of scheduled events (arrivals, processing
+// starts and live control events). A runtime whose calls all completed holds
+// none: completed calls cancel their timeout timers instead of leaving them
+// in the heap.
+func (rt *Runtime) PendingEvents() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.Len()
 }
 
 // Step processes the next event, advancing the virtual clock. It returns
@@ -239,7 +293,7 @@ func (rt *Runtime) Step() bool {
 		rt.mu.Unlock()
 		return false
 	}
-	it := heap.Pop(&rt.heap).(item)
+	it := heap.Pop(&rt.heap).(*item)
 	if it.at > rt.now {
 		rt.now = it.at
 	}
@@ -286,7 +340,7 @@ func (rt *Runtime) Step() bool {
 			ev := it.ev
 			ev.Enqueued = rt.now
 			ev.At = start
-			rt.push(item{at: start, kind: kindProcess, ev: ev})
+			rt.push(&item{at: start, kind: kindProcess, ev: ev})
 		}
 		rt.mu.Unlock()
 		if dropErr != nil {
@@ -333,6 +387,79 @@ func (rt *Runtime) Run() int {
 		n++
 	}
 	return n
+}
+
+// BeginIssue opens an issue window: the calling goroutine announces that it
+// may still post events at the current virtual instant (a kickoff it is
+// about to compute, the next operation of a closed-loop client). Drain does
+// not step while any window is open, which is what keeps asynchronously
+// issued operations honest: without the window, a drain loop could consume
+// virtual time past an operation's chosen start, and its kickoff would be
+// clamped forward, inflating the operation's measured latency.
+//
+// Every BeginIssue must be balanced by EndIssue (possibly on another
+// goroutine: a scheduler completing an operation may re-open the window on
+// behalf of the client it resumes, handing it over without a gap).
+func (rt *Runtime) BeginIssue() {
+	rt.issueMu.Lock()
+	rt.issuers++
+	rt.issueMu.Unlock()
+}
+
+// EndIssue closes one issue window, waking waiters (Drain, spawn barriers).
+func (rt *Runtime) EndIssue() {
+	rt.issueMu.Lock()
+	rt.issuers--
+	rt.issueCond.Broadcast()
+	rt.issueMu.Unlock()
+}
+
+// OpenIssues reports the number of open issue windows.
+func (rt *Runtime) OpenIssues() int64 {
+	rt.issueMu.Lock()
+	defer rt.issueMu.Unlock()
+	return rt.issuers
+}
+
+// WaitIssues parks the caller until at most target issue windows remain
+// open: a drain loop waits for 0 before stepping; a spawn barrier waits for
+// its own holdings before launching the next issuer. Parking (instead of
+// spinning) matters when an issuer computes between operations — gram
+// expansion, candidate merging — with its window open.
+func (rt *Runtime) WaitIssues(target int64) {
+	rt.issueMu.Lock()
+	for rt.issuers > target {
+		rt.issueCond.Wait()
+	}
+	rt.issueMu.Unlock()
+}
+
+// Drain is the drain-once loop of asynchronous operation issue: post N
+// kickoffs (PostAt, or through issuing goroutines gated by BeginIssue),
+// then call Drain once to step the shared heap in global virtual-time
+// order. It returns the number of processed events when done reports true
+// (checked between steps), or — with a nil done — when the event queue is
+// empty and no issue window remains open. While a window is open an empty
+// or nonempty heap parks instead of stepping, so concurrently issued work
+// is never outrun by the clock.
+func (rt *Runtime) Drain(done func() bool) int {
+	n := 0
+	for {
+		if done != nil && done() {
+			return n
+		}
+		rt.WaitIssues(0)
+		if rt.Step() {
+			n++
+			continue
+		}
+		if done == nil && rt.OpenIssues() == 0 {
+			return n
+		}
+		// Heap empty but the caller's predicate not yet satisfied (a body is
+		// between its last EndIssue and signalling completion): yield briefly.
+		runtime.Gosched()
+	}
 }
 
 // RunUntil processes events up to and including virtual time deadline,

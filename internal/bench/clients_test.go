@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestConcurrentClientsWorkload drives the closed-loop offered-load sweep on
+// an actor engine: message totals are invariant across client counts (same
+// schedule, same routes), cross-operation queueing is strictly positive
+// under load and does not shrink as clients are added, and a chained engine
+// answers the same schedule with identical message totals and zero queueing.
+func TestConcurrentClientsWorkload(t *testing.T) {
+	corpus := dataset.BibleWords(400, 11)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	open := func(mode core.RuntimeMode) *core.Engine {
+		eng, err := core.Open(tuples, core.Config{
+			Peers:   48,
+			Runtime: mode,
+			Latency: asyncnet.DefaultLatency(3),
+			Service: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	w := ClientsWorkload{PerClient: 2, Distance: 1, Seed: 7}
+	counts := []int{1, 4, 8}
+
+	actor := open(core.RuntimeActor)
+	points, err := ConcurrentClients(actor, corpus, counts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(counts) {
+		t.Fatalf("%d points, want %d", len(points), len(counts))
+	}
+	for _, p := range points {
+		if p.Queries != p.Clients*w.PerClient {
+			t.Errorf("clients=%d completed %d queries, want %d", p.Clients, p.Queries, p.Clients*w.PerClient)
+		}
+		if p.Queries > 0 && p.Messages/int64(p.Queries) == 0 {
+			t.Errorf("clients=%d reports no messages", p.Clients)
+		}
+		if p.QueueTotalUS <= 0 {
+			t.Errorf("clients=%d reports no queueing with a 2ms service time", p.Clients)
+		}
+	}
+	// More concurrent clients issue more queries over the same peers from
+	// one fork instant: mean queueing per query must not drop below the
+	// single-client baseline, and the tail should feel the added load.
+	if points[2].MeanQueueUS < points[0].MeanQueueUS {
+		t.Errorf("mean queueing shrank under load: clients=8 %.0fµs < clients=1 %.0fµs",
+			points[2].MeanQueueUS, points[0].MeanQueueUS)
+	}
+
+	// Chained engine, same schedule: identical message volume at clients=1
+	// (shared routes), zero queueing by construction.
+	direct := open(core.RuntimeDirect)
+	dp, err := ConcurrentClients(direct, corpus, []int{1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[0].Messages != points[0].Messages || dp[0].Queries != points[0].Queries {
+		t.Errorf("direct engine cost %d msgs/%d queries diverges from actor %d/%d",
+			dp[0].Messages, dp[0].Queries, points[0].Messages, points[0].Queries)
+	}
+	if dp[0].QueueTotalUS != 0 {
+		t.Errorf("direct engine reports %dµs queueing", dp[0].QueueTotalUS)
+	}
+
+	if out := FormatClients(points); len(out) == 0 {
+		t.Error("FormatClients rendered nothing")
+	}
+}

@@ -238,6 +238,82 @@ func (e *Engine) QueryFrom(from simnet.NodeID, tally *metrics.Tally, query strin
 	return plan.Run(e.store, from, tally, query, e.cfg.Plan)
 }
 
+// Concurrent runs n closed-loop client bodies against the engine. On an
+// actor engine every body is issued onto the overlay's one discrete-event
+// timeline: the bodies' operations are injected as kickoff events, a single
+// drain loop steps the shared heap, and per-query tallies include the
+// mailbox queueing suffered behind *other* clients' operations
+// (metrics.Tally.Queue) — cross-operation contention, which per-episode
+// execution could not express. Body spawn and first-issue order are
+// deterministic, so a fixed seed reproduces latencies and queueing exactly.
+// On direct/fanout engines, which model no cross-operation contention,
+// bodies run serially in index order with identical results and message
+// costs.
+func (e *Engine) Concurrent(n int, body func(client int)) {
+	e.grid.Concurrent(n, body)
+}
+
+// BatchResult is the outcome of one query of a QueryBatch: the materialized
+// result and the query's own cost slice (messages and bytes are exact;
+// Latency is the query's duration on its client's timeline, including any
+// cross-client queueing; Queue is its summed mailbox waiting time).
+type BatchResult struct {
+	Result *plan.Result
+	Tally  metrics.Tally
+	Err    error
+}
+
+// QueryBatch executes a batch of VQL queries across `clients` closed-loop
+// concurrent clients: client c runs queries c, c+clients, c+2*clients, …,
+// each starting on its client's timeline as soon as the previous one
+// completed. Initiating peers are drawn deterministically up front (one per
+// query, as the paper chooses initiators randomly), so every execution mode
+// and client count answers the identical query schedule — on actor engines
+// with identical results and message costs to sequential issue, plus the
+// honest contention terms.
+func (e *Engine) QueryBatch(queries []string, clients int) []BatchResult {
+	froms := make([]simnet.NodeID, len(queries))
+	for i := range froms {
+		froms[i] = e.grid.RandomPeer()
+	}
+	return e.QueryBatchFrom(queries, froms, clients)
+}
+
+// QueryBatchFrom is QueryBatch with explicit initiating peers (one per
+// query): oracles and benchmarks use it to run the identical schedule —
+// same queries, same initiators — sequentially and concurrently, or across
+// execution modes, and compare costs exactly.
+func (e *Engine) QueryBatchFrom(queries []string, froms []simnet.NodeID, clients int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if len(froms) != len(queries) {
+		for i := range out {
+			out[i].Err = fmt.Errorf("core: %d initiators for %d queries", len(froms), len(queries))
+		}
+		return out
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > len(queries) {
+		clients = len(queries)
+	}
+	e.Concurrent(clients, func(client int) {
+		// One chained tally per client: each query starts at the previous
+		// one's completion (closed loop); per-query slices are snapshot
+		// diffs, the convention metrics.Tally.Sub documents.
+		var ct metrics.Tally
+		for qi := client; qi < len(queries); qi += clients {
+			before := ct.Snapshot()
+			res, err := e.QueryFrom(froms[qi], &ct, queries[qi])
+			out[qi] = BatchResult{Result: res, Tally: ct.Snapshot().Sub(before), Err: err}
+		}
+	})
+	return out
+}
+
 // Explain returns the physical plan of a query without executing it.
 func (e *Engine) Explain(query string) (string, error) {
 	q, err := vql.Parse(query)

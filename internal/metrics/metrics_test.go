@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -235,5 +236,86 @@ func TestCollectorQueueHistogram(t *testing.T) {
 	c.ObserveQuery(Tally{Hops: 3, Latency: 10_000})
 	if r := c.QueryReport(); strings.Contains(r, "queued") {
 		t.Errorf("QueryReport renders queue line without queueing: %q", r)
+	}
+}
+
+// --- field-coverage round trips -------------------------------------------
+//
+// Tally grows a field roughly every other PR (Hops and Latency in PR 1,
+// Queue in PR 3); each of Snapshot, AddTally, Sub and String must cover
+// every term, and forgetting one is silent. These tests enumerate the
+// struct's fields by reflection, so adding a field without threading it
+// through every operation fails here instead of quietly dropping a metric.
+
+// tallyFields returns the names of Tally's exported int64 counter fields.
+func tallyFields(t *testing.T) []string {
+	t.Helper()
+	typ := reflect.TypeOf(Tally{})
+	var out []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Int64 {
+			t.Fatalf("Tally field %s is not an exported int64; extend the round-trip tests for it", f.Name)
+		}
+		out = append(out, f.Name)
+	}
+	if len(out) == 0 {
+		t.Fatal("Tally has no fields")
+	}
+	return out
+}
+
+// distinctTally builds a tally whose every field holds a distinct nonzero
+// value (3, 5, 7, ... by field order).
+func distinctTally(t *testing.T) Tally {
+	t.Helper()
+	var ta Tally
+	v := reflect.ValueOf(&ta).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(2*i + 3))
+	}
+	return ta
+}
+
+func TestTallySnapshotCoversEveryField(t *testing.T) {
+	ta := distinctTally(t)
+	snap := ta.Snapshot()
+	got, want := reflect.ValueOf(snap), reflect.ValueOf(ta)
+	for i, name := range tallyFields(t) {
+		if got.Field(i).Int() != want.Field(i).Int() {
+			t.Errorf("Snapshot drops field %s: got %d, want %d", name, got.Field(i).Int(), want.Field(i).Int())
+		}
+	}
+}
+
+func TestTallySubCoversEveryField(t *testing.T) {
+	ta := distinctTally(t)
+	if diff := ta.Sub(Tally{}); diff != ta {
+		t.Errorf("t.Sub(zero) = %+v, want %+v (a field is not subtracted)", diff, ta)
+	}
+	if diff := ta.Sub(ta); diff != (Tally{}) {
+		t.Errorf("t.Sub(t) = %+v, want zero (a field is not subtracted)", diff)
+	}
+}
+
+func TestTallyMergeCoversEveryField(t *testing.T) {
+	ta := distinctTally(t)
+	var into Tally
+	into.AddTally(ta)
+	// Merging into zero must reproduce every field: summed fields add onto
+	// zero, max-folded fields raise from zero — either way the value carries.
+	if got := into.Snapshot(); got != ta {
+		t.Errorf("zero.AddTally(t) = %+v, want %+v (a field is not merged)", got, ta)
+	}
+}
+
+func TestTallyStringCoversEveryField(t *testing.T) {
+	zero := Tally{}.String()
+	for i, name := range tallyFields(t) {
+		var ta Tally
+		reflect.ValueOf(&ta).Elem().Field(i).SetInt(42)
+		if ta.String() == zero {
+			t.Errorf("String ignores field %s: rendering equals the zero tally (%q)", name, zero)
+		}
 	}
 }

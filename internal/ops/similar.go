@@ -62,8 +62,10 @@ func (s *Store) Similar(t *metrics.Tally, from simnet.NodeID, needle, attr strin
 // operator's completion time so callers (e.g. the similarity join) can fan
 // several selections out from one fork point. The candidate phases — the
 // q-gram multicast and the short-string fallback scan — are independent
-// branch expansions: under the concurrent fabric they run in parallel and
-// their candidate sets merge afterwards.
+// branch expansions: under the concurrent fabric they run in parallel, on
+// the actor engine they are issued asynchronously onto the shared
+// discrete-event timeline (so sibling phases contend in peer mailboxes like
+// any concurrent operations), and their candidate sets merge afterwards.
 func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
 	opts SimilarOptions, start simnet.VTime) ([]Match, simnet.VTime, error) {
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/asyncnet"
 	"repro/internal/keys"
@@ -21,6 +22,13 @@ import (
 // tallied as queueing delay, and per-peer service load and backlog are
 // observable on the runtime.
 //
+// Operations can be issued asynchronously onto the one shared timeline —
+// post N kickoffs, drain once (Grid.Issue*/DrainIssued, Grid.Concurrent,
+// and the executor's own fanout of sibling branches) — so queueing *between*
+// concurrently issued operations is modelled with the same mechanism as
+// queueing within one: everything is just messages contending for mailboxes
+// on a single virtual clock.
+//
 // Invariants shared with the chained executor:
 //
 //   - every operation consumes exactly one membership epoch (the view in its
@@ -35,6 +43,20 @@ type actorExec struct {
 	rt      *asyncnet.Runtime
 	service simnet.VTime
 	mailbox int
+
+	// draining is nonzero while a drain loop owns the runtime (group). In
+	// that regime gated operation waiters park on their completion signal
+	// instead of pumping the heap themselves, and the issue-window gate (see
+	// asyncnet.Runtime.BeginIssue) keeps the drain from outrunning a client
+	// that is about to post its next kickoff.
+	draining atomic.Int32
+	// gated registers the goroutines running group bodies: their operation
+	// waits park under the drain loop and hold/hand-over issue windows.
+	// Goroutines outside any group (legacy concurrent raw issue) keep the
+	// pump-own-episode behaviour — results stay exact, but only gated issue
+	// gets the honest shared-timeline latency accounting.
+	gatedMu sync.Mutex
+	gated   map[uint64]int
 
 	mu  sync.Mutex
 	ops map[asyncnet.CorrID]*actorOp
@@ -55,8 +77,61 @@ func newActorExec(g *Grid) *actorExec {
 		rt:      asyncnet.NewRuntime(),
 		service: g.cfg.Service,
 		mailbox: mb,
+		gated:   make(map[uint64]int),
 		ops:     make(map[asyncnet.CorrID]*actorOp),
 	}
+}
+
+// goid returns the current goroutine's id, parsed from the runtime's stack
+// header ("goroutine N [running]: ..."). The execution engine uses it to
+// tell gated group bodies apart from outside callers; the parse costs far
+// less than one simulated message.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) > len(prefix) {
+		s = s[len(prefix):]
+	}
+	var id uint64
+	for _, b := range s {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + uint64(b-'0')
+	}
+	return id
+}
+
+// enterGated marks the current goroutine as a group body; leaveGated undoes
+// it. Counted, so re-entry (a body spawning and joining a nested group on
+// its own goroutine) stays balanced.
+func (x *actorExec) enterGated(id uint64) {
+	x.gatedMu.Lock()
+	x.gated[id]++
+	x.gatedMu.Unlock()
+}
+
+func (x *actorExec) leaveGated(id uint64) {
+	x.gatedMu.Lock()
+	if x.gated[id]--; x.gated[id] <= 0 {
+		delete(x.gated, id)
+	}
+	x.gatedMu.Unlock()
+}
+
+// gatedSelf reports whether the current goroutine runs as a gated group
+// body.
+func (x *actorExec) gatedSelf() bool {
+	if x.draining.Load() == 0 {
+		return false
+	}
+	id := goid()
+	x.gatedMu.Lock()
+	_, ok := x.gated[id]
+	x.gatedMu.Unlock()
+	return ok
 }
 
 // attach registers a peer as an actor. Departed peers stay registered: an
@@ -83,6 +158,7 @@ const (
 // been processed, dropped or failed).
 type actorOp struct {
 	corr asyncnet.CorrID
+	x    *actorExec
 	v    *view
 	t    *metrics.Tally
 	from simnet.NodeID
@@ -108,6 +184,11 @@ type actorOp struct {
 
 	mu      sync.Mutex
 	pending int
+	// parked marks that the issuing goroutine waits on done under an active
+	// drain and has released its issue window; whoever completes the
+	// operation re-opens the window on the waiter's behalf before signalling,
+	// handing it over without a gap the drain loop could slip through.
+	parked  bool
 	results []triples.Posting
 	errs    []error
 	deleted bool
@@ -123,13 +204,20 @@ func (op *actorOp) addPending(n int) {
 }
 
 // finishMsg resolves one in-flight message; the last one completes the
-// operation.
+// operation. If the issuer parked on the completion (asynchronous issue
+// under a drain loop), its issue window is re-opened here — before the
+// signal — so the drain cannot advance the clock between the operation's
+// completion and the issuer's next kickoff.
 func (op *actorOp) finishMsg() {
 	op.mu.Lock()
 	op.pending--
 	last := op.pending == 0
+	parked := op.parked
 	op.mu.Unlock()
 	if last {
+		if parked {
+			op.x.rt.BeginIssue()
+		}
 		close(op.done)
 	}
 }
@@ -183,7 +271,7 @@ func (op *actorOp) wire() simnet.Message {
 // newOp builds an operation around one epoch snapshot and registers its
 // result-return continuation under a fresh correlation id.
 func (x *actorExec) newOp(v *view, t *metrics.Tally, from simnet.NodeID, kind opKind, start simnet.VTime) (*actorOp, simnet.VTime) {
-	op := &actorOp{v: v, t: t, from: from, kind: kind, done: make(chan struct{})}
+	op := &actorOp{x: x, v: v, t: t, from: from, kind: kind, done: make(chan struct{})}
 	op.corr = x.rt.Open(true, func(rt *asyncnet.Runtime, ev asyncnet.Event, payload simnet.Message, err error) {
 		if err != nil {
 			op.fail(err)
@@ -245,28 +333,49 @@ func (x *actorExec) reply(op *actorOp, from simnet.NodeID, res []triples.Posting
 	return true
 }
 
-// run drains the runtime until the operation completes, then collects its
-// outcome. Multiple goroutines may pump one shared runtime: whoever steps an
-// event executes its handler, and completion is signalled through the
-// operation's counter, so waiting never depends on which goroutine processed
-// the final message.
+// run completes an issued operation and collects its outcome. Two regimes:
 //
-// Results, routes, hops and message counts stay exact under concurrent
-// issue, but per-operation latency and queueing tallies are only exact
-// under sequential issue: operations issued concurrently from several
-// goroutines share one monotonic runtime clock, so an operation's arrivals
-// can be clamped forward past virtual time another operation's pump has
-// already consumed, inflating its reported latency (the tools and
-// benchmarks issue sequentially; see the cross-operation item in ROADMAP).
+//   - Sequential issue (no drain loop active): the caller pumps the shared
+//     heap itself until the operation completes — exactly the pre-existing
+//     per-episode behaviour, byte-identical tallies included.
+//   - Asynchronous issue (a drain loop owns the runtime): the caller is a
+//     gated issuer; it parks on the operation's completion signal and the
+//     drain loop steps the shared heap. Every concurrently issued
+//     operation's events then interleave in global virtual-time order, so
+//     mailbox queueing between operations is modelled, and an operation's
+//     tally derives from its own kickoff and completion events on the one
+//     shared timeline — per-operation latency and queueing are exact under
+//     concurrent issue too (cross-operation contention appears as honest
+//     queueing delay, never as clock clamping).
+//
+// Completion is signalled through the operation's outstanding-message
+// counter, so waiting never depends on which goroutine processed the final
+// message.
 func (x *actorExec) run(op *actorOp) ([]triples.Posting, simnet.VTime, error) {
+	if x.gatedSelf() {
+		// The park decision is atomic with finishMsg's pending-count
+		// decrement: whoever takes op.mu first wins. If the operation already
+		// completed (pending == 0 — settled at issue time, or raced by a
+		// legacy raw pumper that steps without honouring issue windows), the
+		// completer saw parked == false and left our issue window alone, so
+		// we collect still holding it. Otherwise parked is set before the
+		// completer can read it, and the window handoff is guaranteed.
+		op.mu.Lock()
+		if op.pending == 0 {
+			op.mu.Unlock()
+			<-op.done
+			return x.collect(op)
+		}
+		op.parked = true
+		op.mu.Unlock()
+		x.rt.EndIssue()
+		<-op.done // completer re-opened our issue window before signalling
+		return x.collect(op)
+	}
 	for {
 		select {
 		case <-op.done:
-			x.release(op)
-			op.mu.Lock()
-			res, end, err := op.results, op.maxEnd-op.base, errors.Join(op.errs...)
-			op.mu.Unlock()
-			return res, end, err
+			return x.collect(op)
 		default:
 		}
 		if !x.rt.Step() {
@@ -279,6 +388,16 @@ func (x *actorExec) run(op *actorOp) ([]triples.Posting, simnet.VTime, error) {
 			}
 		}
 	}
+}
+
+// collect closes out a completed operation and returns its outcome on the
+// operation's own timeline.
+func (x *actorExec) collect(op *actorOp) ([]triples.Posting, simnet.VTime, error) {
+	x.release(op)
+	op.mu.Lock()
+	res, end, err := op.results, op.maxEnd-op.base, errors.Join(op.errs...)
+	op.mu.Unlock()
+	return res, end, err
 }
 
 func (x *actorExec) release(op *actorOp) {
@@ -514,27 +633,44 @@ func (x *actorExec) kickRoute(op *actorOp, at simnet.VTime) {
 	x.post(op, op.from, op.from, routeStepMsg{budget: op.target.Len() + 2}, at)
 }
 
-func (x *actorExec) lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+// issueLookup posts a lookup's kickoff without waiting: the returned
+// operation completes when a drain loop (or a pumping waiter) has stepped
+// its events.
+func (x *actorExec) issueLookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) *actorOp {
 	op, at := x.newOp(v, t, from, opLookup, start)
 	op.orig, op.target = k, x.g.h.hash(k)
 	op.salt = routeSalt(op.target)
 	x.kickRoute(op, at)
-	return x.run(op)
+	return op
 }
 
-func (x *actorExec) multiLookup(v *view, t *metrics.Tally, from simnet.NodeID, hks []hashedKey, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+// issueMultiLookup posts a batched multicast's kickoff without waiting.
+func (x *actorExec) issueMultiLookup(v *view, t *metrics.Tally, from simnet.NodeID, hks []hashedKey, start simnet.VTime) *actorOp {
 	op, at := x.newOp(v, t, from, opMulti, start)
 	x.post(op, from, from, multiStepMsg{keys: hks}, at)
-	return x.run(op)
+	return op
 }
 
-func (x *actorExec) rangeQuery(v *view, t *metrics.Tally, from simnet.NodeID, iv, ivH keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+// issueRange posts a shower multicast's kickoff without waiting.
+func (x *actorExec) issueRange(v *view, t *metrics.Tally, from simnet.NodeID, iv, ivH keys.Interval, opts RangeOptions, start simnet.VTime) *actorOp {
 	op, at := x.newOp(v, t, from, opShower, start)
 	op.iv, op.ivH, op.opts = iv, ivH, opts
 	op.target = ivH.Lo
 	op.salt = routeSalt(ivH.Lo)
 	x.kickRoute(op, at)
-	return x.run(op)
+	return op
+}
+
+func (x *actorExec) lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	return x.run(x.issueLookup(v, t, from, k, start))
+}
+
+func (x *actorExec) multiLookup(v *view, t *metrics.Tally, from simnet.NodeID, hks []hashedKey, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	return x.run(x.issueMultiLookup(v, t, from, hks, start))
+}
+
+func (x *actorExec) rangeQuery(v *view, t *metrics.Tally, from simnet.NodeID, iv, ivH keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	return x.run(x.issueRange(v, t, from, iv, ivH, opts, start))
 }
 
 func (x *actorExec) insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys.Key, posting triples.Posting) error {
@@ -561,18 +697,134 @@ func (x *actorExec) remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 // fanout hands every branch the same virtual start time, so branch
 // *accounting* forks at one instant and the group ends at the max branch end
 // — the contract the fanout fabric implements with goroutines, which the
-// cross-executor oracle relies on. The branch bodies, however, are pumped to
-// completion one after another: each drains its own DES episode, so
-// mailbox contention BETWEEN sibling ops-level branches is not modelled —
-// only contention within one grid operation (multicast forwards, the reply
-// fan-in at the initiator) is. Modelling cross-branch contention needs
-// asynchronous operation issue (see ROADMAP).
+// cross-executor oracle relies on. Branch bodies are issued asynchronously
+// onto the one shared timeline (group): every sibling's kickoff lands in the
+// heap before the drain loop steps, so mailbox contention BETWEEN sibling
+// ops-level branches is modelled exactly like contention within one grid
+// operation. With zero per-peer service time no queueing arises and the
+// accounting reduces to the fanout fabric's critical-path arithmetic, which
+// the cross-executor oracle pins.
 func (x *actorExec) fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime {
+	ends := make([]simnet.VTime, branches)
+	x.group(branches, func(i int) { ends[i] = run(i, start) })
 	end := start
-	for i := 0; i < branches; i++ {
-		if e := run(i, start); e > end {
+	for _, e := range ends {
+		if e > end {
 			end = e
 		}
 	}
 	return end
+}
+
+// concurrent implements the executor interface's closed-loop client surface:
+// each body issues grid operations in program order; all bodies share the
+// runtime's one virtual timeline, so operations of different bodies contend
+// in mailboxes exactly as the cost model demands.
+func (x *actorExec) concurrent(n int, body func(i int)) {
+	x.group(n, body)
+}
+
+// group runs n issuing bodies against the shared discrete-event heap.
+//
+// Determinism: bodies are spawned in index order and the spawner waits, via
+// the issue-window gate, until each body has either parked on its first
+// operation or finished before spawning the next — so the heap's FIFO
+// tie-break among simultaneous kickoffs is the index order, independent of
+// goroutine scheduling. Thereafter a single drain loop steps events; each
+// step resumes at most one parked issuer, which holds the gate (pausing the
+// drain) until it has posted its next kickoff or finished. A fixed seed
+// therefore yields identical event orders, latencies and queueing tallies
+// run over run, even for concurrent issue.
+func (x *actorExec) group(n int, body func(i int)) {
+	switch {
+	case n <= 0:
+		return
+	case x.gatedSelf():
+		// This goroutine is itself a group body under a drain loop up the
+		// stack (nested branch expansion, a client fanning out): issue the
+		// sub-group under that drain.
+		x.groupNested(n, body)
+	case n == 1:
+		// Sequential single body: the classic pump-own-episode regime.
+		body(0)
+	default:
+		x.groupDrain(n, body)
+	}
+}
+
+// groupDrain is the outermost group: it spawns the bodies as gated issuers
+// and becomes the drain loop that steps the shared heap until all bodies
+// returned.
+func (x *actorExec) groupDrain(n int, body func(i int)) {
+	x.draining.Add(1)
+	defer x.draining.Add(-1)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	allDone := make(chan struct{})
+	for i := 0; i < n; i++ {
+		x.rt.BeginIssue()
+		go func(i int) {
+			id := goid()
+			x.enterGated(id)
+			defer x.leaveGated(id)
+			body(i)
+			x.rt.EndIssue()
+			if remaining.Add(-1) == 0 {
+				close(allDone)
+			}
+		}(i)
+		if i < n-1 {
+			x.waitIssues(0) // body i parked or finished: kickoff order is fixed
+		}
+	}
+	x.rt.Drain(func() bool {
+		select {
+		case <-allDone:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// groupNested issues bodies under an active drain loop owned further up the
+// stack. The spawner is itself a gated issuer holding one issue window; it
+// spawns bodies in index order (waiting for each to park or finish, its own
+// window keeping the drain paused meanwhile) and then trades its window for
+// the last finishing body's, so the drain never slips between the group's
+// completion and the spawner's resumption.
+func (x *actorExec) groupNested(n int, body func(i int)) {
+	if n == 1 {
+		body(0)
+		return
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	handoff := make(chan struct{})
+	for i := 0; i < n; i++ {
+		x.rt.BeginIssue()
+		go func(i int) {
+			id := goid()
+			x.enterGated(id)
+			defer x.leaveGated(id)
+			body(i)
+			if remaining.Add(-1) == 0 {
+				close(handoff) // keep this window open: the spawner inherits it
+				return
+			}
+			x.rt.EndIssue()
+		}(i)
+		if i < n-1 {
+			x.waitIssues(1) // 1 = the spawner's own window
+		}
+	}
+	x.rt.EndIssue() // release our window while the drain completes the bodies
+	<-handoff       // resume owning the last body's window
+}
+
+// waitIssues parks until the number of open issue windows drops to target:
+// every spawned body below the caller has either parked on an operation or
+// finished.
+func (x *actorExec) waitIssues(target int64) {
+	x.rt.WaitIssues(target)
 }

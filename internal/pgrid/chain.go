@@ -22,6 +22,15 @@ func (x *chainExec) fanout(start simnet.VTime, branches int, run func(i int, sta
 	return x.g.net.Fanout(start, branches, run)
 }
 
+// concurrent runs closed-loop client bodies serially: the chained engines
+// model no cross-operation contention, so serial issue returns the same
+// results, messages and (arithmetic) latencies as any interleaving would.
+func (x *chainExec) concurrent(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
 func (x *chainExec) attach(simnet.NodeID) {}
 
 // routeToward implements the routing loop of Algorithm 1: starting at from,

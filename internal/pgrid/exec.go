@@ -47,6 +47,13 @@ type executor interface {
 	// fanout runs logically parallel branch expansions issued above the grid
 	// (similarity candidate phases, top-N window probes, join selections).
 	fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime
+	// concurrent runs n closed-loop client bodies, each issuing operations in
+	// program order. The actor engine issues all bodies onto one shared
+	// virtual timeline (mailbox queueing between operations of different
+	// bodies is modelled); the chained engines run bodies serially — they
+	// have no cross-operation contention model, so serial execution yields
+	// the same results and costs by construction.
+	concurrent(n int, body func(i int))
 	// attach makes a newly joined peer addressable by the engine.
 	attach(id simnet.NodeID)
 }
@@ -58,6 +65,20 @@ type executor interface {
 // to the fabric directly, so the same code measures all execution models.
 func (g *Grid) Fanout(start simnet.VTime, branches int, run func(i int, start simnet.VTime) simnet.VTime) simnet.VTime {
 	return g.exec.fanout(start, branches, run)
+}
+
+// Concurrent runs n closed-loop client bodies against the grid. On the
+// actor engine every body is a gated issuer on the runtime's one virtual
+// timeline: bodies' operations are injected as kickoff events, a single
+// drain loop steps the shared heap, and per-operation tallies therefore
+// include the mailbox queueing an operation suffers behind *other* bodies'
+// operations — the cross-operation contention term of the cost model.
+// Bodies are spawned in index order with deterministic first-issue ordering,
+// so a fixed seed reproduces latencies and queueing exactly. On the chained
+// engines, which model no cross-operation contention, bodies run serially in
+// index order and return identical results and message costs.
+func (g *Grid) Concurrent(n int, body func(i int)) {
+	g.exec.concurrent(n, body)
 }
 
 // Runtime exposes the discrete-event runtime of an actor-mode grid (nil for

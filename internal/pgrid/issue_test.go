@@ -1,0 +1,224 @@
+package pgrid
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// issueWorkload is a deterministic schedule of mixed grid operations; index
+// i fully determines the operation, so the same schedule can run
+// sequentially on one grid and concurrently on an identical one.
+type issueOp struct {
+	kind int // 0 lookup, 1 multi, 2 range
+	from simnet.NodeID
+	i    int
+}
+
+func issueSchedule(n, nPeers, nItems int) []issueOp {
+	ops := make([]issueOp, n)
+	for i := range ops {
+		ops[i] = issueOp{kind: i % 3, from: simnet.NodeID((i * 5) % nPeers), i: i}
+	}
+	return ops
+}
+
+// runOne executes one scheduled operation synchronously on its own tally.
+func runOne(t *testing.T, g *Grid, op issueOp, nItems int) (string, metrics.Tally) {
+	t.Helper()
+	var tally metrics.Tally
+	var res []triples.Posting
+	switch op.kind {
+	case 0:
+		r, err := g.Lookup(&tally, op.from, testKey(op.i*13%nItems))
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		res = r
+	case 1:
+		var ks []keys.Key
+		for j := 0; j < 7; j++ {
+			ks = append(ks, testKey((op.i*29+j*11)%nItems))
+		}
+		r, err := g.MultiLookup(&tally, op.from, ks)
+		if err != nil {
+			t.Fatalf("multilookup: %v", err)
+		}
+		res = r
+	case 2:
+		lo := (op.i * 17) % (nItems - 50)
+		r, err := g.RangeQuery(&tally, op.from, keys.Interval{Lo: testKey(lo), Hi: testKey(lo + 40)}, RangeOptions{})
+		if err != nil {
+			t.Fatalf("range: %v", err)
+		}
+		res = r
+	}
+	return oidsOf(res), tally.Snapshot()
+}
+
+// issueOne injects one scheduled operation asynchronously at virtual time 0
+// on its own tally.
+func issueOne(g *Grid, op issueOp, nItems int) (*Pending, *metrics.Tally) {
+	tally := &metrics.Tally{}
+	switch op.kind {
+	case 0:
+		return g.IssueLookupAt(tally, op.from, testKey(op.i*13%nItems), 0), tally
+	case 1:
+		var ks []keys.Key
+		for j := 0; j < 7; j++ {
+			ks = append(ks, testKey((op.i*29+j*11)%nItems))
+		}
+		return g.IssueMultiLookupAt(tally, op.from, ks, 0), tally
+	default:
+		lo := (op.i * 17) % (nItems - 50)
+		return g.IssueRangeQueryAt(tally, op.from, keys.Interval{Lo: testKey(lo), Hi: testKey(lo + 40)}, RangeOptions{}, 0), tally
+	}
+}
+
+// TestIssueDrainMatchesSequential is the concurrent-issue oracle of the
+// asynchronous-issue tentpole: N operations injected as kickoff events and
+// resolved by one drain return identical results, hops, messages and bytes
+// to the same schedule issued sequentially — while their total queueing
+// under a nonzero service time is at least the sequential total (concurrent
+// operations can only add cross-operation contention, never remove cost),
+// and strictly positive. At zero service time, where no queueing exists at
+// all, per-operation latencies are also identical: asynchronous issue costs
+// nothing when there is nothing to contend for — the documented
+// clamp-forward inflation is gone.
+func TestIssueDrainMatchesSequential(t *testing.T) {
+	const (
+		nPeers = 48
+		nItems = 600
+		nOps   = 24
+	)
+	for _, service := range []simnet.VTime{0, simnet.VTimeOf(2 * time.Millisecond)} {
+		service := service
+		t.Run(fmt.Sprintf("service=%v", service), func(t *testing.T) {
+			mut := func(cfg *Config) { cfg.Exec = ExecActor; cfg.Service = service }
+			seq := execGrids(t, nPeers, nItems, mut, asyncnet.DefaultLatency(7))["actor"]
+			conc := execGrids(t, nPeers, nItems, mut, asyncnet.DefaultLatency(7))["actor"]
+			sched := issueSchedule(nOps, nPeers, nItems)
+
+			// Sequential issue: each operation pumps its own episode.
+			seqRes := make([]string, nOps)
+			seqTally := make([]metrics.Tally, nOps)
+			for i, op := range sched {
+				seqRes[i], seqTally[i] = runOne(t, seq, op, nItems)
+			}
+
+			// Concurrent issue: post all kickoffs at virtual time zero, then
+			// drain the shared heap once.
+			pendings := make([]*Pending, nOps)
+			tallies := make([]*metrics.Tally, nOps)
+			for i, op := range sched {
+				pendings[i], tallies[i] = issueOne(conc, op, nItems)
+			}
+			conc.DrainIssued()
+
+			var seqQueue, concQueue int64
+			for i := range sched {
+				res, _, err := pendings[i].Wait()
+				if err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				got, want := tallies[i].Snapshot(), seqTally[i]
+				if oidsOf(res) != seqRes[i] {
+					t.Errorf("op %d: concurrent results diverge from sequential", i)
+				}
+				if got.Hops != want.Hops {
+					t.Errorf("op %d: hops %d, sequential %d", i, got.Hops, want.Hops)
+				}
+				if got.Messages != want.Messages || got.Bytes != want.Bytes {
+					t.Errorf("op %d: cost %d msgs/%d bytes, sequential %d/%d",
+						i, got.Messages, got.Bytes, want.Messages, want.Bytes)
+				}
+				if got.Latency < want.Latency {
+					t.Errorf("op %d: concurrent latency %dµs below sequential %dµs (contention can only add)",
+						i, got.Latency, want.Latency)
+				}
+				if service == 0 && got.Latency != want.Latency {
+					t.Errorf("op %d: latency %dµs, want %dµs (zero service: no contention, no inflation)",
+						i, got.Latency, want.Latency)
+				}
+				seqQueue += want.Queue
+				concQueue += got.Queue
+			}
+			if concQueue < seqQueue {
+				t.Errorf("concurrent total queue %dµs below sequential %dµs", concQueue, seqQueue)
+			}
+			if service > 0 && concQueue <= seqQueue {
+				t.Errorf("concurrent issue at %v service reports no cross-operation queueing beyond sequential (%dµs vs %dµs)",
+					service, concQueue, seqQueue)
+			}
+			if service == 0 && concQueue != 0 {
+				t.Errorf("zero service time but %dµs queueing", concQueue)
+			}
+		})
+	}
+}
+
+// TestConcurrentBodiesMatchSequential runs the same schedule through
+// Grid.Concurrent closed-loop client bodies: results and message costs stay
+// identical to sequential issue, and a second identical run reproduces the
+// timing tallies exactly — concurrent issue is deterministic for a fixed
+// seed (ordered spawn, gated drain).
+func TestConcurrentBodiesMatchSequential(t *testing.T) {
+	const (
+		nPeers  = 48
+		nItems  = 600
+		nOps    = 24
+		clients = 6
+	)
+	mut := func(cfg *Config) { cfg.Exec = ExecActor; cfg.Service = simnet.VTimeOf(time.Millisecond) }
+	seq := execGrids(t, nPeers, nItems, mut, asyncnet.DefaultLatency(7))["actor"]
+	sched := issueSchedule(nOps, nPeers, nItems)
+
+	seqRes := make([]string, nOps)
+	seqTally := make([]metrics.Tally, nOps)
+	for i, op := range sched {
+		seqRes[i], seqTally[i] = runOne(t, seq, op, nItems)
+	}
+
+	runConc := func() ([]string, []metrics.Tally) {
+		g := execGrids(t, nPeers, nItems, mut, asyncnet.DefaultLatency(7))["actor"]
+		res := make([]string, nOps)
+		tallies := make([]metrics.Tally, nOps)
+		g.Concurrent(clients, func(c int) {
+			for i := c; i < nOps; i += clients {
+				res[i], tallies[i] = runOne(t, g, sched[i], nItems)
+			}
+		})
+		return res, tallies
+	}
+	gotRes, gotTally := runConc()
+	var seqQueue, concQueue int64
+	for i := range sched {
+		if gotRes[i] != seqRes[i] {
+			t.Errorf("op %d: concurrent-body results diverge from sequential", i)
+		}
+		if gotTally[i].Hops != seqTally[i].Hops ||
+			gotTally[i].Messages != seqTally[i].Messages ||
+			gotTally[i].Bytes != seqTally[i].Bytes {
+			t.Errorf("op %d: concurrent-body cost %+v, sequential %+v", i, gotTally[i], seqTally[i])
+		}
+		seqQueue += seqTally[i].Queue
+		concQueue += gotTally[i].Queue
+	}
+	if concQueue < seqQueue {
+		t.Errorf("concurrent-body total queue %dµs below sequential %dµs", concQueue, seqQueue)
+	}
+
+	againRes, againTally := runConc()
+	for i := range sched {
+		if againRes[i] != gotRes[i] || againTally[i] != gotTally[i] {
+			t.Fatalf("op %d not deterministic across identical concurrent runs: %+v then %+v",
+				i, gotTally[i], againTally[i])
+		}
+	}
+}

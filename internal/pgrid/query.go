@@ -143,11 +143,17 @@ func (g *Grid) MultiLookupAt(t *metrics.Tally, from simnet.NodeID, ks []keys.Key
 	if len(ks) == 0 {
 		return nil, start, nil
 	}
+	return g.exec.multiLookup(g.snapshot(), t, from, g.hashKeys(ks), start)
+}
+
+// hashKeys pairs each key with its hashed-space image; the synchronous and
+// asynchronous multicast entry points share it.
+func (g *Grid) hashKeys(ks []keys.Key) []hashedKey {
 	hks := make([]hashedKey, len(ks))
 	for i, k := range ks {
 		hks[i] = hashedKey{orig: k, h: g.h.hash(k)}
 	}
-	return g.exec.multiLookup(g.snapshot(), t, from, hks, start)
+	return hks
 }
 
 // subtrieBranch is one forward into a sibling subtrie during a multicast.
@@ -180,12 +186,24 @@ func (g *Grid) RangeQuery(t *metrics.Tally, from simnet.NodeID, iv keys.Interval
 	return res, err
 }
 
+// errInvalidInterval rejects ranges whose bounds are out of order.
+var errInvalidInterval = errors.New("pgrid: invalid interval (Lo after Hi)")
+
+// hashInterval validates a range and maps it to hashed space; the
+// synchronous and asynchronous range entry points share it.
+func (g *Grid) hashInterval(iv keys.Interval) (keys.Interval, error) {
+	if !iv.Valid() {
+		return keys.Interval{}, errInvalidInterval
+	}
+	return keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}, nil
+}
+
 // RangeQueryAt is RangeQuery with an explicit virtual start time.
 func (g *Grid) RangeQueryAt(t *metrics.Tally, from simnet.NodeID, iv keys.Interval, opts RangeOptions, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
-	if !iv.Valid() {
-		return nil, start, errors.New("pgrid: invalid interval (Lo after Hi)")
+	ivH, err := g.hashInterval(iv)
+	if err != nil {
+		return nil, start, err
 	}
-	ivH := keys.Interval{Lo: g.h.hash(iv.Lo), Hi: g.h.hashHiPrefix(iv.Hi)}
 	return g.exec.rangeQuery(g.snapshot(), t, from, iv, ivH, opts, start)
 }
 
