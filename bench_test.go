@@ -559,3 +559,49 @@ func BenchmarkRuntimeSyncVsAsync(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQueryThroughput is the query-side throughput baseline (BENCH_6):
+// similarity queries per second on the three executors, with the lifecycle
+// tracer off and on. The off/on pair bounds the observability overhead — the
+// acceptance bar is <= 2% on the disabled path, where tracing is a single
+// nil-pointer check per lifecycle transition.
+func BenchmarkQueryThroughput(b *testing.B) {
+	const peers = 256
+	corpus := dataset.BibleWords(benchWords, 1)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	for _, mode := range []core.RuntimeMode{core.RuntimeDirect, core.RuntimeFanout, core.RuntimeActor} {
+		for _, traced := range []bool{false, true} {
+			state := "off"
+			if traced {
+				state = "on"
+			}
+			b.Run(fmt.Sprintf("%s/trace=%s", mode, state), func(b *testing.B) {
+				cfg := core.Config{
+					Peers:   peers,
+					Runtime: mode,
+					Latency: asyncnet.DefaultLatency(1),
+				}
+				if traced {
+					cfg.Trace = asyncnet.NewTracer(0)
+				}
+				eng, err := core.Open(tuples, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					needle := corpus[i%len(corpus)]
+					var tally metrics.Tally
+					if _, err := eng.Store().Similar(&tally, simnet.NodeID(i%peers), needle, "word", 1,
+						ops.SimilarOptions{NoShortFallback: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "queries/s")
+				}
+			})
+		}
+	}
+}

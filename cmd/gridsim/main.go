@@ -38,7 +38,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -85,6 +87,15 @@ func main() {
 			"what a churn event does: crash (toggle failure flags) or membership (real Join/Leave)")
 		mixes  = flag.Int("mix", 8, "query-mix initiations per size (0 = skip the workload)")
 		method = flag.String("method", "qgrams", "similarity method: qgrams, qsamples, strings")
+
+		traceOut = flag.String("trace-out", "",
+			"write the message-lifecycle trace as JSONL to this file (byte-identical for a fixed seed in actor mode; a sweep leaves the last size's trace)")
+		traceChrome = flag.String("trace-chrome", "",
+			"write the lifecycle trace as a Chrome trace_event JSON file (open via chrome://tracing or ui.perfetto.dev)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve a Prometheus text-format /metrics endpoint on this address while the workload runs (e.g. :9090, or 127.0.0.1:0 for a free port)")
+		metricsOut = flag.String("metrics-out", "",
+			"write a final /metrics scrape — fetched over HTTP from the live -metrics-addr endpoint — to this file")
 	)
 	flag.Parse()
 
@@ -121,9 +132,16 @@ func main() {
 	if *clients > 1 && mode != core.RuntimeActor {
 		fatal(fmt.Errorf("-clients %d needs -exec actor: only the discrete-event engine shares one virtual timeline across concurrently issued operations (direct/fanout model no cross-operation contention)", *clients))
 	}
+	if *metricsOut != "" && *metricsAddr == "" {
+		fatal(errors.New("-metrics-out needs -metrics-addr: the scrape is fetched from the live endpoint"))
+	}
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	var tracer *asyncnet.Tracer
+	if *traceOut != "" || *traceChrome != "" {
+		tracer = asyncnet.NewTracer(0)
 	}
 	corpus := dataset.BibleWords(*items, *seed)
 	tuples := dataset.StringTuples("word", "o", corpus)
@@ -142,6 +160,7 @@ func main() {
 	// sweep over large sizes never holds more than one engine in memory.
 	for _, n := range peers {
 		loadStart := time.Now()
+		tracer.Reset() // a sweep reuses the ring; each size traces afresh
 		eng, err := core.Open(tuples, core.Config{
 			Peers:            n,
 			Runtime:          mode,
@@ -150,9 +169,14 @@ func main() {
 			Latency:          latency,
 			Service:          *service,
 			LatencyAwareRefs: *latAware,
+			Trace:            tracer,
+			MetricsAddr:      *metricsAddr,
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if addr := eng.MetricsAddr(); addr != "" {
+			fmt.Printf("metrics:  serving http://%s/metrics\n", addr)
 		}
 		loadWall := time.Since(loadStart)
 		s := eng.Stats().Grid
@@ -175,6 +199,12 @@ func main() {
 				fatal(fmt.Errorf("workload at %d peers: %w", n, err))
 			}
 			fmt.Println()
+		}
+		if err := writeObservability(eng, tracer, *traceOut, *traceChrome, *metricsOut); err != nil {
+			fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -501,9 +531,60 @@ func runWorkloadClients(eng *core.Engine, corpus []string, m ops.Method, mixes, 
 	return nil
 }
 
-// printActorLoad renders the per-peer service-load and backpressure table of
-// an actor-mode engine: the busiest peers by messages processed, their busy
-// and mailbox-wait times, and the deepest backlog each mailbox reached.
+// writeObservability exports the engine's trace and a final metrics scrape.
+// The scrape is fetched over HTTP from the engine's own live /metrics
+// endpoint — the same bytes an external Prometheus would collect — so the
+// written file doubles as an end-to-end check of the endpoint.
+func writeObservability(eng *core.Engine, tracer *asyncnet.Tracer, traceOut, traceChrome, metricsOut string) error {
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, tracer.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("trace:    %s (%d records, %d overwritten)\n", traceOut, tracer.Len(), tracer.Overwritten())
+	}
+	if traceChrome != "" {
+		if err := writeFile(traceChrome, tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace:    %s (chrome://tracing)\n", traceChrome)
+	}
+	if metricsOut != "" {
+		resp, err := http.Get("http://" + eng.MetricsAddr() + "/metrics")
+		if err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scraping /metrics: %s", resp.Status)
+		}
+		if err := writeFile(metricsOut, func(w io.Writer) error {
+			_, err := io.Copy(w, resp.Body)
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("metrics:  final scrape written to %s\n", metricsOut)
+	}
+	return nil
+}
+
+// printActorLoad renders the per-peer hotspot table of an actor-mode engine:
+// the top peers by busy (service) time with their share of the total, their
+// per-message queue-wait percentiles, and the deepest backlog each mailbox
+// reached. Rows sort by busy time (delivered count, then id, break ties) and
+// column widths adapt to the widest cell, so runs diff cleanly regardless of
+// peer count.
 func printActorLoad(eng *core.Engine) {
 	rt := eng.Runtime()
 	if rt == nil {
@@ -525,21 +606,57 @@ func printActorLoad(eng *core.Engine) {
 	fmt.Printf("actors:   queued-total=%s busy-total=%s max-backlog=%d dropped=%d\n",
 		totalQueued, totalBusy, maxBacklog, dropped)
 	sort.Slice(loads, func(i, j int) bool {
-		if loads[i].Stats.Delivered != loads[j].Stats.Delivered {
-			return loads[i].Stats.Delivered > loads[j].Stats.Delivered
+		si, sj := loads[i].Stats, loads[j].Stats
+		if si.Busy != sj.Busy {
+			return si.Busy > sj.Busy
+		}
+		if si.Delivered != sj.Delivered {
+			return si.Delivered > sj.Delivered
 		}
 		return loads[i].ID < loads[j].ID
 	})
 	const top = 8
-	fmt.Printf("%-8s %-10s %-12s %-12s %-11s %-8s\n",
-		"peer", "delivered", "busy", "queued", "max-backlog", "dropped")
+	rows := [][]string{{"peer", "busy", "share", "delivered", "queued", "q-p50", "q-p99", "max-backlog", "dropped"}}
 	for i, l := range loads {
-		if i >= top || l.Stats.Delivered == 0 {
+		if i >= top || (l.Stats.Busy == 0 && l.Stats.Delivered == 0) {
 			break
 		}
-		fmt.Printf("%-8d %-10d %-12s %-12s %-11d %-8d\n",
-			l.ID, l.Stats.Delivered, l.Stats.Busy, l.Stats.QueueDelay,
-			l.Stats.MaxBacklog, l.Stats.DroppedFull+l.Stats.DroppedDown)
+		share := 0.0
+		if totalBusy > 0 {
+			share = 100 * float64(l.Stats.Busy) / float64(totalBusy)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(l.ID),
+			l.Stats.Busy.String(),
+			fmt.Sprintf("%.1f%%", share),
+			fmt.Sprint(l.Stats.Delivered),
+			l.Stats.QueueDelay.String(),
+			l.Stats.QueueP50.String(),
+			l.Stats.QueueP99.String(),
+			fmt.Sprint(l.Stats.MaxBacklog),
+			fmt.Sprint(l.Stats.DroppedFull + l.Stats.DroppedDown),
+		})
+	}
+	if len(rows) == 1 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
 	}
 }
 

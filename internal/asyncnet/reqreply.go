@@ -106,8 +106,8 @@ func (rt *Runtime) Close(corr CorrID) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	c, ok := rt.calls[corr]
-	if ok {
-		rt.cancelLocked(c.timer)
+	if ok && rt.cancelLocked(c.timer) && rt.tracer != nil {
+		rt.tracer.Record(TraceRecord{At: rt.now, Kind: TraceCancel, Op: uint64(corr), Msg: "timeout"})
 	}
 	delete(rt.calls, corr)
 	return ok
@@ -139,7 +139,9 @@ func (rt *Runtime) lookupCall(corr CorrID, countLate bool) (*call, bool) {
 		delete(rt.calls, corr)
 		// The call is settled; its timeout timer must not fire (and, during
 		// a drain, must not advance the clock as a dead event).
-		rt.cancelLocked(c.timer)
+		if rt.cancelLocked(c.timer) && rt.tracer != nil {
+			rt.tracer.Record(TraceRecord{At: rt.now, Kind: TraceCancel, Op: uint64(corr), Msg: "timeout"})
+		}
 	}
 	return c, true
 }
@@ -196,6 +198,12 @@ func (rt *Runtime) Call(from, to simnet.NodeID, payload simnet.Message, delay, t
 		rt.mu.Lock()
 		env.Deadline = rt.now + delay + timeout
 		timer := rt.afterLocked(delay+timeout, func(rt *Runtime, at simnet.VTime) {
+			// The timer only survives in the heap while the call is open
+			// (settling cancels it), so firing means a real timeout.
+			if tr := rt.Tracer(); tr != nil {
+				tr.Record(TraceRecord{At: at, Kind: TraceTimeout, From: from, To: to,
+					Op: uint64(corr), Msg: env.Kind(), Size: env.Size()})
+			}
 			rt.failCall(corr, Event{At: at, From: from, To: to, Msg: env}, ErrTimeout)
 		})
 		if c, ok := rt.calls[corr]; ok {

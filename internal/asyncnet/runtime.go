@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -60,6 +61,7 @@ type item struct {
 	seq  uint64 // tie-break: FIFO among simultaneous events
 	kind int
 	ev   Event
+	svc  simnet.VTime                       // kindProcess only: service charged at arrival
 	fn   func(rt *Runtime, at simnet.VTime) // kindControl only
 	idx  int                                // heap index; -1 once popped or removed
 }
@@ -110,6 +112,13 @@ type actor struct {
 	maxPending  int
 	waitTotal   simnet.VTime // sum of (processing start - arrival) over deliveries
 	busyTotal   simnet.VTime // sum of service time over deliveries
+
+	// waitBuckets histograms per-message mailbox waits into power-of-two
+	// buckets (index = bit length of the wait in µs), so queue percentiles
+	// are available per peer without per-message storage. maxWait caps the
+	// top bucket's reported upper bound at reality.
+	waitBuckets [65]int64
+	maxWait     simnet.VTime
 }
 
 // ActorStats reports one actor's counters.
@@ -124,6 +133,10 @@ type ActorStats struct {
 	QueueDelay simnet.VTime
 	// Busy is the total virtual service time the actor spent processing.
 	Busy simnet.VTime
+	// QueueP50 and QueueP99 are the 50th and 99th percentile per-message
+	// mailbox waits, estimated from power-of-two buckets (upper bound of the
+	// quantile's bucket, capped at the largest wait observed).
+	QueueP50, QueueP99 simnet.VTime
 }
 
 // ActorLoad pairs an actor id with its stats for whole-runtime reports.
@@ -144,6 +157,7 @@ type Runtime struct {
 	heap   eventHeap
 	actors map[simnet.NodeID]*actor
 	trace  func(Event)
+	tracer *Tracer
 
 	// issuers counts open issue windows (see BeginIssue): goroutines that
 	// may still post events at the current virtual instant. Drain refuses to
@@ -207,6 +221,31 @@ func (rt *Runtime) SetTrace(fn func(Event)) {
 	rt.trace = fn
 }
 
+// SetTracer installs a lifecycle tracer recording enqueue/start/end/drop and
+// timeout transitions for every message on the runtime. Pass nil to disable;
+// with no tracer installed every hook is a single nil check.
+func (rt *Runtime) SetTracer(t *Tracer) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.tracer = t
+}
+
+// Tracer returns the installed lifecycle tracer (nil when disabled).
+func (rt *Runtime) Tracer() *Tracer {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tracer
+}
+
+// opOf extracts the owning operation's correlation id from a message (0 for
+// bare messages outside the request/reply protocol).
+func opOf(m simnet.Message) uint64 {
+	if env, ok := m.(Envelope); ok {
+		return uint64(env.Corr)
+	}
+	return 0
+}
+
 // Now returns the current virtual time.
 func (rt *Runtime) Now() simnet.VTime {
 	rt.mu.Lock()
@@ -261,11 +300,13 @@ func (rt *Runtime) afterLocked(delay simnet.VTime, fn func(rt *Runtime, at simne
 }
 
 // cancelLocked removes a scheduled item from the heap if it has not fired
-// yet. Must run under rt.mu.
-func (rt *Runtime) cancelLocked(it *item) {
+// yet, reporting whether it did. Must run under rt.mu.
+func (rt *Runtime) cancelLocked(it *item) bool {
 	if it != nil && it.idx >= 0 {
 		heap.Remove(&rt.heap, it.idx)
+		return true
 	}
+	return false
 }
 
 // push assigns the FIFO sequence under rt.mu.
@@ -307,6 +348,7 @@ func (rt *Runtime) Step() bool {
 		return true
 	}
 	a := rt.actors[it.ev.To]
+	tracer := rt.tracer
 	switch it.kind {
 	case kindArrival:
 		var dropErr error
@@ -335,14 +377,29 @@ func (rt *Runtime) Step() bool {
 				start = a.busyUntil
 			}
 			a.busyUntil = start + a.service
-			a.waitTotal += start - rt.now
+			wait := start - rt.now
+			a.waitTotal += wait
 			a.busyTotal += a.service
+			a.waitBuckets[bits.Len64(uint64(wait))]++
+			if wait > a.maxWait {
+				a.maxWait = wait
+			}
 			ev := it.ev
 			ev.Enqueued = rt.now
 			ev.At = start
-			rt.push(&item{at: start, kind: kindProcess, ev: ev})
+			rt.push(&item{at: start, kind: kindProcess, ev: ev, svc: a.service})
 		}
 		rt.mu.Unlock()
+		if tracer != nil {
+			m := it.ev.Msg
+			if dropErr != nil {
+				tracer.Record(TraceRecord{At: it.at, Kind: TraceDrop, From: it.ev.From, To: it.ev.To,
+					Op: opOf(m), Msg: m.Kind(), Size: m.Size(), Note: dropErr.Error()})
+			} else {
+				tracer.Record(TraceRecord{At: it.at, Kind: TraceEnqueue, From: it.ev.From, To: it.ev.To,
+					Op: opOf(m), Msg: m.Kind(), Size: m.Size()})
+			}
+		}
 		if dropErr != nil {
 			rt.notifyDrop(it.ev, dropErr)
 		}
@@ -353,6 +410,14 @@ func (rt *Runtime) Step() bool {
 		trace := rt.trace
 		ev := it.ev
 		rt.mu.Unlock()
+		if tracer != nil {
+			m := ev.Msg
+			op, kind, size := opOf(m), m.Kind(), m.Size()
+			tracer.Record(TraceRecord{At: ev.At, Kind: TraceStart, From: ev.From, To: ev.To,
+				Op: op, Msg: kind, Size: size, Wait: ev.At - ev.Enqueued})
+			tracer.Record(TraceRecord{At: ev.At + it.svc, Kind: TraceEnd, From: ev.From, To: ev.To,
+				Op: op, Msg: kind, Size: size, Wait: it.svc})
+		}
 		if trace != nil {
 			trace(ev)
 		}
@@ -501,7 +566,41 @@ func (a *actor) stats() ActorStats {
 		MaxBacklog:  a.maxPending,
 		QueueDelay:  a.waitTotal,
 		Busy:        a.busyTotal,
+		QueueP50:    a.waitQuantile(0.50),
+		QueueP99:    a.waitQuantile(0.99),
 	}
+}
+
+// waitQuantile estimates a mailbox-wait percentile from the power-of-two
+// buckets: the upper bound of the bucket holding the quantile's observation,
+// capped at the largest wait actually seen.
+func (a *actor) waitQuantile(q float64) simnet.VTime {
+	var total int64
+	for _, c := range a.waitBuckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range a.waitBuckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			upper := simnet.VTime(uint64(1)<<uint(i)) - 1
+			if upper > a.maxWait {
+				upper = a.maxWait
+			}
+			return upper
+		}
+	}
+	return a.maxWait
 }
 
 // AllStats snapshots every actor's counters, ordered by id, so tools can

@@ -44,6 +44,13 @@ type ClientsPoint struct {
 	// load is the signature of the contended model.
 	QueueTotalUS int64
 	MeanQueueUS  float64
+	// HottestPeer is the peer that accrued the most service (busy) time
+	// during this point's queries, and HottestShare its fraction of the
+	// point's total busy time across all peers — the load-skew measure of the
+	// saturation studies. Only actor engines attribute busy time; other modes
+	// leave HottestPeer at -1 and HottestShare at 0.
+	HottestPeer  simnet.NodeID
+	HottestShare float64
 }
 
 // ClientsWorkload parametrizes the closed-loop sweep.
@@ -113,10 +120,11 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 		var (
 			mu       sync.Mutex
 			firstErr error
-			pt       = ClientsPoint{Clients: clients}
+			pt       = ClientsPoint{Clients: clients, HottestPeer: -1}
 			latHist  = metrics.NewHistogram(metrics.LatencyBounds())
 			makespan int64
 		)
+		before := peerLoadSnapshot(eng)
 		opts := ops.SimilarOptions{Method: w.Method, NoShortFallback: true}
 		eng.Concurrent(clients, func(client int) {
 			var ct metrics.Tally // client timeline: queries chain on it
@@ -154,21 +162,80 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 		if pt.Queries > 0 {
 			pt.MeanQueueUS = float64(pt.QueueTotalUS) / float64(pt.Queries)
 		}
+		pt.HottestPeer, pt.HottestShare = hottestPeer(eng, before)
 		out = append(out, pt)
 	}
 	return out, nil
 }
 
+// peerLoadSnapshot captures per-peer busy time and delivered counts on actor
+// engines; nil otherwise.
+type peerLoad struct {
+	busy      simnet.VTime
+	delivered int
+}
+
+func peerLoadSnapshot(eng *core.Engine) map[simnet.NodeID]peerLoad {
+	rt := eng.Runtime()
+	if rt == nil {
+		return nil
+	}
+	out := make(map[simnet.NodeID]peerLoad)
+	for _, l := range rt.AllStats() {
+		out[l.ID] = peerLoad{busy: l.Stats.Busy, delivered: l.Stats.Delivered}
+	}
+	return out
+}
+
+// hottestPeer diffs the runtime's per-peer stats against a prior snapshot and
+// returns the peer with the largest busy-time delta plus its share of the
+// total delta. Under zero service time busy never accrues, so delivered
+// counts break the tie. Returns (-1, 0) for non-actor engines or when the
+// point did no attributable work.
+func hottestPeer(eng *core.Engine, before map[simnet.NodeID]peerLoad) (simnet.NodeID, float64) {
+	rt := eng.Runtime()
+	if rt == nil || before == nil {
+		return -1, 0
+	}
+	var (
+		hot                  simnet.NodeID = -1
+		hotBusy, totalBusy   simnet.VTime
+		hotDeliv, totalDeliv int
+	)
+	for _, l := range rt.AllStats() {
+		prev := before[l.ID]
+		db := l.Stats.Busy - prev.busy
+		dd := l.Stats.Delivered - prev.delivered
+		totalBusy += db
+		totalDeliv += dd
+		if db > hotBusy || (db == hotBusy && dd > hotDeliv) {
+			hot, hotBusy, hotDeliv = l.ID, db, dd
+		}
+	}
+	switch {
+	case totalBusy > 0:
+		return hot, float64(hotBusy) / float64(totalBusy)
+	case totalDeliv > 0:
+		return hot, float64(hotDeliv) / float64(totalDeliv)
+	default:
+		return -1, 0
+	}
+}
+
 // FormatClients renders the sweep as an aligned offered-load table.
 func FormatClients(points []ClientsPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-8s %-10s %-12s %-12s %-12s %-12s %-12s\n",
-		"clients", "queries", "msgs", "mean-lat", "p95-lat", "max-lat", "mean-queued", "makespan")
+	fmt.Fprintf(&b, "%-8s %-8s %-10s %-12s %-12s %-12s %-12s %-12s %s\n",
+		"clients", "queries", "msgs", "mean-lat", "p95-lat", "max-lat", "mean-queued", "makespan", "hottest")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-8d %-8d %-10d %-12s %-12s %-12s %-12s %-12s\n",
+		hottest := "-"
+		if p.HottestPeer >= 0 {
+			hottest = fmt.Sprintf("peer %d (%.1f%%)", p.HottestPeer, 100*p.HottestShare)
+		}
+		fmt.Fprintf(&b, "%-8d %-8d %-10d %-12s %-12s %-12s %-12s %-12s %s\n",
 			p.Clients, p.Queries, p.Messages,
 			ms(p.MeanLatencyUS), ms(p.P95LatencyUS), ms(p.MaxLatencyUS),
-			ms(p.MeanQueueUS), ms(float64(p.MakespanUS)))
+			ms(p.MeanQueueUS), ms(float64(p.MakespanUS)), hottest)
 	}
 	return b.String()
 }

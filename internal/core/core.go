@@ -118,6 +118,15 @@ type Config struct {
 	// the pipeline serially. The loaded state is byte-identical for every
 	// value, so seeded determinism is preserved.
 	LoadWorkers int
+	// Trace, when non-nil, records every message lifecycle transition of the
+	// measured phase (wire sends on any runtime; the full
+	// enqueue/start/end/drop lifecycle with operation ids in actor mode).
+	// Installed after the load phase, so traces cover queries only.
+	Trace *asyncnet.Tracer
+	// MetricsAddr, when non-empty, serves a Prometheus text-format /metrics
+	// endpoint on the given TCP address (":0" picks a free port; see
+	// Engine.MetricsAddr) for the engine's lifetime, until Engine.Close.
+	MetricsAddr string
 }
 
 func (c *Config) normalize() {
@@ -153,6 +162,7 @@ type Engine struct {
 	fab   simnet.Fabric
 	grid  *pgrid.Grid
 	store *ops.Store
+	obs   observe
 }
 
 // Open builds the overlay balanced against the dataset's index keys, loads
@@ -190,7 +200,18 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: loading: %w", err)
 	}
 	net.Collector().Reset()
-	return &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}, nil
+	eng := &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}
+	// Observability attaches after the collector reset: traces and metrics
+	// cover the measured phase only, like the paper's accounting.
+	if cfg.Trace != nil {
+		eng.installTracer(cfg.Trace)
+	}
+	if cfg.MetricsAddr != "" {
+		if err := eng.serveMetrics(cfg.MetricsAddr); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
 }
 
 // Net exposes the simulated network (metrics, failure injection).

@@ -251,6 +251,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Export returns a consistent copy of the histogram's state for encoders:
+// the ascending bucket upper bounds, the per-bucket counts (one extra
+// overflow bucket beyond the last bound), the total observation count and
+// the value sum. The returned slices are private copies.
+func (h *Histogram) Export() (bounds []float64, counts []int64, count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	counts = make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return bounds, counts, h.count, h.sum
+}
+
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() {
 	h.mu.Lock()

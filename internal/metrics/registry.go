@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a dependency-free metrics registry with Prometheus text-format
+// (version 0.0.4) exposition. Families are registered once with a collect
+// callback; every scrape calls the callbacks, so samples are always current
+// and no double bookkeeping exists between the registry and the simulation's
+// native accounting (Tally, Collector, asyncnet.ActorStats) — the registry
+// is a read-only lens over it.
+//
+// The encoder emits families sorted by name and samples in the order the
+// callback returns them, so a scrape of a settled run is byte-stable.
+
+// Label is one name/value pair attached to a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one counter or gauge observation.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistSample is one histogram series: cumulative-izable per-bucket counts
+// over ascending upper bounds (Counts has one extra overflow entry beyond
+// Bounds, as produced by Histogram.Export), plus the observation count and
+// value sum.
+type HistSample struct {
+	Labels []Label
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// family kinds mirror the exposition TYPE keywords.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+type family struct {
+	name, help, typ string
+	collect         func() []Sample
+	collectHist     func() []HistSample
+}
+
+// Registry holds registered metric families. The zero value is not usable;
+// construct with NewRegistry. Safe for concurrent registration and scraping.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate family %q", f.name))
+	}
+	r.families[f.name] = f
+}
+
+// Counter registers a counter family; collect is called on every scrape and
+// must return monotonically non-decreasing values.
+func (r *Registry) Counter(name, help string, collect func() []Sample) {
+	r.add(&family{name: name, help: help, typ: typeCounter, collect: collect})
+}
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, collect func() []Sample) {
+	r.add(&family{name: name, help: help, typ: typeGauge, collect: collect})
+}
+
+// Histogram registers a histogram family.
+func (r *Registry) Histogram(name, help string, collect func() []HistSample) {
+	r.add(&family{name: name, help: help, typ: typeHistogram, collectHist: collect})
+}
+
+// snapshot returns the families sorted by name.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// escapeHelp escapes a HELP docstring per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"}; extra, when non-empty, is appended as a
+// pre-rendered pair (the histogram le label).
+func writeLabels(b *strings.Builder, labels []Label, extra string) {
+	if len(labels) == 0 && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes every family in Prometheus text format v0.0.4,
+// families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		if f.typ == typeHistogram {
+			for _, h := range f.collectHist() {
+				var cum int64
+				for i, bound := range h.Bounds {
+					cum += h.Counts[i]
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, h.Labels, `le="`+formatValue(bound)+`"`)
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatInt(cum, 10))
+					b.WriteByte('\n')
+				}
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, h.Labels, `le="+Inf"`)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(h.Count, 10))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, h.Labels, "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(h.Sum))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, h.Labels, "")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(h.Count, 10))
+				b.WriteByte('\n')
+			}
+		} else {
+			for _, s := range f.collect() {
+				b.WriteString(f.name)
+				writeLabels(&b, s.Labels, "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(s.Value))
+				b.WriteByte('\n')
+			}
+		}
+		if _, err := bw.WriteString(b.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an HTTP handler serving the registry in text format — the
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes: family sorting,
+// HELP/label escaping, cumulative histogram buckets with the +Inf bound, and
+// _sum/_count lines.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_last", "Sorted last despite being registered first.",
+		func() []Sample { return []Sample{{Value: 1}} })
+	r.Counter("aa_events_total", `Help with backslash \ and
+newline.`,
+		func() []Sample {
+			return []Sample{
+				{Labels: []Label{{Name: "kind", Value: `quo"te\n`}}, Value: 3},
+				{Labels: []Label{{Name: "kind", Value: "plain"}}, Value: 0.5},
+			}
+		})
+	r.Histogram("mm_latency_seconds", "A histogram.",
+		func() []HistSample {
+			return []HistSample{{
+				Bounds: []float64{0.001, 0.01},
+				Counts: []int64{2, 5, 1}, // last entry is the overflow bucket
+				Count:  8,
+				Sum:    0.0425,
+			}}
+		})
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_events_total Help with backslash \\ and\nnewline.
+# TYPE aa_events_total counter
+aa_events_total{kind="quo\"te\\n"} 3
+aa_events_total{kind="plain"} 0.5
+# HELP mm_latency_seconds A histogram.
+# TYPE mm_latency_seconds histogram
+mm_latency_seconds_bucket{le="0.001"} 2
+mm_latency_seconds_bucket{le="0.01"} 7
+mm_latency_seconds_bucket{le="+Inf"} 8
+mm_latency_seconds_sum 0.0425
+mm_latency_seconds_count 8
+# HELP zz_last Sorted last despite being registered first.
+# TYPE zz_last gauge
+zz_last 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEmpty checks an empty registry encodes to nothing.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty registry produced output: %q", b.String())
+	}
+}
+
+// TestRegistryDuplicatePanics checks double registration is rejected loudly.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("dup", "first", func() []Sample { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family name did not panic")
+		}
+	}()
+	r.Counter("dup", "second", func() []Sample { return nil })
+}
+
+// TestRegistryHistogramExportBridge checks a live Histogram's Export output
+// plugs straight into a HistSample (counts carry the overflow entry).
+func TestRegistryHistogramExportBridge(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	bounds, counts, count, sum := h.Export()
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("Export counts len %d, want bounds+1 = %d", len(counts), len(bounds)+1)
+	}
+	r := NewRegistry()
+	r.Histogram("h_test", "bridge", func() []HistSample {
+		return []HistSample{{Bounds: bounds, Counts: counts, Count: count, Sum: sum}}
+	})
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`h_test_bucket{le="1"} 1`,
+		`h_test_bucket{le="10"} 2`,
+		`h_test_bucket{le="+Inf"} 3`,
+		`h_test_count 3`,
+	} {
+		if !bytes.Contains(b.Bytes(), []byte(line+"\n")) {
+			t.Fatalf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestHandlerContentType checks the /metrics handler advertises the text
+// exposition format version.
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "gauge", func() []Sample { return []Sample{{Value: 2}} })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("g 2\n")) {
+		t.Fatalf("body missing sample: %q", rec.Body.String())
+	}
+}

@@ -45,18 +45,16 @@ type actorExec struct {
 	mailbox int
 
 	// draining is nonzero while a drain loop owns the runtime (group). In
-	// that regime gated operation waiters park on their completion signal
-	// instead of pumping the heap themselves, and the issue-window gate (see
+	// that regime operation waiters park on their completion signal instead
+	// of pumping the heap themselves, and the issue-window gate (see
 	// asyncnet.Runtime.BeginIssue) keeps the drain from outrunning a client
 	// that is about to post its next kickoff.
+	//
+	// Contract: while a Concurrent/Fanout group is active, operations must be
+	// issued from group bodies (or from handlers the drain loop runs) — every
+	// concurrent caller goes through Grid.Concurrent, so the drain flag alone
+	// decides the regime and no per-goroutine registry is needed.
 	draining atomic.Int32
-	// gated registers the goroutines running group bodies: their operation
-	// waits park under the drain loop and hold/hand-over issue windows.
-	// Goroutines outside any group (legacy concurrent raw issue) keep the
-	// pump-own-episode behaviour — results stay exact, but only gated issue
-	// gets the honest shared-timeline latency accounting.
-	gatedMu sync.Mutex
-	gated   map[uint64]int
 
 	mu  sync.Mutex
 	ops map[asyncnet.CorrID]*actorOp
@@ -77,61 +75,17 @@ func newActorExec(g *Grid) *actorExec {
 		rt:      asyncnet.NewRuntime(),
 		service: g.cfg.Service,
 		mailbox: mb,
-		gated:   make(map[uint64]int),
 		ops:     make(map[asyncnet.CorrID]*actorOp),
 	}
 }
 
-// goid returns the current goroutine's id, parsed from the runtime's stack
-// header ("goroutine N [running]: ..."). The execution engine uses it to
-// tell gated group bodies apart from outside callers; the parse costs far
-// less than one simulated message.
-func goid() uint64 {
-	var buf [32]byte
-	n := runtime.Stack(buf[:], false)
-	s := buf[:n]
-	const prefix = "goroutine "
-	if len(s) > len(prefix) {
-		s = s[len(prefix):]
-	}
-	var id uint64
-	for _, b := range s {
-		if b < '0' || b > '9' {
-			break
-		}
-		id = id*10 + uint64(b-'0')
-	}
-	return id
-}
-
-// enterGated marks the current goroutine as a group body; leaveGated undoes
-// it. Counted, so re-entry (a body spawning and joining a nested group on
-// its own goroutine) stays balanced.
-func (x *actorExec) enterGated(id uint64) {
-	x.gatedMu.Lock()
-	x.gated[id]++
-	x.gatedMu.Unlock()
-}
-
-func (x *actorExec) leaveGated(id uint64) {
-	x.gatedMu.Lock()
-	if x.gated[id]--; x.gated[id] <= 0 {
-		delete(x.gated, id)
-	}
-	x.gatedMu.Unlock()
-}
-
-// gatedSelf reports whether the current goroutine runs as a gated group
-// body.
+// gatedSelf reports whether operation waits must park under an active drain
+// loop. By the issuing contract (see the draining field) every goroutine that
+// issues operations while a group is active is a gated group body, so the
+// drain flag alone answers the question — the goroutine-id registry that used
+// to distinguish legacy raw issuers is gone along with its last callers.
 func (x *actorExec) gatedSelf() bool {
-	if x.draining.Load() == 0 {
-		return false
-	}
-	id := goid()
-	x.gatedMu.Lock()
-	_, ok := x.gated[id]
-	x.gatedMu.Unlock()
-	return ok
+	return x.draining.Load() > 0
 }
 
 // attach registers a peer as an actor. Departed peers stay registered: an
@@ -151,6 +105,24 @@ const (
 	opShower
 	opMulti
 )
+
+// String names the operation kind for trace records.
+func (k opKind) String() string {
+	switch k {
+	case opLookup:
+		return "lookup"
+	case opInsert:
+		return "insert"
+	case opDelete:
+		return "delete"
+	case opShower:
+		return "range"
+	case opMulti:
+		return "multilookup"
+	default:
+		return "op"
+	}
+}
 
 // actorOp is the in-flight state of one operation: its epoch snapshot,
 // parameters, result collector and the outstanding-message counter that
@@ -299,6 +271,12 @@ func (x *actorExec) newOp(v *view, t *metrics.Tally, from simnet.NodeID, kind op
 	x.mu.Lock()
 	x.ops[op.corr] = op
 	x.mu.Unlock()
+	// Thread the operation id into the trace: every later record of this
+	// operation's messages carries the same correlation id.
+	if tr := x.rt.Tracer(); tr != nil {
+		tr.Record(asyncnet.TraceRecord{At: at, Kind: asyncnet.TraceIssue,
+			From: from, To: from, Op: uint64(op.corr), Msg: kind.String()})
+	}
 	return op, at
 }
 
@@ -355,11 +333,10 @@ func (x *actorExec) run(op *actorOp) ([]triples.Posting, simnet.VTime, error) {
 	if x.gatedSelf() {
 		// The park decision is atomic with finishMsg's pending-count
 		// decrement: whoever takes op.mu first wins. If the operation already
-		// completed (pending == 0 — settled at issue time, or raced by a
-		// legacy raw pumper that steps without honouring issue windows), the
-		// completer saw parked == false and left our issue window alone, so
-		// we collect still holding it. Otherwise parked is set before the
-		// completer can read it, and the window handoff is guaranteed.
+		// completed (pending == 0 — settled at issue time), the completer saw
+		// parked == false and left our issue window alone, so we collect
+		// still holding it. Otherwise parked is set before the completer can
+		// read it, and the window handoff is guaranteed.
 		op.mu.Lock()
 		if op.pending == 0 {
 			op.mu.Unlock()
@@ -764,9 +741,6 @@ func (x *actorExec) groupDrain(n int, body func(i int)) {
 	for i := 0; i < n; i++ {
 		x.rt.BeginIssue()
 		go func(i int) {
-			id := goid()
-			x.enterGated(id)
-			defer x.leaveGated(id)
 			body(i)
 			x.rt.EndIssue()
 			if remaining.Add(-1) == 0 {
@@ -804,9 +778,6 @@ func (x *actorExec) groupNested(n int, body func(i int)) {
 	for i := 0; i < n; i++ {
 		x.rt.BeginIssue()
 		go func(i int) {
-			id := goid()
-			x.enterGated(id)
-			defer x.leaveGated(id)
 			body(i)
 			if remaining.Add(-1) == 0 {
 				close(handoff) // keep this window open: the spawner inherits it

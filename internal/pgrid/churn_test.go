@@ -114,71 +114,87 @@ func TestChurnSafeMembershipDuringQueries(t *testing.T) {
 
 			// Query workers: routed lookups, batched multicasts and shower
 			// range queries, all verified exactly.
-			for w := 0; w < 4; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					rng := rand.New(rand.NewSource(int64(1000 + w)))
-					for {
-						select {
-						case <-done:
+			queryWorker := func(w int) {
+				rng := rand.New(rand.NewSource(int64(1000 + w)))
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					from := simnet.NodeID(rng.Intn(nPeers))
+					switch rng.Intn(3) {
+					case 0:
+						i := rng.Intn(nItems)
+						res, err := g.Lookup(nil, from, testKey(i))
+						if err != nil {
+							t.Errorf("worker %d: Lookup(%d): %v", w, i, err)
 							return
-						default:
 						}
-						from := simnet.NodeID(rng.Intn(nPeers))
-						switch rng.Intn(3) {
-						case 0:
+						if len(res) != 1 || res[0].Triple.OID != fmt.Sprintf("o%d", i) {
+							t.Errorf("worker %d: Lookup(%d) = %v", w, i, res)
+							return
+						}
+					case 1:
+						var ks []keys.Key
+						want := map[string]bool{}
+						for j := 0; j < 12; j++ {
 							i := rng.Intn(nItems)
-							res, err := g.Lookup(nil, from, testKey(i))
-							if err != nil {
-								t.Errorf("worker %d: Lookup(%d): %v", w, i, err)
-								return
-							}
-							if len(res) != 1 || res[0].Triple.OID != fmt.Sprintf("o%d", i) {
-								t.Errorf("worker %d: Lookup(%d) = %v", w, i, res)
-								return
-							}
-						case 1:
-							var ks []keys.Key
-							want := map[string]bool{}
-							for j := 0; j < 12; j++ {
-								i := rng.Intn(nItems)
-								ks = append(ks, testKey(i))
-								want[fmt.Sprintf("o%d", i)] = true
-							}
-							res, err := g.MultiLookup(nil, from, ks)
-							if err != nil {
-								t.Errorf("worker %d: MultiLookup: %v", w, err)
-								return
-							}
-							got := map[string]bool{}
-							for _, p := range res {
-								got[p.Triple.OID] = true
-							}
-							if len(got) != len(want) {
-								t.Errorf("worker %d: MultiLookup got %d oids, want %d", w, len(got), len(want))
-								return
-							}
-						case 2:
-							a, b := rng.Intn(nItems), rng.Intn(nItems)
-							if a > b {
-								a, b = b, a
-							}
-							if b-a > 60 {
-								b = a + 60
-							}
-							res, err := g.RangeQuery(nil, from, keys.Interval{Lo: testKey(a), Hi: testKey(b)}, RangeOptions{})
-							if err != nil {
-								t.Errorf("worker %d: RangeQuery[%d,%d]: %v", w, a, b, err)
-								return
-							}
-							if len(res) != b-a+1 {
-								t.Errorf("worker %d: RangeQuery[%d,%d] = %d items, want %d", w, a, b, len(res), b-a+1)
-								return
-							}
+							ks = append(ks, testKey(i))
+							want[fmt.Sprintf("o%d", i)] = true
+						}
+						res, err := g.MultiLookup(nil, from, ks)
+						if err != nil {
+							t.Errorf("worker %d: MultiLookup: %v", w, err)
+							return
+						}
+						got := map[string]bool{}
+						for _, p := range res {
+							got[p.Triple.OID] = true
+						}
+						if len(got) != len(want) {
+							t.Errorf("worker %d: MultiLookup got %d oids, want %d", w, len(got), len(want))
+							return
+						}
+					case 2:
+						a, b := rng.Intn(nItems), rng.Intn(nItems)
+						if a > b {
+							a, b = b, a
+						}
+						if b-a > 60 {
+							b = a + 60
+						}
+						res, err := g.RangeQuery(nil, from, keys.Interval{Lo: testKey(a), Hi: testKey(b)}, RangeOptions{})
+						if err != nil {
+							t.Errorf("worker %d: RangeQuery[%d,%d]: %v", w, a, b, err)
+							return
+						}
+						if len(res) != b-a+1 {
+							t.Errorf("worker %d: RangeQuery[%d,%d] = %d items, want %d", w, a, b, len(res), b-a+1)
+							return
 						}
 					}
-				}(w)
+				}
+			}
+			if eng.exec == ExecActor {
+				// Actor mode: the workers are closed-loop clients on the
+				// runtime's shared timeline, so they issue through the gated
+				// Concurrent path (the raw-goroutine pump regime is gone).
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					g.Concurrent(4, queryWorker)
+				}()
+			} else {
+				// Serial/async fabrics have no shared timeline; raw goroutines
+				// keep exercising the parallel-query race surface directly.
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						queryWorker(w)
+					}(w)
+				}
 			}
 			wg.Wait()
 

@@ -76,11 +76,15 @@ var ErrNodeDown = errors.New("simnet: destination node is down")
 var ErrUnknownNode = errors.New("simnet: unknown node")
 
 // TraceEvent describes one delivered (or refused) message; tests and the
-// vqlsh tool can subscribe with SetTracer.
+// vqlsh tool can subscribe with SetTracer. Depart and Arrive carry the
+// message's virtual departure and arrival times (equal on refusals, and both
+// zero on the untimed Send path).
 type TraceEvent struct {
 	From, To NodeID
 	Msg      Message
 	Err      error
+	Depart   VTime
+	Arrive   VTime
 }
 
 // LatencyFunc models the propagation delay of one message. It must be safe
@@ -245,10 +249,10 @@ func (n *Network) SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart
 	case downTo:
 		err = ErrNodeDown
 	}
-	if tracer != nil {
-		tracer(TraceEvent{From: from, To: to, Msg: m, Err: err})
-	}
 	if err != nil {
+		if tracer != nil {
+			tracer(TraceEvent{From: from, To: to, Msg: m, Err: err, Depart: depart, Arrive: depart})
+		}
 		return depart, err
 	}
 	size := m.Size()
@@ -259,6 +263,9 @@ func (n *Network) SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart
 	arrive := depart
 	if latency != nil {
 		arrive += latency(from, to, size)
+	}
+	if tracer != nil {
+		tracer(TraceEvent{From: from, To: to, Msg: m, Depart: depart, Arrive: arrive})
 	}
 	return arrive, nil
 }

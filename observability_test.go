@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/simnet"
+)
+
+// tracedWorkload builds an actor engine with a lifecycle tracer, runs a fixed
+// concurrent query schedule, and returns the JSONL trace export.
+func tracedWorkload(t testing.TB) []byte {
+	t.Helper()
+	corpus := dataset.BibleWords(300, 7)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	tr := asyncnet.NewTracer(0)
+	eng, err := core.Open(tuples, core.Config{
+		Peers:   64,
+		Runtime: core.RuntimeActor,
+		Latency: asyncnet.DefaultLatency(5),
+		Service: 200 * time.Microsecond,
+		Trace:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Concurrent(3, func(client int) {
+		for i := 0; i < 4; i++ {
+			// Deterministic per-client schedule: needle and initiator derive
+			// from the client index and step only.
+			h := simnet.Splitmix64(uint64(client)<<8 | uint64(i))
+			needle := corpus[h%uint64(len(corpus))]
+			from := simnet.NodeID(h % 64)
+			var tally metrics.Tally
+			if _, err := eng.Store().Similar(&tally, from, needle, "word", 1, ops.SimilarOptions{}); err != nil {
+				t.Errorf("client %d similar(%q): %v", client, needle, err)
+			}
+		}
+	})
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestTraceDeterministicEndToEnd is the engine-level determinism oracle for
+// the tracer: two engines built from the same seed running the same
+// concurrent actor workload export byte-identical JSONL traces. Runs under
+// -race in CI, so it also shakes out data races on the trace path.
+func TestTraceDeterministicEndToEnd(t *testing.T) {
+	a := tracedWorkload(t)
+	b := tracedWorkload(t)
+	if len(a) == 0 {
+		t.Fatal("traced workload produced no records")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed traces diverge (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestMetricsEndpointEndToEnd opens an engine serving /metrics on a free
+// port, runs queries, and scrapes the live endpoint over real HTTP, checking
+// the families CI also asserts on.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	corpus := dataset.BibleWords(200, 3)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	tr := asyncnet.NewTracer(0)
+	eng, err := core.Open(tuples, core.Config{
+		Peers:       48,
+		Runtime:     core.RuntimeActor,
+		Latency:     asyncnet.DefaultLatency(2),
+		Service:     100 * time.Microsecond,
+		Trace:       tr,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.MetricsAddr()
+	if addr == "" {
+		t.Fatal("engine did not report a metrics address")
+	}
+	var tally metrics.Tally
+	if _, err := eng.Store().Similar(&tally, 5, corpus[0], "word", 1, ops.SimilarOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"pgrid_messages_total{kind=",
+		"pgrid_bytes_total{kind=",
+		"pgrid_query_latency_seconds_bucket",
+		"pgrid_peer_busy_seconds_total{peer=",
+		"pgrid_peer_backlog_high_water{peer=",
+		"pgrid_peers ",
+		"pgrid_trace_records_total",
+	} {
+		if !bytes.Contains(body, []byte(family)) {
+			t.Errorf("scrape missing %q", family)
+		}
+	}
+	// Closing tears the endpoint down; a second scrape must fail.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after Close")
+	}
+}
