@@ -140,8 +140,12 @@ func TestAsyncNumericTopNMatchesSync(t *testing.T) {
 
 // TestAsyncConcurrentQueries drives many concurrent similarity queries (plus
 // range selections and joins) through one async engine from different
-// initiators — the race-detector integration test for the concurrent
-// runtime. Results are verified against a brute-force oracle.
+// initiators via the engine's gated Concurrent issue — the race-detector
+// integration test for the concurrent runtime. Results are verified against a
+// brute-force oracle, and because issue is gated (no raw cross-operation
+// goroutines sharing per-episode clocks), every query's latency tally is
+// meaningful and assertable: each worker's summed latency must be at least
+// its own slowest query.
 func TestAsyncConcurrentQueries(t *testing.T) {
 	corpus := dataset.BibleWords(400, 23)
 	eng, err := core.Open(dataset.StringTuples("word", "o", corpus),
@@ -159,53 +163,57 @@ func TestAsyncConcurrentQueries(t *testing.T) {
 		return n
 	}
 	const workers = 8
-	var wg sync.WaitGroup
 	errs := make(chan error, workers*8)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(100 + w)))
-			for q := 0; q < 5; q++ {
-				needle := corpus[rng.Intn(len(corpus))]
-				from := simnet.NodeID(rng.Intn(128))
-				d := 1 + rng.Intn(2)
-				var tally metrics.Tally
-				ms, err := eng.Store().Similar(&tally, from, needle, "word", d, ops.SimilarOptions{})
-				if err != nil {
+	latencies := make([]struct{ sum, max int64 }, workers)
+	eng.Concurrent(workers, func(w int) {
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		for q := 0; q < 5; q++ {
+			needle := corpus[rng.Intn(len(corpus))]
+			from := simnet.NodeID(rng.Intn(128))
+			d := 1 + rng.Intn(2)
+			var tally metrics.Tally
+			ms, err := eng.Store().Similar(&tally, from, needle, "word", d, ops.SimilarOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(ms) != oracle(needle, d) {
+				errs <- fmt.Errorf("worker %d: %q d=%d: got %d matches, oracle %d",
+					w, needle, d, len(ms), oracle(needle, d))
+				return
+			}
+			if tally.Messages == 0 || tally.Hops == 0 || tally.Latency == 0 {
+				errs <- fmt.Errorf("worker %d: unaccounted query: %v", w, tally)
+				return
+			}
+			latencies[w].sum += tally.Latency
+			if tally.Latency > latencies[w].max {
+				latencies[w].max = tally.Latency
+			}
+			switch q % 3 {
+			case 0:
+				if _, err := eng.Store().SelectStrRange(&tally, from, "word",
+					&ops.StrBound{Value: "d"}, &ops.StrBound{Value: "g"}); err != nil {
 					errs <- err
 					return
 				}
-				if len(ms) != oracle(needle, d) {
-					errs <- fmt.Errorf("worker %d: %q d=%d: got %d matches, oracle %d",
-						w, needle, d, len(ms), oracle(needle, d))
+			case 1:
+				if _, err := eng.Store().SimJoin(&tally, from, "word", "word", 1,
+					ops.JoinOptions{LeftLimit: 3}); err != nil {
+					errs <- err
 					return
-				}
-				if tally.Messages == 0 || tally.Hops == 0 || tally.Latency == 0 {
-					errs <- fmt.Errorf("worker %d: unaccounted query: %v", w, tally)
-					return
-				}
-				switch q % 3 {
-				case 0:
-					if _, err := eng.Store().SelectStrRange(&tally, from, "word",
-						&ops.StrBound{Value: "d"}, &ops.StrBound{Value: "g"}); err != nil {
-						errs <- err
-						return
-					}
-				case 1:
-					if _, err := eng.Store().SimJoin(&tally, from, "word", "word", 1,
-						ops.JoinOptions{LeftLimit: 3}); err != nil {
-						errs <- err
-						return
-					}
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+	})
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	for w, l := range latencies {
+		if l.sum < l.max || l.max == 0 {
+			t.Errorf("worker %d: latency tally sum=%d max=%d, want sum >= max > 0", w, l.sum, l.max)
+		}
 	}
 }
 
@@ -242,33 +250,34 @@ func TestAsyncQueriesTolerateChurn(t *testing.T) {
 			eng.Net().SetDown(id, false)
 		}
 	}()
-	var wg sync.WaitGroup
+	// Queries issue through the gated Concurrent path (the crash churner above
+	// stays a raw goroutine — it is not an overlay operation), so each
+	// successful query's latency tally is meaningful and asserted non-zero.
 	okCount := 0
 	var mu sync.Mutex
-	for w := 0; w < 6; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)))
-			for q := 0; q < 6; q++ {
-				needle := corpus[rng.Intn(len(corpus))]
-				ms, err := eng.Store().Similar(nil, simnet.NodeID(rng.Intn(96)), needle, "word", 1,
-					ops.SimilarOptions{})
-				if err != nil {
-					continue // partial unreachability is acceptable under churn
-				}
-				for _, m := range ms {
-					if m.Matched == needle {
-						mu.Lock()
-						okCount++
-						mu.Unlock()
-						break
-					}
+	eng.Concurrent(6, func(w int) {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for q := 0; q < 6; q++ {
+			needle := corpus[rng.Intn(len(corpus))]
+			var tally metrics.Tally
+			ms, err := eng.Store().Similar(&tally, simnet.NodeID(rng.Intn(96)), needle, "word", 1,
+				ops.SimilarOptions{})
+			if err != nil {
+				continue // partial unreachability is acceptable under churn
+			}
+			if tally.Latency == 0 || tally.Messages == 0 {
+				t.Errorf("worker %d: successful churned query left no tally: %v", w, tally)
+			}
+			for _, m := range ms {
+				if m.Matched == needle {
+					mu.Lock()
+					okCount++
+					mu.Unlock()
+					break
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+	})
 	close(stop)
 	churner.Wait()
 	if okCount < 18 {
@@ -305,12 +314,10 @@ func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
 		return n
 	}
 
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
+	var churner sync.WaitGroup
+	churner.Add(1)
 	go func() {
-		defer wg.Done()
-		defer close(done)
+		defer churner.Done()
 		rng := rand.New(rand.NewSource(55))
 		var joined []simnet.NodeID
 		for op := 0; op < 60; op++ {
@@ -338,43 +345,53 @@ func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
 		}
 	}()
 
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(500 + w)))
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				needle := corpus[rng.Intn(len(corpus))]
-				from := simnet.NodeID(rng.Intn(peers)) // original peers never leave
-				d := 1 + rng.Intn(2)
-				ms, err := eng.Store().Similar(nil, from, needle, "word", d, ops.SimilarOptions{})
-				if err != nil {
-					t.Errorf("worker %d: Similar(%q,%d): %v", w, needle, d, err)
-					return
-				}
-				if len(ms) != oracle(needle, d) {
-					t.Errorf("worker %d: Similar(%q,%d) = %d matches, oracle %d",
-						w, needle, d, len(ms), oracle(needle, d))
-					return
-				}
-				top, err := eng.Store().TopNString(nil, from, "word", needle, 3, 2, ops.TopNOptions{})
-				if err != nil {
-					t.Errorf("worker %d: TopNString(%q): %v", w, needle, err)
-					return
-				}
-				if len(top) == 0 || top[0].Matched != needle {
-					t.Errorf("worker %d: TopNString(%q) best = %+v, want the needle itself", w, needle, top)
-					return
-				}
+	// Queries issue through the gated Concurrent path while the raw churner
+	// goroutine above mutates membership: the churn interleaving is what the
+	// test exercises, while gated issue keeps every query's latency tally
+	// meaningful (raw cross-operation goroutines would inflate each other's
+	// latencies). Fixed rounds per body replace the old stop-channel polling.
+	var slowest [4]int64
+	eng.Concurrent(4, func(w int) {
+		rng := rand.New(rand.NewSource(int64(500 + w)))
+		for q := 0; q < 12; q++ {
+			needle := corpus[rng.Intn(len(corpus))]
+			from := simnet.NodeID(rng.Intn(peers)) // original peers never leave
+			d := 1 + rng.Intn(2)
+			var tally metrics.Tally
+			ms, err := eng.Store().Similar(&tally, from, needle, "word", d, ops.SimilarOptions{})
+			if err != nil {
+				t.Errorf("worker %d: Similar(%q,%d): %v", w, needle, d, err)
+				return
 			}
-		}(w)
+			if len(ms) != oracle(needle, d) {
+				t.Errorf("worker %d: Similar(%q,%d) = %d matches, oracle %d",
+					w, needle, d, len(ms), oracle(needle, d))
+				return
+			}
+			if tally.Latency == 0 || tally.Messages == 0 {
+				t.Errorf("worker %d: Similar(%q,%d) left no tally: %v", w, needle, d, tally)
+				return
+			}
+			if tally.Latency > slowest[w] {
+				slowest[w] = tally.Latency
+			}
+			top, err := eng.Store().TopNString(nil, from, "word", needle, 3, 2, ops.TopNOptions{})
+			if err != nil {
+				t.Errorf("worker %d: TopNString(%q): %v", w, needle, err)
+				return
+			}
+			if len(top) == 0 || top[0].Matched != needle {
+				t.Errorf("worker %d: TopNString(%q) best = %+v, want the needle itself", w, needle, top)
+				return
+			}
+		}
+	})
+	churner.Wait()
+	for w, l := range slowest {
+		if l == 0 {
+			t.Errorf("worker %d recorded no latency tally", w)
+		}
 	}
-	wg.Wait()
 
 	if eng.Net().DownCount() != 0 {
 		t.Errorf("membership churn marked %d peers down (DownCount counts crashes only)", eng.Net().DownCount())

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/keyscheme"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/pgrid"
@@ -480,6 +481,53 @@ func BenchmarkBulkLoad(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSchemeExtract measures the key-scheme seam per scheme (the
+// BENCH_7.json baseline, comparable with BENCH_4.json's pipeline rows):
+//
+//   - extract: the planning pass alone (PlanLoad at GOMAXPROCS workers) —
+//     entry extraction through Scheme.ValueEntries/AttrEntries is its CPU
+//     hot spot, so this isolates the per-scheme expansion cost (gram
+//     expansion vs MinHash signatures);
+//   - load: the full engine build (core.Open), showing how extraction cost
+//     and index size (grams grow with string length, buckets are a fixed
+//     Bands per value) propagate to end-to-end load throughput.
+func BenchmarkSchemeExtract(b *testing.B) {
+	corpus := dataset.BibleWords(benchWords, 1)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	for _, kind := range []keyscheme.Kind{keyscheme.KindQGram, keyscheme.KindLSH} {
+		b.Run(fmt.Sprintf("extract/bible/%s", kind), func(b *testing.B) {
+			b.ReportAllocs()
+			var postings int
+			for i := 0; i < b.N; i++ {
+				p, err := ops.PlanLoad(tuples, ops.StoreConfig{Scheme: kind}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				postings = p.Postings()
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(tuples)*b.N)/secs, "tuples/s")
+				b.ReportMetric(float64(postings)*float64(b.N)/secs, "postings/s")
+			}
+		})
+		b.Run(fmt.Sprintf("load/bible/256/%s", kind), func(b *testing.B) {
+			b.ReportAllocs()
+			var postings int64
+			for i := 0; i < b.N; i++ {
+				eng, err := core.Open(tuples, core.Config{Peers: 256, Scheme: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				postings = eng.Stats().Storage.Postings
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(tuples)*b.N)/secs, "tuples/s")
+				b.ReportMetric(float64(postings)*float64(b.N)/secs, "postings/s")
+			}
+		})
 	}
 }
 

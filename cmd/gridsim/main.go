@@ -53,11 +53,80 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/keyscheme"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/pgrid"
 	"repro/internal/simnet"
 )
+
+// rawOptions holds the flag values exactly as parsed; resolve validates them
+// up front — unknown enum values and conflicting combinations are rejected
+// with the accepted choices listed, instead of silently falling back to a
+// default behaviour mid-run. Keeping the checks on a plain struct makes every
+// rule table-testable without spawning the binary.
+type rawOptions struct {
+	peers       string
+	method      string
+	scheme      string
+	exec        string
+	async       bool
+	clients     int
+	churnRate   float64
+	churnMode   string
+	metricsAddr string
+	metricsOut  string
+}
+
+// options is the validated, resolved form of rawOptions.
+type options struct {
+	peers  []int
+	method ops.Method
+	scheme keyscheme.Kind
+	mode   core.RuntimeMode
+}
+
+func (r rawOptions) resolve() (options, error) {
+	var o options
+	var err error
+	if o.peers, err = parseInts(r.peers); err != nil {
+		return o, err
+	}
+	if o.method, err = parseMethod(r.method); err != nil {
+		return o, err
+	}
+	if o.scheme, err = keyscheme.ParseKind(r.scheme); err != nil {
+		return o, err
+	}
+	if o.scheme != keyscheme.KindQGram && o.method == ops.MethodQSamples {
+		return o, fmt.Errorf("-method qsamples needs -scheme qgram: sampling subsets positional grams, and the %s signature already has fixed probe cost", o.scheme)
+	}
+	if r.churnMode != "crash" && r.churnMode != "membership" {
+		return o, fmt.Errorf("unknown churn mode %q (want crash or membership)", r.churnMode)
+	}
+	if r.churnRate < 0 {
+		return o, fmt.Errorf("negative churn rate %v (want events per simulated second >= 0)", r.churnRate)
+	}
+	if o.mode, err = core.ParseRuntimeMode(r.exec); err != nil {
+		return o, err
+	}
+	if r.async {
+		if r.exec != "" && o.mode != core.RuntimeFanout {
+			return o, fmt.Errorf("-async conflicts with -exec %s (it is a legacy alias for -exec fanout)", o.mode)
+		}
+		o.mode = core.RuntimeFanout
+	}
+	if r.clients < 1 {
+		return o, fmt.Errorf("invalid -clients %d (want a client count >= 1)", r.clients)
+	}
+	if r.clients > 1 && o.mode != core.RuntimeActor {
+		return o, fmt.Errorf("-clients %d needs -exec actor: only the discrete-event engine shares one virtual timeline across concurrently issued operations (direct/fanout model no cross-operation contention)", r.clients)
+	}
+	if r.metricsOut != "" && r.metricsAddr == "" {
+		return o, errors.New("-metrics-out needs -metrics-addr: the scrape is fetched from the live endpoint")
+	}
+	return o, nil
+}
 
 func main() {
 	var (
@@ -87,6 +156,8 @@ func main() {
 			"what a churn event does: crash (toggle failure flags) or membership (real Join/Leave)")
 		mixes  = flag.Int("mix", 8, "query-mix initiations per size (0 = skip the workload)")
 		method = flag.String("method", "qgrams", "similarity method: qgrams, qsamples, strings")
+		scheme = flag.String("scheme", "qgram",
+			"key scheme the similarity index is built on: qgram (exact positional grams) or lsh (MinHash band buckets, probabilistic recall at fixed probe cost)")
 
 		traceOut = flag.String("trace-out", "",
 			"write the message-lifecycle trace as JSONL to this file (byte-identical for a fixed seed in actor mode; a sweep leaves the last size's trace)")
@@ -99,42 +170,22 @@ func main() {
 	)
 	flag.Parse()
 
-	peers, err := parseInts(*peersFlag)
+	opt, err := rawOptions{
+		peers:       *peersFlag,
+		method:      *method,
+		scheme:      *scheme,
+		exec:        *exec,
+		async:       *async,
+		clients:     *clients,
+		churnRate:   *churn,
+		churnMode:   *churnMode,
+		metricsAddr: *metricsAddr,
+		metricsOut:  *metricsOut,
+	}.resolve()
 	if err != nil {
 		fatal(err)
 	}
-	m, err := parseMethod(*method)
-	if err != nil {
-		fatal(err)
-	}
-	// Flag-enum and combination validation: reject unknown or conflicting
-	// values up front with the accepted choices listed, instead of silently
-	// falling back to a default behaviour mid-run.
-	if *churnMode != "crash" && *churnMode != "membership" {
-		fatal(fmt.Errorf("unknown churn mode %q (want crash or membership)", *churnMode))
-	}
-	if *churn < 0 {
-		fatal(fmt.Errorf("negative churn rate %v (want events per simulated second >= 0)", *churn))
-	}
-	mode, err := core.ParseRuntimeMode(*exec)
-	if err != nil {
-		fatal(err)
-	}
-	if *async {
-		if *exec != "" && mode != core.RuntimeFanout {
-			fatal(fmt.Errorf("-async conflicts with -exec %s (it is a legacy alias for -exec fanout)", mode))
-		}
-		mode = core.RuntimeFanout
-	}
-	if *clients < 1 {
-		fatal(fmt.Errorf("invalid -clients %d (want a client count >= 1)", *clients))
-	}
-	if *clients > 1 && mode != core.RuntimeActor {
-		fatal(fmt.Errorf("-clients %d needs -exec actor: only the discrete-event engine shares one virtual timeline across concurrently issued operations (direct/fanout model no cross-operation contention)", *clients))
-	}
-	if *metricsOut != "" && *metricsAddr == "" {
-		fatal(errors.New("-metrics-out needs -metrics-addr: the scrape is fetched from the live endpoint"))
-	}
+	peers, m, mode := opt.peers, opt.method, opt.mode
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
 	if err != nil {
 		fatal(err)
@@ -151,8 +202,8 @@ func main() {
 		if latency != nil {
 			lat = latency.String()
 		}
-		fmt.Printf("workload: runtime=%s method=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
-			mode, m, lat, *churn, *churnMode, *clients, *mixes)
+		fmt.Printf("workload: runtime=%s method=%s scheme=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
+			mode, m, opt.scheme, lat, *churn, *churnMode, *clients, *mixes)
 	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s %-10s %-12s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part", "load", "postings/s")
@@ -163,6 +214,7 @@ func main() {
 		tracer.Reset() // a sweep reuses the ring; each size traces afresh
 		eng, err := core.Open(tuples, core.Config{
 			Peers:            n,
+			Scheme:           opt.scheme,
 			Runtime:          mode,
 			Workers:          *workers,
 			LoadWorkers:      *loadWorkers,
@@ -669,7 +721,7 @@ func parseMethod(s string) (ops.Method, error) {
 	case "strings", "naive":
 		return ops.MethodNaive, nil
 	default:
-		return 0, fmt.Errorf("unknown method %q", s)
+		return 0, fmt.Errorf("unknown method %q (want qgrams, qsamples or strings)", s)
 	}
 }
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keyscheme"
+	"repro/internal/ops"
+)
+
+// valid is a baseline rawOptions that resolves cleanly; cases mutate one
+// field at a time.
+func valid() rawOptions {
+	return rawOptions{
+		peers:     "64",
+		method:    "qgrams",
+		scheme:    "qgram",
+		churnMode: "crash",
+		clients:   1,
+	}
+}
+
+func TestResolveOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*rawOptions)
+		wantErr string // substring; "" means resolve must succeed
+		check   func(t *testing.T, o options)
+	}{
+		{
+			name:   "defaults",
+			mutate: func(r *rawOptions) {},
+			check: func(t *testing.T, o options) {
+				if o.scheme != keyscheme.KindQGram || o.method != ops.MethodQGrams || o.mode != core.RuntimeDirect {
+					t.Errorf("resolved %+v, want qgram/qgrams/direct", o)
+				}
+			},
+		},
+		{
+			name:   "lsh scheme",
+			mutate: func(r *rawOptions) { r.scheme = "lsh" },
+			check: func(t *testing.T, o options) {
+				if o.scheme != keyscheme.KindLSH {
+					t.Errorf("scheme = %v, want lsh", o.scheme)
+				}
+			},
+		},
+		{
+			name:   "empty scheme defaults to qgram",
+			mutate: func(r *rawOptions) { r.scheme = "" },
+			check: func(t *testing.T, o options) {
+				if o.scheme != keyscheme.KindQGram {
+					t.Errorf("scheme = %v, want qgram", o.scheme)
+				}
+			},
+		},
+		{
+			name:    "unknown scheme lists accepted values",
+			mutate:  func(r *rawOptions) { r.scheme = "simhash" },
+			wantErr: `unknown key scheme "simhash" (want qgram or lsh)`,
+		},
+		{
+			name:    "unknown method lists accepted values",
+			mutate:  func(r *rawOptions) { r.method = "trigrams" },
+			wantErr: `unknown method "trigrams" (want qgrams, qsamples or strings)`,
+		},
+		{
+			name: "lsh conflicts with qsamples",
+			mutate: func(r *rawOptions) {
+				r.scheme = "lsh"
+				r.method = "qsamples"
+			},
+			wantErr: "-method qsamples needs -scheme qgram",
+		},
+		{
+			name: "lsh allows naive method",
+			mutate: func(r *rawOptions) {
+				r.scheme = "lsh"
+				r.method = "strings"
+			},
+		},
+		{
+			name:    "unknown churn mode",
+			mutate:  func(r *rawOptions) { r.churnMode = "flap" },
+			wantErr: `unknown churn mode "flap" (want crash or membership)`,
+		},
+		{
+			name:    "negative churn rate",
+			mutate:  func(r *rawOptions) { r.churnRate = -1 },
+			wantErr: "negative churn rate",
+		},
+		{
+			name: "async conflicts with exec actor",
+			mutate: func(r *rawOptions) {
+				r.async = true
+				r.exec = "actor"
+			},
+			wantErr: "-async conflicts with -exec actor",
+		},
+		{
+			name: "async agrees with exec fanout",
+			mutate: func(r *rawOptions) {
+				r.async = true
+				r.exec = "fanout"
+			},
+			check: func(t *testing.T, o options) {
+				if o.mode != core.RuntimeFanout {
+					t.Errorf("mode = %v, want fanout", o.mode)
+				}
+			},
+		},
+		{
+			name:    "clients below one",
+			mutate:  func(r *rawOptions) { r.clients = 0 },
+			wantErr: "invalid -clients 0",
+		},
+		{
+			name:    "multiple clients need actor mode",
+			mutate:  func(r *rawOptions) { r.clients = 4 },
+			wantErr: "-clients 4 needs -exec actor",
+		},
+		{
+			name: "multiple clients on actor mode",
+			mutate: func(r *rawOptions) {
+				r.clients = 4
+				r.exec = "actor"
+			},
+		},
+		{
+			name:    "metrics-out needs metrics-addr",
+			mutate:  func(r *rawOptions) { r.metricsOut = "final.prom" },
+			wantErr: "-metrics-out needs -metrics-addr",
+		},
+		{
+			name:    "bad peer list",
+			mutate:  func(r *rawOptions) { r.peers = "64,oops" },
+			wantErr: `invalid count "oops"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := valid()
+			tc.mutate(&r)
+			o, err := r.resolve()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("resolve() = %+v, want error containing %q", o, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("resolve() error = %q, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("resolve() error: %v", err)
+			}
+			if tc.check != nil {
+				tc.check(t, o)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/asyncnet"
+	"repro/internal/keyscheme"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/pgrid"
@@ -86,8 +87,13 @@ type Config struct {
 	// Grid configures overlay construction (replication, routing
 	// redundancy, seed).
 	Grid pgrid.Config
-	// Store configures the storage scheme (gram size, short-string limit).
+	// Store configures the storage scheme (gram size, short-string limit,
+	// similarity key scheme).
 	Store ops.StoreConfig
+	// Scheme selects the similarity key scheme (keyscheme.KindQGram, the
+	// default, or keyscheme.KindLSH). It is a raise-only shorthand for
+	// Store.Scheme; band/row tunables live in Store.Bands/Store.Rows.
+	Scheme keyscheme.Kind
 	// Plan configures query planning, notably the similarity method
 	// (q-grams, q-samples, or the naive scan).
 	Plan plan.Options
@@ -135,6 +141,11 @@ func (c *Config) normalize() {
 	}
 	if c.Runtime == RuntimeDirect && c.Async {
 		c.Runtime = RuntimeFanout
+	}
+	if c.Store.Scheme == keyscheme.KindQGram {
+		// Raise-only: a caller configuring ops.StoreConfig directly keeps
+		// their setting.
+		c.Store.Scheme = c.Scheme
 	}
 	if c.Grid.RefsPerLevel == 0 && c.Grid.Replication == 0 && c.Grid.MaxDepth == 0 {
 		seed := c.Grid.Seed

@@ -164,6 +164,14 @@ func (k Key) Concat(o Key) Key {
 	if rem := uint(k.n % 8); rem != 0 {
 		out.bits[k.n/8] &= 0xFF << (8 - rem)
 	}
+	if k.n%8 == 0 {
+		// Byte-aligned fast path: o's packed bytes land on byte boundaries.
+		// Key construction concatenates byte-shaped components (namespace
+		// prefixes, strings, packed hashes) almost exclusively, so the
+		// bit-by-bit loop below is the cold path.
+		copy(out.bits[k.n/8:], o.bits[:(o.n+7)/8])
+		return out
+	}
 	for i := 0; i < o.n; i++ {
 		if o.Bit(i) == 1 {
 			j := k.n + i

@@ -1,0 +1,163 @@
+package keyscheme
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/strdist"
+	"repro/internal/triples"
+)
+
+// lshScheme keys MinHash band buckets over the padded q-gram shingle set of
+// a string (NearBucket-LSH-style: hash buckets hosted in a structured
+// overlay). Signature: Bands x Rows seeded MinHash values; each band folds
+// its Rows minima into one 64-bit bucket id keyed attr#band#bucket
+// (instance) or band#bucket (schema). Two strings with shingle Jaccard j
+// share some band bucket with probability 1-(1-j^Rows)^Bands, so probing
+// the needle's own Bands buckets retrieves candidates at constant probe
+// cost regardless of needle length — recall is probabilistic where q-gram
+// probing is exact, the tradeoff the README's key-scheme table quantifies.
+// Candidate verification downstream (reconstruction + bounded edit
+// distance) is unchanged, so false bucket collisions cost messages, never
+// wrong results.
+type lshScheme struct {
+	q     int
+	bands int
+	rows  int
+	seeds []uint64
+}
+
+func newLSHScheme(p Params) *lshScheme {
+	s := &lshScheme{q: p.Q, bands: p.Bands, rows: p.Rows}
+	// Fixed seed stream (splitmix64): signatures must be identical across
+	// processes and runs, like every other source of determinism here.
+	s.seeds = make([]uint64, s.bands*s.rows)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range s.seeds {
+		x += 0x9E3779B97F4A7C15
+		s.seeds[i] = mix64(x)
+	}
+	return s
+}
+
+// mix64 is the splitmix64 finalizer, a cheap bijective mixer: applying it
+// to shingleHash XOR seed simulates one seeded random permutation of the
+// shingle universe per MinHash row.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func (s *lshScheme) Kind() Kind     { return KindLSH }
+func (s *lshScheme) Params() Params { return Params{Q: s.q, Bands: s.bands, Rows: s.rows} }
+
+// bucketIDs computes the per-band bucket ids of str into sc.buckets.
+func (s *lshScheme) bucketIDs(str string, sc *Scratch) []uint64 {
+	sc.shingles = strdist.AppendShingleHashes(sc.shingles[:0], str, s.q)
+	if cap(sc.buckets) < s.bands {
+		sc.buckets = make([]uint64, 0, s.bands)
+	}
+	sc.buckets = sc.buckets[:0]
+	for b := 0; b < s.bands; b++ {
+		bucket := uint64(fnvOffset64)
+		for r := 0; r < s.rows; r++ {
+			seed := s.seeds[b*s.rows+r]
+			min := ^uint64(0)
+			for _, x := range sc.shingles {
+				if h := mix64(x ^ seed); h < min {
+					min = h
+				}
+			}
+			bucket = (bucket ^ min) * fnvPrime64
+		}
+		sc.buckets = append(sc.buckets, bucket)
+	}
+	return sc.buckets
+}
+
+// FNV-1a constants, duplicated from strdist's shingle hashing for the
+// row-folding step.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (s *lshScheme) ValueEntries(dst []Entry, attr, v string, sc *Scratch) []Entry {
+	for band, bucket := range s.bucketIDs(v, sc) {
+		dst = append(dst, Entry{
+			Key:     triples.BucketKey(attr, uint8(band), bucket),
+			Kind:    triples.IndexBucket,
+			GramPos: band, // band index distinguishes a triple's entries
+			SrcLen:  len(v),
+		})
+	}
+	return dst
+}
+
+func (s *lshScheme) AttrEntries(attr string, sc *Scratch) []Entry {
+	return sc.cachedAttrEntries(attr, func() []Entry {
+		es := make([]Entry, 0, s.bands)
+		for band, bucket := range s.bucketIDs(attr, sc) {
+			es = append(es, Entry{
+				Key:     triples.SchemaBucketKey(uint8(band), bucket),
+				Kind:    triples.IndexSchemaBucket,
+				GramPos: band,
+				SrcLen:  len(attr),
+			})
+		}
+		return es
+	})
+}
+
+func (s *lshScheme) ValueEntryBound(srcLen int) int { return s.bands }
+func (s *lshScheme) AttrEntryBound(srcLen int) int  { return s.bands }
+
+// ShortThreshold matches the q-gram guarantee threshold: below it even
+// exact grams cannot guarantee completeness, and above it LSH recall on
+// word-length strings is where banding puts it. Using the same boundary
+// keeps the short-value side index identically sized across schemes, so
+// scheme comparisons isolate the similarity index itself.
+func (s *lshScheme) ShortThreshold(d int) int { return strdist.GuaranteeThreshold(s.q, d) }
+
+func (s *lshScheme) Probes(attr, needle string, d int, sampled bool) ProbeSet {
+	// No sampled variant: the signature already has fixed probe cost.
+	// bucketIDs needs only the hash buffers, so a zero Scratch suffices.
+	var sc Scratch
+	ids := s.bucketIDs(needle, &sc)
+	ks := make([]keys.Key, 0, len(ids))
+	kind := triples.IndexBucket
+	for band, bucket := range ids {
+		if attr == "" {
+			ks = append(ks, triples.SchemaBucketKey(uint8(band), bucket))
+		} else {
+			ks = append(ks, triples.BucketKey(attr, uint8(band), bucket))
+		}
+	}
+	if attr == "" {
+		kind = triples.IndexSchemaBucket
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+
+	needleLen := len(needle)
+	accept := func(p triples.Posting) bool {
+		// Bucket postings carry no positions; only the length filter
+		// applies before verification.
+		return strdist.LengthFilter(p.SrcLen, needleLen, d)
+	}
+	return ProbeSet{Keys: ks, Kind: kind, Accept: accept}
+}
+
+func (s *lshScheme) KeySpace() KeySpace {
+	return KeySpace{
+		ValueKind:  triples.IndexBucket,
+		SchemaKind: triples.IndexSchemaBucket,
+		// Shortest emitted key: schema ns byte + separator + band + bucket.
+		PrefixDepth:     (2 + 1 + 8) * 8,
+		FixedSuffixBits: (1 + 8) * 8,
+		Exact:           false,
+	}
+}

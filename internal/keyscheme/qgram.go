@@ -1,0 +1,113 @@
+package keyscheme
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+	"repro/internal/strdist"
+	"repro/internal/triples"
+)
+
+// qgramScheme is the paper's discipline (Section 4): one posting per padded
+// positional q-gram, keyed attr#gram at instance level and by the gram
+// alone at schema level. Probing retrieves every (or, sampled, every
+// (d+1)th non-overlapping) needle gram and keeps postings passing the
+// length and position filters of Algorithm 2 line 8. Complete for needles
+// at or above the guarantee threshold.
+type qgramScheme struct {
+	q int
+}
+
+func (s *qgramScheme) Kind() Kind     { return KindQGram }
+func (s *qgramScheme) Params() Params { return Params{Q: s.q} }
+
+func (s *qgramScheme) ValueEntries(dst []Entry, attr, v string, sc *Scratch) []Entry {
+	sc.grams = strdist.AppendPaddedGrams(sc.grams[:0], v, s.q)
+	for _, g := range sc.grams {
+		dst = append(dst, Entry{
+			Key:      triples.GramKey(attr, g.Text),
+			Kind:     triples.IndexGram,
+			GramText: g.Text,
+			GramPos:  g.Pos,
+			SrcLen:   len(v),
+		})
+	}
+	return dst
+}
+
+func (s *qgramScheme) AttrEntries(attr string, sc *Scratch) []Entry {
+	return sc.cachedAttrEntries(attr, func() []Entry {
+		gs := strdist.PaddedGrams(attr, s.q)
+		es := make([]Entry, len(gs))
+		for i, g := range gs {
+			es[i] = Entry{
+				Key:      triples.SchemaGramKey(g.Text),
+				Kind:     triples.IndexSchemaGram,
+				GramText: g.Text,
+				GramPos:  g.Pos,
+				SrcLen:   len(attr),
+			}
+		}
+		return es
+	})
+}
+
+// A string of length l has l+q-1 padded q-grams.
+func (s *qgramScheme) ValueEntryBound(srcLen int) int { return srcLen + s.q - 1 }
+func (s *qgramScheme) AttrEntryBound(srcLen int) int  { return srcLen + s.q - 1 }
+
+func (s *qgramScheme) ShortThreshold(d int) int { return strdist.GuaranteeThreshold(s.q, d) }
+
+func (s *qgramScheme) Probes(attr, needle string, d int, sampled bool) ProbeSet {
+	var grams []strdist.Gram
+	if sampled {
+		grams = strdist.Samples(needle, s.q, d)
+	} else {
+		grams = strdist.PaddedGrams(needle, s.q)
+	}
+	// Several query grams can share text at different positions; the filter
+	// must accept a posting if ANY of them is position-compatible.
+	posByText := make(map[string][]int)
+	for _, g := range grams {
+		posByText[g.Text] = append(posByText[g.Text], g.Pos)
+	}
+	ks := make([]keys.Key, 0, len(posByText))
+	for text := range posByText {
+		if attr == "" {
+			ks = append(ks, triples.SchemaGramKey(text))
+		} else {
+			ks = append(ks, triples.GramKey(attr, text))
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+
+	kind := triples.IndexGram
+	if attr == "" {
+		kind = triples.IndexSchemaGram
+	}
+	needleLen := len(needle)
+	accept := func(p triples.Posting) bool {
+		if !strdist.LengthFilter(p.SrcLen, needleLen, d) {
+			return false
+		}
+		for _, qp := range posByText[p.GramText] {
+			if strdist.PositionFilter(strdist.Gram{Pos: qp}, strdist.Gram{Pos: p.GramPos}, d) {
+				return true
+			}
+		}
+		return false
+	}
+	return ProbeSet{Keys: ks, Kind: kind, Accept: accept}
+}
+
+func (s *qgramScheme) KeySpace() KeySpace {
+	return KeySpace{
+		ValueKind:  triples.IndexGram,
+		SchemaKind: triples.IndexSchemaGram,
+		// Shortest emitted key: ns byte + separator + one-byte gram text
+		// is impossible (grams are q bytes), so ns+sep+q bytes+terminator.
+		PrefixDepth:     (2 + s.q + 1) * 8,
+		FixedSuffixBits: 0,
+		Exact:           true,
+	}
+}

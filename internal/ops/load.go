@@ -6,10 +6,11 @@
 // every tuple's index entries exactly once, across a worker pool, and the
 // extracted entries serve as both the balancing sample (their keys, catalog
 // postings excluded, exactly as CollectKeys sampled) and the load payload
-// (Grid.BulkLoad applies them sharded by partition). Entry extraction — gram
-// expansion above all — is the CPU hot spot of the load phase, so the
-// parallel pass chunks triples contiguously and each worker reuses one
-// entryScratch (gram buffer plus attribute-gram cache).
+// (Grid.BulkLoad applies them sharded by partition). Entry extraction — the
+// key scheme's gram or signature expansion above all — is the CPU hot spot
+// of the load phase, so the parallel pass chunks triples contiguously and
+// each worker reuses one extractScratch (scheme buffers plus the bounded
+// attribute-entry cache).
 package ops
 
 import (
@@ -19,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/keys"
+	"repro/internal/keyscheme"
 	"repro/internal/pgrid"
 	"repro/internal/triples"
 )
@@ -44,6 +46,10 @@ type LoadPlan struct {
 // LoadTuple loop would.
 func PlanLoad(data []triples.Tuple, cfg StoreConfig, workers int) (*LoadPlan, error) {
 	cfg.normalize()
+	sch, err := keyscheme.New(cfg.Scheme, cfg.schemeParams())
+	if err != nil {
+		return nil, fmt.Errorf("ops: planning load: %w", err)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -95,19 +101,19 @@ func PlanLoad(data []triples.Tuple, cfg StoreConfig, workers int) (*LoadPlan, er
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			sc := newEntryScratch()
+			xs := newExtractScratch()
 			// Size the chunk's buffer from its exact per-triple bounds so the
 			// extraction loop never regrows it.
 			est := 0
 			for i := lo; i < hi; i++ {
-				est += 5 + len(ts[i].Attr) + 2*cfg.Q
+				est += 4 + sch.AttrEntryBound(len(ts[i].Attr))
 				if ts[i].Val.Kind == triples.KindString {
-					est += len(ts[i].Val.Str)
+					est += sch.ValueEntryBound(len(ts[i].Val.Str)) + 1
 				}
 			}
 			dst := make([]pgrid.BulkEntry, 0, est)
 			for i := lo; i < hi; i++ {
-				dst = appendTripleEntries(dst, &cfg, ts[i], newAttr[i], sc)
+				dst = appendTripleEntries(dst, &cfg, sch, ts[i], newAttr[i], xs)
 			}
 			outs[c] = dst
 		}(c, lo, hi)

@@ -77,7 +77,7 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 		return s.similarNaiveAt(t, from, needle, attr, d, start)
 	}
 	withShort := !opts.NoShortFallback && !s.cfg.DisableShortIndex &&
-		len(needle) < strdist.GuaranteeThreshold(s.cfg.Q, d)
+		len(needle) < s.scheme.ShortThreshold(d)
 
 	var gramOids, shortOids map[string]bool
 	var gramErr, shortErr error
@@ -88,7 +88,7 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 	end := s.grid.Fanout(start, branches, func(i int, st simnet.VTime) simnet.VTime {
 		if i == 0 {
 			var e simnet.VTime
-			gramOids, e, gramErr = s.gramCandidates(t, from, needle, attr, d, opts, st)
+			gramOids, e, gramErr = s.probeCandidates(t, from, needle, attr, d, opts, st)
 			return e
 		}
 		var e simnet.VTime
@@ -112,62 +112,26 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 	return verifyMatches(objects, needle, attr, d, schema), end, nil
 }
 
-// gramCandidates performs lines 1-9 of Algorithm 2: decompose the needle into
-// q-grams (or a q-sample), retrieve all postings matching any gram with one
-// batched multicast, and keep the oids passing the position and length
-// filters.
-func (s *Store) gramCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+// probeCandidates performs lines 1-9 of Algorithm 2 through the key scheme:
+// plan the needle's probe keys (every q-gram, a q-sample, or the LSH band
+// buckets), retrieve all postings matching any of them with one batched
+// multicast, and keep the oids the scheme's candidate predicate accepts
+// (position and length filters for q-grams, length only for buckets).
+func (s *Store) probeCandidates(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
 	opts SimilarOptions, start simnet.VTime) (map[string]bool, simnet.VTime, error) {
-	var grams []strdist.Gram
-	if opts.Method == MethodQSamples {
-		grams = strdist.Samples(needle, s.cfg.Q, d)
-	} else {
-		grams = strdist.PaddedGrams(needle, s.cfg.Q)
-	}
-	// Several query grams can share text at different positions; the filter
-	// must accept a posting if ANY of them is position-compatible.
-	posByText := make(map[string][]int)
-	for _, g := range grams {
-		posByText[g.Text] = append(posByText[g.Text], g.Pos)
-	}
-	ks := make([]keys.Key, 0, len(posByText))
-	for text := range posByText {
-		if attr == "" {
-			ks = append(ks, triples.SchemaGramKey(text))
-		} else {
-			ks = append(ks, triples.GramKey(attr, text))
-		}
-	}
-	// Deterministic key order keeps message traces reproducible.
-	sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+	probes := s.scheme.Probes(attr, needle, d, opts.Method == MethodQSamples)
 
-	postings, end, err := s.fetch(t, from, ks, opts.NoBatchedRouting, start)
+	postings, end, err := s.fetch(t, from, probes.Keys, opts.NoBatchedRouting, start)
 	if err != nil {
 		return nil, end, err
 	}
-	wantKind := triples.IndexGram
-	if attr == "" {
-		wantKind = triples.IndexSchemaGram
-	}
 	oids := make(map[string]bool)
 	for _, p := range postings {
-		if p.Index != wantKind {
+		if p.Index != probes.Kind {
 			continue
 		}
-		if !opts.NoFilters {
-			if !strdist.LengthFilter(p.SrcLen, len(needle), d) {
-				continue
-			}
-			ok := false
-			for _, qp := range posByText[p.GramText] {
-				if strdist.PositionFilter(strdist.Gram{Pos: qp}, strdist.Gram{Pos: p.GramPos}, d) {
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
+		if !opts.NoFilters && !probes.Accept(p) {
+			continue
 		}
 		oids[p.Triple.OID] = true
 	}

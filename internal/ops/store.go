@@ -6,11 +6,14 @@
 //
 // A Store wraps a constructed grid with the vertical storage scheme of
 // Sections 3 and 4: every triple (oid, A, v) is indexed by oid, by A#v and by
-// v, plus one posting per positional q-gram of v (instance level) and of A
-// (schema level). Two small side indexes — short values and the attribute
-// catalog — close the completeness gap of pure q-gram lookups for strings
-// below the guarantee threshold (see strdist.GuaranteeThreshold); they are a
-// documented extension of this reproduction.
+// v, plus the similarity entries its key scheme derives from v (instance
+// level) and from A (schema level) — one posting per positional q-gram under
+// the paper's scheme, one per MinHash band bucket under LSH (see
+// internal/keyscheme; StoreConfig.Scheme selects). Two small side indexes —
+// short values and the attribute catalog — close the completeness gap of
+// similarity probing for strings below the scheme's short threshold (see
+// strdist.GuaranteeThreshold); they are a documented extension of this
+// reproduction.
 package ops
 
 import (
@@ -18,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/keys"
+	"repro/internal/keyscheme"
 	"repro/internal/metrics"
 	"repro/internal/pgrid"
 	"repro/internal/simnet"
@@ -54,20 +58,30 @@ func (m Method) String() string {
 	}
 }
 
-// StoreConfig fixes the storage-scheme parameters.
+// StoreConfig fixes the storage-scheme parameters. It stays comparable
+// (ApplyLoadPlan guards plan/store agreement by struct equality).
 type StoreConfig struct {
-	// Q is the gram size (default 3).
+	// Q is the gram/shingle size (default 3).
 	Q int
 	// MaxDistance is the largest similarity distance the store is tuned
 	// for; it sizes the short-value index (default 5, the maximum distance
 	// of the paper's evaluation queries).
 	MaxDistance int
-	// ShortLimit overrides the short-value index limit; 0 derives it from Q
-	// and MaxDistance via strdist.GuaranteeThreshold.
+	// ShortLimit overrides the short-value index limit; 0 derives it from
+	// the scheme's short threshold at MaxDistance (both built-in schemes
+	// use strdist.GuaranteeThreshold).
 	ShortLimit int
 	// DisableShortIndex turns the completeness extension off entirely,
 	// reproducing the paper's storage scheme verbatim.
 	DisableShortIndex bool
+	// Scheme selects the similarity key scheme (default keyscheme.KindQGram,
+	// the paper's positional q-grams; keyscheme.KindLSH keys MinHash band
+	// buckets onto the same trie).
+	Scheme keyscheme.Kind
+	// Bands and Rows shape the LSH signature (defaults
+	// keyscheme.DefaultBands/DefaultRows); ignored by the q-gram scheme.
+	Bands int
+	Rows  int
 }
 
 func (c *StoreConfig) normalize() {
@@ -77,18 +91,32 @@ func (c *StoreConfig) normalize() {
 	if c.MaxDistance <= 0 {
 		c.MaxDistance = 5
 	}
+	if c.Scheme == keyscheme.KindLSH {
+		if c.Bands <= 0 {
+			c.Bands = keyscheme.DefaultBands
+		}
+		if c.Rows <= 0 {
+			c.Rows = keyscheme.DefaultRows
+		}
+	}
 	if c.ShortLimit <= 0 {
 		c.ShortLimit = strdist.GuaranteeThreshold(c.Q, c.MaxDistance)
 	}
 }
 
+// schemeParams maps the config to the scheme tunables.
+func (c *StoreConfig) schemeParams() keyscheme.Params {
+	return keyscheme.Params{Q: c.Q, Bands: c.Bands, Rows: c.Rows}
+}
+
 // Store is the vertical triple store over a P-Grid overlay.
 type Store struct {
-	grid *pgrid.Grid
-	cfg  StoreConfig
+	grid   *pgrid.Grid
+	cfg    StoreConfig
+	scheme keyscheme.Scheme
 
-	// scratch pools entry-extraction buffers (gram buffer, per-attribute gram
-	// cache) across routed inserts, keeping the entry hot path allocation-lean.
+	// scratch pools entry-extraction buffers (scheme scratch, entry buffer)
+	// across routed inserts, keeping the entry hot path allocation-lean.
 	scratch sync.Pool
 
 	mu        sync.Mutex
@@ -99,16 +127,22 @@ type Store struct {
 
 // NewStore wraps a constructed grid. The grid should have been built with a
 // key sample from IndexKeys over the data to be loaded, so partitions balance.
+// It panics on an unknown cfg.Scheme; PlanLoad (which core.Open runs first)
+// reports the same condition as an error.
 func NewStore(grid *pgrid.Grid, cfg StoreConfig) *Store {
 	cfg.normalize()
 	return &Store{
 		grid:      grid,
 		cfg:       cfg,
-		scratch:   sync.Pool{New: func() any { return newEntryScratch() }},
+		scheme:    keyscheme.MustNew(cfg.Scheme, cfg.schemeParams()),
+		scratch:   sync.Pool{New: func() any { return newExtractScratch() }},
 		attrsSeen: make(map[string]bool),
 		counts:    make(map[triples.IndexKind]int64),
 	}
 }
+
+// Scheme exposes the store's similarity key scheme.
+func (s *Store) Scheme() keyscheme.Scheme { return s.scheme }
 
 // Grid exposes the underlying overlay.
 func (s *Store) Grid() *pgrid.Grid { return s.grid }
@@ -116,44 +150,35 @@ func (s *Store) Grid() *pgrid.Grid { return s.grid }
 // Config returns the normalized store configuration.
 func (s *Store) Config() StoreConfig { return s.cfg }
 
-// entryScratch holds the reusable buffers of one entry-extraction worker: a
-// gram buffer for string values (every value has different grams) and a cache
-// of attribute-name grams (attribute names repeat on virtually every triple,
-// so their expansion is computed once per distinct name).
-type entryScratch struct {
-	grams     []strdist.Gram
-	attrGrams map[string][]strdist.Gram
+// extractScratch holds the reusable buffers of one entry-extraction worker:
+// the scheme's scratch (gram/shingle buffers, byte-bounded attribute-entry
+// cache — attribute names repeat on virtually every triple, so their
+// expansion is computed once per distinct name) plus a buffer for the
+// scheme's per-value entries.
+type extractScratch struct {
+	sc  *keyscheme.Scratch
+	buf []keyscheme.Entry
 }
 
-func newEntryScratch() *entryScratch {
-	return &entryScratch{attrGrams: make(map[string][]strdist.Gram)}
-}
-
-// gramsForAttr returns the cached padded grams of an attribute name.
-func (sc *entryScratch) gramsForAttr(attr string, q int) []strdist.Gram {
-	if gs, ok := sc.attrGrams[attr]; ok {
-		return gs
-	}
-	gs := strdist.PaddedGrams(attr, q)
-	if len(sc.attrGrams) < 1<<14 { // schemas are small; bound pathological ones
-		sc.attrGrams[attr] = gs
-	}
-	return gs
+func newExtractScratch() *extractScratch {
+	return &extractScratch{sc: keyscheme.NewScratch()}
 }
 
 // appendTripleEntries appends every index entry of one triple per the storage
-// scheme: oid, attr#value and value postings carrying the full triple; one
-// slim posting per padded q-gram of a string value (keyed attr#gram) and per
-// padded q-gram of the attribute name (keyed by the gram alone); a
-// short-value posting when the value is below the guarantee threshold; and a
-// catalog posting the first time an attribute name is seen. It is the shared
-// entry-extraction core of the bulk-load planner and the routed insert path.
-func appendTripleEntries(dst []pgrid.BulkEntry, cfg *StoreConfig, tr triples.Triple, newAttr bool, sc *entryScratch) []pgrid.BulkEntry {
+// scheme: oid, attr#value and value postings carrying the full triple; the
+// key scheme's slim similarity postings for a string value (instance level)
+// and for the attribute name (schema level — Section 4: key(q_j^Ai) ->
+// (oid, q_j^Ai, vi); the posting carries the oid, the full object is
+// reconstructed via the oid index); a short-value posting when the value is
+// below the short limit; and a catalog posting the first time an attribute
+// name is seen. It is the shared entry-extraction core of the bulk-load
+// planner and the routed insert path.
+func appendTripleEntries(dst []pgrid.BulkEntry, cfg *StoreConfig, sch keyscheme.Scheme, tr triples.Triple, newAttr bool, xs *extractScratch) []pgrid.BulkEntry {
 	// Exact upper bound on the entries of this triple: 3 base postings, the
-	// padded grams of value and attribute (len+q-1 each), short + catalog.
-	need := 3 + len(tr.Attr) + cfg.Q + 1
+	// scheme's entries for value and attribute name, short + catalog.
+	need := 3 + sch.AttrEntryBound(len(tr.Attr)) + 1
 	if tr.Val.Kind == triples.KindString {
-		need += len(tr.Val.Str) + cfg.Q
+		need += sch.ValueEntryBound(len(tr.Val.Str)) + 1
 	}
 	if free := cap(dst) - len(dst); free < need {
 		grown := make([]pgrid.BulkEntry, len(dst), cap(dst)+need+cap(dst)/2)
@@ -174,25 +199,23 @@ func appendTripleEntries(dst []pgrid.BulkEntry, cfg *StoreConfig, tr triples.Tri
 	if tr.Val.Kind == triples.KindString {
 		v := tr.Val.Str
 		slim := triples.Posting{Triple: triples.Triple{OID: tr.OID, Attr: tr.Attr}}
-		sc.grams = strdist.AppendPaddedGrams(sc.grams[:0], v, cfg.Q)
-		for _, g := range sc.grams {
+		xs.buf = sch.ValueEntries(xs.buf[:0], tr.Attr, v, xs.sc)
+		for i := range xs.buf {
+			e := &xs.buf[i]
 			p := slim
-			p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(v)
-			add(triples.IndexGram, triples.GramKey(tr.Attr, g.Text), p)
+			p.GramText, p.GramPos, p.SrcLen = e.GramText, e.GramPos, e.SrcLen
+			add(e.Kind, e.Key, p)
 		}
 		if !cfg.DisableShortIndex && len(v) < cfg.ShortLimit {
 			add(triples.IndexShort, triples.ShortValueKey(tr.Attr, tr.Val), full)
 		}
 	}
 
-	// Schema-level grams: one posting per q-gram of the attribute name, per
-	// triple (Section 4: key(q_j^Ai) -> (oid, q_j^Ai, vi)). The posting
-	// carries the oid; the full object is reconstructed via the oid index.
 	slimAttr := triples.Posting{Triple: triples.Triple{OID: tr.OID}}
-	for _, g := range sc.gramsForAttr(tr.Attr, cfg.Q) {
+	for _, e := range sch.AttrEntries(tr.Attr, xs.sc) {
 		p := slimAttr
-		p.GramText, p.GramPos, p.SrcLen = g.Text, g.Pos, len(tr.Attr)
-		add(triples.IndexSchemaGram, triples.SchemaGramKey(g.Text), p)
+		p.GramText, p.GramPos, p.SrcLen = e.GramText, e.GramPos, e.SrcLen
+		add(e.Kind, e.Key, p)
 	}
 
 	if newAttr && !cfg.DisableShortIndex {
@@ -205,9 +228,9 @@ func appendTripleEntries(dst []pgrid.BulkEntry, cfg *StoreConfig, tr triples.Tri
 // entriesForTriple computes the index entries of one triple using pooled
 // extraction buffers.
 func (s *Store) entriesForTriple(tr triples.Triple, newAttr bool) []pgrid.BulkEntry {
-	sc := s.scratch.Get().(*entryScratch)
-	out := appendTripleEntries(nil, &s.cfg, tr, newAttr, sc)
-	s.scratch.Put(sc)
+	xs := s.scratch.Get().(*extractScratch)
+	out := appendTripleEntries(nil, &s.cfg, s.scheme, tr, newAttr, xs)
+	s.scratch.Put(xs)
 	return out
 }
 
