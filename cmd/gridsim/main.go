@@ -57,6 +57,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/pgrid"
+	"repro/internal/qcache"
 	"repro/internal/simnet"
 )
 
@@ -76,14 +77,21 @@ type rawOptions struct {
 	churnMode   string
 	metricsAddr string
 	metricsOut  string
+	cache       string
+	arrival     string
+	rate        float64
+	zipf        float64
+	arrivals    int
 }
 
 // options is the validated, resolved form of rawOptions.
 type options struct {
-	peers  []int
-	method ops.Method
-	scheme keyscheme.Kind
-	mode   core.RuntimeMode
+	peers    []int
+	method   ops.Method
+	scheme   keyscheme.Kind
+	mode     core.RuntimeMode
+	cache    bool
+	openLoop bool
 }
 
 func (r rawOptions) resolve() (options, error) {
@@ -124,6 +132,49 @@ func (r rawOptions) resolve() (options, error) {
 	}
 	if r.metricsOut != "" && r.metricsAddr == "" {
 		return o, errors.New("-metrics-out needs -metrics-addr: the scrape is fetched from the live endpoint")
+	}
+	switch r.cache {
+	case "", "off":
+	case "on":
+		o.cache = true
+	default:
+		return o, fmt.Errorf("unknown cache setting %q (want on or off)", r.cache)
+	}
+	switch r.arrival {
+	case "", "closed":
+	case "poisson":
+		o.openLoop = true
+		if o.mode != core.RuntimeActor {
+			return o, errors.New("-arrival poisson needs -exec actor: open-loop arrivals contend on the discrete-event engine's one virtual timeline (direct/fanout model no cross-operation contention)")
+		}
+		if r.rate <= 0 {
+			return o, errors.New("-arrival poisson needs -rate: the offered arrival rate in queries per simulated second")
+		}
+		if r.churnRate > 0 {
+			return o, errors.New("-arrival poisson conflicts with -churn-rate: the open-loop driver has no churn scheduler (use the closed-loop workload for churn studies)")
+		}
+		if r.clients > 1 {
+			return o, errors.New("-arrival poisson conflicts with -clients: open-loop arrivals are not closed-loop clients (each arrival is its own client body)")
+		}
+	default:
+		return o, fmt.Errorf("unknown arrival process %q (want closed or poisson)", r.arrival)
+	}
+	if !o.openLoop {
+		if r.rate != 0 {
+			return o, errors.New("-rate needs -arrival poisson")
+		}
+		if r.zipf != 0 {
+			return o, errors.New("-zipf needs -arrival poisson")
+		}
+		if r.arrivals != 0 {
+			return o, errors.New("-arrivals needs -arrival poisson")
+		}
+	}
+	if r.zipf != 0 && r.zipf <= 1 {
+		return o, fmt.Errorf("invalid -zipf %g (want 0 for uniform needles, or an exponent > 1)", r.zipf)
+	}
+	if r.arrivals < 0 {
+		return o, fmt.Errorf("invalid -arrivals %d (want a query count >= 1, or 0 for the default)", r.arrivals)
 	}
 	return o, nil
 }
@@ -167,6 +218,16 @@ func main() {
 			"serve a Prometheus text-format /metrics endpoint on this address while the workload runs (e.g. :9090, or 127.0.0.1:0 for a free port)")
 		metricsOut = flag.String("metrics-out", "",
 			"write a final /metrics scrape — fetched over HTTP from the live -metrics-addr endpoint — to this file")
+		cache = flag.String("cache", "off",
+			"initiator-side caching: on (epoch-safe posting + result caches serve hot keys and repeated questions locally) or off")
+		arrival = flag.String("arrival", "closed",
+			"arrival process of the query workload: closed (the mix/clients loop) or poisson (open-loop arrivals at -rate on the actor engine's virtual timeline)")
+		rate = flag.Float64("rate", 0,
+			"offered arrival rate in queries per simulated second (with -arrival poisson)")
+		zipf = flag.Float64("zipf", 0,
+			"Zipf exponent of the needle popularity with -arrival poisson (0 = uniform; exponents must exceed 1)")
+		arrivals = flag.Int("arrivals", 0,
+			"query arrivals per open-loop run with -arrival poisson (0 = driver default)")
 	)
 	flag.Parse()
 
@@ -181,6 +242,11 @@ func main() {
 		churnMode:   *churnMode,
 		metricsAddr: *metricsAddr,
 		metricsOut:  *metricsOut,
+		cache:       *cache,
+		arrival:     *arrival,
+		rate:        *rate,
+		zipf:        *zipf,
+		arrivals:    *arrivals,
 	}.resolve()
 	if err != nil {
 		fatal(err)
@@ -197,13 +263,20 @@ func main() {
 	corpus := dataset.BibleWords(*items, *seed)
 	tuples := dataset.StringTuples("word", "o", corpus)
 
-	if *mixes > 0 {
+	cacheState := "off"
+	if opt.cache {
+		cacheState = "on"
+	}
+	if opt.openLoop {
+		fmt.Printf("workload: runtime=%s method=%s scheme=%s cache=%s arrival=poisson rate=%g/s zipf=%g (%d arrivals)\n\n",
+			mode, m, opt.scheme, cacheState, *rate, *zipf, *arrivals)
+	} else if *mixes > 0 {
 		lat := "none"
 		if latency != nil {
 			lat = latency.String()
 		}
-		fmt.Printf("workload: runtime=%s method=%s scheme=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
-			mode, m, opt.scheme, lat, *churn, *churnMode, *clients, *mixes)
+		fmt.Printf("workload: runtime=%s method=%s scheme=%s cache=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
+			mode, m, opt.scheme, cacheState, lat, *churn, *churnMode, *clients, *mixes)
 	}
 	fmt.Printf("%-10s %-11s %-18s %-12s %-10s %-10s %-10s %-12s\n",
 		"peers", "partitions", "depth(min/avg/max)", "refs/peer", "postings", "max/part", "load", "postings/s")
@@ -223,6 +296,7 @@ func main() {
 			LatencyAwareRefs: *latAware,
 			Trace:            tracer,
 			MetricsAddr:      *metricsAddr,
+			Cache:            opt.cache,
 		})
 		if err != nil {
 			fatal(err)
@@ -240,7 +314,12 @@ func main() {
 			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
 			s.AvgRefs, s.StoredItems, s.MaxLeafItems,
 			loadWall.Round(time.Millisecond), postingsPerSec)
-		if *mixes > 0 {
+		if opt.openLoop {
+			if err := runOpenLoop(eng, corpus, m, *rate, *zipf, *arrivals, *seed); err != nil {
+				fatal(fmt.Errorf("open-loop workload at %d peers: %w", n, err))
+			}
+			fmt.Println()
+		} else if *mixes > 0 {
 			var err error
 			if *clients > 1 {
 				err = runWorkloadClients(eng, corpus, m, *mixes, *clients, *seed, *churn, *churnMode)
@@ -476,6 +555,7 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
 		fmt.Print(col.QueryReport())
 	}
+	printCacheStats(eng)
 	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
 	return nil
@@ -578,9 +658,49 @@ func runWorkloadClients(eng *core.Engine, corpus []string, m ops.Method, mixes, 
 			float64(totals.Queue)/1000, float64(totals.Queue)/float64(queries)/1000)
 		fmt.Print(col.QueryReport())
 	}
+	printCacheStats(eng)
 	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
 	return nil
+}
+
+// runOpenLoop drives the Poisson/Zipf open-loop workload at one offered rate
+// and prints the saturation point: throughput vs. the offered rate, sojourn
+// percentiles, cache effectiveness and the hottest peer. Sweeping -rate
+// across invocations (or rates inside bench.OpenLoop for programmatic use)
+// locates the knee.
+func runOpenLoop(eng *core.Engine, corpus []string, m ops.Method, rate, zipf float64, arrivals int, seed int64) error {
+	startWall := time.Now()
+	points, err := bench.OpenLoop(eng, corpus, []float64{rate}, bench.OpenLoopWorkload{
+		Method:   m,
+		Seed:     seed,
+		ZipfS:    zipf,
+		Arrivals: arrivals,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startWall)
+	fmt.Print(bench.FormatOpenLoop(points))
+	printCacheStats(eng)
+	printActorLoad(eng)
+	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
+	return nil
+}
+
+// printCacheStats renders the initiator-cache summary lines next to the
+// hotspot table; silent when caching is disabled.
+func printCacheStats(eng *core.Engine) {
+	if !eng.Store().CacheEnabled() {
+		return
+	}
+	cs := eng.Store().CacheStats()
+	line := func(name string, s qcache.Stats) {
+		fmt.Printf("cache:    %-7s hits=%d misses=%d (%.1f%% hit) evictions=%d invalidations=%d bytes=%d entries=%d\n",
+			name, s.Hits, s.Misses, 100*s.HitRatio(), s.Evictions, s.Invalidations, s.Bytes, s.Entries)
+	}
+	line("posting", cs.Postings)
+	line("result", cs.Results)
 }
 
 // writeObservability exports the engine's trace and a final metrics scrape.

@@ -137,6 +137,110 @@ func TestResolveOptions(t *testing.T) {
 			mutate:  func(r *rawOptions) { r.peers = "64,oops" },
 			wantErr: `invalid count "oops"`,
 		},
+		{
+			name:   "cache on",
+			mutate: func(r *rawOptions) { r.cache = "on" },
+			check: func(t *testing.T, o options) {
+				if !o.cache {
+					t.Error("cache not enabled")
+				}
+			},
+		},
+		{
+			name:   "cache off is the default",
+			mutate: func(r *rawOptions) { r.cache = "off" },
+			check: func(t *testing.T, o options) {
+				if o.cache {
+					t.Error("cache enabled by -cache off")
+				}
+			},
+		},
+		{
+			name:    "unknown cache setting lists accepted values",
+			mutate:  func(r *rawOptions) { r.cache = "lru" },
+			wantErr: `unknown cache setting "lru" (want on or off)`,
+		},
+		{
+			name: "poisson arrivals on actor mode",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.exec = "actor"
+				r.rate = 25
+				r.zipf = 1.1
+				r.arrivals = 64
+			},
+			check: func(t *testing.T, o options) {
+				if !o.openLoop {
+					t.Error("openLoop not set")
+				}
+			},
+		},
+		{
+			name:    "unknown arrival process lists accepted values",
+			mutate:  func(r *rawOptions) { r.arrival = "burst" },
+			wantErr: `unknown arrival process "burst" (want closed or poisson)`,
+		},
+		{
+			name: "poisson needs actor mode",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.rate = 25
+			},
+			wantErr: "-arrival poisson needs -exec actor",
+		},
+		{
+			name: "poisson needs a rate",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.exec = "actor"
+			},
+			wantErr: "-arrival poisson needs -rate",
+		},
+		{
+			name: "poisson conflicts with churn",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.exec = "actor"
+				r.rate = 25
+				r.churnRate = 1
+			},
+			wantErr: "-arrival poisson conflicts with -churn-rate",
+		},
+		{
+			name: "poisson conflicts with clients",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.exec = "actor"
+				r.rate = 25
+				r.clients = 4
+			},
+			wantErr: "-arrival poisson conflicts with -clients",
+		},
+		{
+			name:    "rate needs poisson",
+			mutate:  func(r *rawOptions) { r.rate = 25 },
+			wantErr: "-rate needs -arrival poisson",
+		},
+		{
+			name:    "zipf needs poisson",
+			mutate:  func(r *rawOptions) { r.zipf = 1.5 },
+			wantErr: "-zipf needs -arrival poisson",
+		},
+		{
+			name:    "arrivals needs poisson",
+			mutate:  func(r *rawOptions) { r.arrivals = 32 },
+			wantErr: "-arrivals needs -arrival poisson",
+		},
+		{
+			name: "zipf exponent must exceed one",
+			mutate: func(r *rawOptions) {
+				r.arrival = "poisson"
+				r.exec = "actor"
+				r.rate = 25
+				r.zipf = 0.5
+			},
+			wantErr: "invalid -zipf 0.5",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -65,6 +65,12 @@ type ClientsWorkload struct {
 	Method ops.Method
 	// Seed drives the needle/initiator schedule (default 1).
 	Seed int64
+	// ThinkUS, when positive, is the mean of an exponential per-query think
+	// time (µs): each client idles on its own timeline before issuing the
+	// next query, the classic interactive closed-loop model. Zero keeps the
+	// back-to-back loop. Think draws come from the same seeded schedule as
+	// needles, so a sweep replays identically.
+	ThinkUS int64
 }
 
 func (w *ClientsWorkload) normalize() {
@@ -102,8 +108,9 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 		// Deterministic per-client schedules, identical across points up to
 		// the client partitioning.
 		type q struct {
-			needle string
-			from   simnet.NodeID
+			needle  string
+			from    simnet.NodeID
+			thinkUS int64
 		}
 		sched := make([][]q, clients)
 		rng := newRand(w.Seed)
@@ -113,6 +120,9 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 				sched[c][i] = q{
 					needle: corpus[rng.Intn(len(corpus))],
 					from:   simnet.NodeID(rng.Intn(peers)),
+				}
+				if w.ThinkUS > 0 {
+					sched[c][i].thinkUS = int64(rng.ExpFloat64() * float64(w.ThinkUS))
 				}
 			}
 		}
@@ -129,9 +139,8 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 		eng.Concurrent(clients, func(client int) {
 			var ct metrics.Tally // client timeline: queries chain on it
 			for _, qq := range sched[client] {
-				before := ct.Snapshot()
-				_, err := eng.Store().Similar(&ct, qq.from, qq.needle, w.Attr, w.Distance, opts)
-				d := ct.Snapshot().Sub(before)
+				d, err := issueQuery(eng, &ct, qq.from, qq.needle, w.Attr, w.Distance, opts,
+					ct.PathEnd()+qq.thinkUS)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("bench: clients=%d client %d similar(%q): %w",
@@ -166,6 +175,22 @@ func ConcurrentClients(eng *core.Engine, corpus []string, clientCounts []int, w 
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// issueQuery is the one client-body shape both traffic models share: advance
+// the client timeline to startUS (elapsed think time, or an open-loop
+// arrival instant), run one similarity query, and return its own cost slice.
+// The pre-seed lands before the snapshot, so the slice's Latency is the
+// query's sojourn from startUS to completion, think/idle time excluded.
+func issueQuery(eng *core.Engine, ct *metrics.Tally, from simnet.NodeID, needle, attr string,
+	d int, opts ops.SimilarOptions, startUS int64) (metrics.Tally, error) {
+
+	if startUS > ct.PathEnd() {
+		ct.ObservePath(0, startUS)
+	}
+	before := ct.Snapshot()
+	_, err := eng.Store().Similar(ct, from, needle, attr, d, opts)
+	return ct.Snapshot().Sub(before), err
 }
 
 // peerLoadSnapshot captures per-peer busy time and delivered counts on actor

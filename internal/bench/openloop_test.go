@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/asyncnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestOpenLoopWorkload drives the Poisson/Zipf open-loop sweep on an actor
+// engine: sojourns include queueing, raising the offered rate cannot reduce
+// contention, and enabling the caches strictly reduces the message volume of
+// the same schedule while answering it completely.
+func TestOpenLoopWorkload(t *testing.T) {
+	corpus := dataset.BibleWords(400, 11)
+	tuples := dataset.StringTuples("word", "o", corpus)
+	open := func(cache bool) *core.Engine {
+		eng, err := core.Open(tuples, core.Config{
+			Peers:   48,
+			Runtime: core.RuntimeActor,
+			Latency: asyncnet.DefaultLatency(3),
+			Service: 2 * time.Millisecond,
+			Cache:   cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	w := OpenLoopWorkload{Arrivals: 24, Distance: 1, Seed: 7, ZipfS: 1.1}
+	rates := []float64{5, 50}
+
+	uncached := open(false)
+	points, err := OpenLoop(uncached, corpus, rates, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rates) {
+		t.Fatalf("%d points, want %d", len(points), len(rates))
+	}
+	for _, p := range points {
+		if p.Queries != w.Arrivals {
+			t.Errorf("rate=%g completed %d queries, want %d", p.RatePerSec, p.Queries, w.Arrivals)
+		}
+		if p.Messages == 0 {
+			t.Errorf("rate=%g reports no messages", p.RatePerSec)
+		}
+		if p.QueueTotalUS <= 0 {
+			t.Errorf("rate=%g reports no queueing with a 2ms service time", p.RatePerSec)
+		}
+		if p.MeanSojournUS <= 0 || p.MakespanUS <= 0 || p.ThroughputQPS <= 0 {
+			t.Errorf("rate=%g has empty timing: %+v", p.RatePerSec, p)
+		}
+		if c := p.Cache; c.Postings.Hits+c.Results.Hits != 0 {
+			t.Errorf("rate=%g reports cache hits on an uncached engine", p.RatePerSec)
+		}
+	}
+	// Open loop: pushing arrivals together can only increase contention.
+	if points[1].MeanQueueUS < points[0].MeanQueueUS {
+		t.Errorf("mean queueing shrank as the rate rose: rate=%g %.0fµs < rate=%g %.0fµs",
+			rates[1], points[1].MeanQueueUS, rates[0], points[0].MeanQueueUS)
+	}
+
+	// Same sweep against a cached engine. Needle draws are rate-invariant,
+	// so the Zipf hot set repeats both within a point (shared probe keys →
+	// posting-cache hits as soon as the first fetches complete) and across
+	// points (identical questions → result-cache hits on the warm point).
+	cached := open(true)
+	cp, err := OpenLoop(cached, corpus, rates, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cp {
+		if cp[i].Queries != points[i].Queries {
+			t.Fatalf("cached point %d completed %d queries, want %d", i, cp[i].Queries, points[i].Queries)
+		}
+	}
+	if cp[0].Cache.Postings.Hits == 0 {
+		t.Error("Zipf(1.1) point produced no posting-cache hits")
+	}
+	if cp[0].Messages >= points[0].Messages {
+		t.Errorf("posting cache did not reduce a cold point's messages: %d >= %d",
+			cp[0].Messages, points[0].Messages)
+	}
+	if cp[0].Bytes >= points[0].Bytes {
+		t.Errorf("posting cache did not reduce a cold point's bytes: %d >= %d",
+			cp[0].Bytes, points[0].Bytes)
+	}
+	if cp[1].Cache.Results.Hits == 0 {
+		t.Error("warm point replaying the same questions produced no result-cache hits")
+	}
+	if cp[1].Messages >= cp[0].Messages {
+		t.Errorf("warm point did not get cheaper: %d >= %d msgs", cp[1].Messages, cp[0].Messages)
+	}
+
+	if _, err := OpenLoop(uncached, corpus, []float64{0}, w); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := OpenLoop(uncached, corpus, rates, OpenLoopWorkload{ZipfS: 0.5}); err == nil {
+		t.Error("zipf exponent 0.5 accepted")
+	}
+	if out := FormatOpenLoop(points); len(out) == 0 {
+		t.Error("FormatOpenLoop rendered nothing")
+	}
+}

@@ -133,6 +133,19 @@ type Config struct {
 	// endpoint on the given TCP address (":0" picks a free port; see
 	// Engine.MetricsAddr) for the engine's lifetime, until Engine.Close.
 	MetricsAddr string
+	// Cache enables the initiator-side posting and result caches
+	// (ops.EnableCache): hot probe keys and repeated similarity questions
+	// answer locally at zero message cost, invalidated wholesale by any
+	// membership change or write. Nonzero cache byte bounds imply it.
+	Cache bool
+	// PostingCacheBytes bounds the posting cache's accounted bytes (0 =
+	// ops.DefaultPostingCacheBytes; negative disables the posting cache).
+	// Nonzero implies Cache.
+	PostingCacheBytes int
+	// ResultCacheBytes bounds the result cache's accounted bytes (0 =
+	// ops.DefaultResultCacheBytes; negative disables the result cache).
+	// Nonzero implies Cache.
+	ResultCacheBytes int
 }
 
 func (c *Config) normalize() {
@@ -163,6 +176,9 @@ func (c *Config) normalize() {
 		// Raise-only: a caller configuring pgrid.Config directly keeps their
 		// setting.
 		c.Grid.LatencyAwareRefs = true
+	}
+	if c.PostingCacheBytes != 0 || c.ResultCacheBytes != 0 {
+		c.Cache = true
 	}
 }
 
@@ -211,6 +227,16 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: loading: %w", err)
 	}
 	net.Collector().Reset()
+	if cfg.Cache {
+		// Caches install after the load phase: the load's writes must not
+		// churn the write generation, and cached traffic belongs to the
+		// measured phase like every other counter.
+		store.EnableCache(ops.CacheConfig{
+			PostingBytes: cfg.PostingCacheBytes,
+			ResultBytes:  cfg.ResultCacheBytes,
+			Seed:         cfg.Grid.Seed,
+		})
+	}
 	eng := &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}
 	// Observability attaches after the collector reset: traces and metrics
 	// cover the measured phase only, like the paper's accounting.

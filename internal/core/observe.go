@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asyncnet"
 	"repro/internal/metrics"
+	"repro/internal/qcache"
 	"repro/internal/simnet"
 )
 
@@ -116,6 +117,9 @@ func (e *Engine) buildRegistry() *metrics.Registry {
 	if rt := e.Runtime(); rt != nil {
 		e.registerPeerFamilies(r, rt)
 	}
+	if e.store.CacheEnabled() {
+		e.registerCacheFamilies(r)
+	}
 	if tr := e.cfg.Trace; tr != nil {
 		r.Counter("pgrid_trace_records_total",
 			"Lifecycle trace records offered to the ring buffer.",
@@ -129,6 +133,39 @@ func (e *Engine) buildRegistry() *metrics.Registry {
 			})
 	}
 	return r
+}
+
+// registerCacheFamilies adds the initiator-side cache counters, labelled by
+// cache (posting vs result); every scrape snapshots CacheStats once per
+// family.
+func (e *Engine) registerCacheFamilies(r *metrics.Registry) {
+	perCache := func(value func(qcache.Stats) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			cs := e.store.CacheStats()
+			return []metrics.Sample{
+				{Labels: []metrics.Label{{Name: "cache", Value: "posting"}}, Value: value(cs.Postings)},
+				{Labels: []metrics.Label{{Name: "cache", Value: "result"}}, Value: value(cs.Results)},
+			}
+		}
+	}
+	r.Counter("pgrid_cache_hits_total",
+		"Initiator-side cache hits (answers served locally at zero message cost).",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Hits) }))
+	r.Counter("pgrid_cache_misses_total",
+		"Initiator-side cache misses (fetched from the overlay).",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Misses) }))
+	r.Counter("pgrid_cache_evictions_total",
+		"Entries evicted to stay within the cache byte bound.",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Evictions) }))
+	r.Counter("pgrid_cache_invalidations_total",
+		"Wholesale cache resets from membership epochs or write generations.",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Invalidations) }))
+	r.Gauge("pgrid_cache_bytes",
+		"Accounted bytes currently cached.",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Bytes) }))
+	r.Gauge("pgrid_cache_entries",
+		"Entries currently cached.",
+		perCache(func(s qcache.Stats) float64 { return float64(s.Entries) }))
 }
 
 // registerPeerFamilies adds the actor runtime's per-peer load families; every

@@ -118,6 +118,14 @@ type ProbeSet struct {
 	Keys   []keys.Key
 	Kind   triples.IndexKind
 	Accept func(p triples.Posting) bool
+	// KeyOf maps a posting fetched by this probe set back to the probe key
+	// that retrieved it, making probe keys cacheable values: a batched
+	// multicast returns one flat posting list, and the initiator-side
+	// posting cache needs the per-key partition of that list to serve later
+	// probes of the same keys locally. ok=false means the posting cannot be
+	// attributed (it belongs to no probe key, e.g. an index family sharing
+	// the key space); callers must then skip caching the whole batch.
+	KeyOf func(p triples.Posting) (k keys.Key, ok bool)
 }
 
 // KeySpace describes how a scheme's entries occupy the trie key space.

@@ -129,13 +129,20 @@ func (s *lshScheme) Probes(attr, needle string, d int, sampled bool) ProbeSet {
 	var sc Scratch
 	ids := s.bucketIDs(needle, &sc)
 	ks := make([]keys.Key, 0, len(ids))
+	// A bucket posting carries only its band index (the bucket id is not
+	// recomputable from the posting), so KeyOf needs the band -> probe key
+	// map captured here before the keys are sorted away from band order.
+	byBand := make([]keys.Key, len(ids))
 	kind := triples.IndexBucket
 	for band, bucket := range ids {
+		var k keys.Key
 		if attr == "" {
-			ks = append(ks, triples.SchemaBucketKey(uint8(band), bucket))
+			k = triples.SchemaBucketKey(uint8(band), bucket)
 		} else {
-			ks = append(ks, triples.BucketKey(attr, uint8(band), bucket))
+			k = triples.BucketKey(attr, uint8(band), bucket)
 		}
+		byBand[band] = k
+		ks = append(ks, k)
 	}
 	if attr == "" {
 		kind = triples.IndexSchemaBucket
@@ -148,7 +155,13 @@ func (s *lshScheme) Probes(attr, needle string, d int, sampled bool) ProbeSet {
 		// applies before verification.
 		return strdist.LengthFilter(p.SrcLen, needleLen, d)
 	}
-	return ProbeSet{Keys: ks, Kind: kind, Accept: accept}
+	keyOf := func(p triples.Posting) (keys.Key, bool) {
+		if p.GramPos < 0 || p.GramPos >= len(byBand) {
+			return keys.Key{}, false
+		}
+		return byBand[p.GramPos], true
+	}
+	return ProbeSet{Keys: ks, Kind: kind, Accept: accept, KeyOf: keyOf}
 }
 
 func (s *lshScheme) KeySpace() KeySpace {

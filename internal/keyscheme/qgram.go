@@ -97,7 +97,18 @@ func (s *qgramScheme) Probes(attr, needle string, d int, sampled bool) ProbeSet 
 		}
 		return false
 	}
-	return ProbeSet{Keys: ks, Kind: kind, Accept: accept}
+	// Gram postings carry their gram text, so the storage key — and with it
+	// the probe key that fetched the posting — is recomputable.
+	keyOf := func(p triples.Posting) (keys.Key, bool) {
+		if _, probed := posByText[p.GramText]; !probed {
+			return keys.Key{}, false
+		}
+		if attr == "" {
+			return triples.SchemaGramKey(p.GramText), true
+		}
+		return triples.GramKey(attr, p.GramText), true
+	}
+	return ProbeSet{Keys: ks, Kind: kind, Accept: accept, KeyOf: keyOf}
 }
 
 func (s *qgramScheme) KeySpace() KeySpace {

@@ -1,0 +1,191 @@
+package ops
+
+import (
+	"repro/internal/keys"
+	"repro/internal/qcache"
+	"repro/internal/triples"
+)
+
+// Initiator-side hot caching. Two caches ride the query path:
+//
+//   - the posting cache maps a probe key (a gram, bucket or oid storage key)
+//     to the exact posting list the overlay would return for it, so fetch
+//     serves hot keys locally and multicasts only the misses;
+//   - the result cache maps a whole similarity question (needle, attr,
+//     distance, method) to its verified matches, short-circuiting repeated
+//     queries — including every distance rung TopNString climbs — at zero
+//     message cost.
+//
+// Both caches are validity-stamped with the grid's membership epoch and the
+// store's write generation (see internal/qcache): any Join/Leave/RefreshRefs
+// or Insert/Delete empties them wholesale, so a cached answer is always
+// byte-identical to what the overlay would return. Both caches are bypassed
+// under the NoBatchedRouting and NoFilters ablations and for the naive
+// method: those paths exist to measure the uncached wire protocol, so their
+// fetches must keep hitting the wire.
+
+// Default byte bounds of the two caches (accounted entry bytes, not process
+// RSS); CacheConfig overrides them.
+const (
+	DefaultPostingCacheBytes = 8 << 20
+	DefaultResultCacheBytes  = 4 << 20
+)
+
+// CacheConfig enables the initiator-side caches. It lives outside
+// StoreConfig so StoreConfig stays ==-comparable (ApplyLoadPlan guards
+// plan/store agreement by struct equality).
+type CacheConfig struct {
+	// PostingBytes bounds the posting cache (0 = DefaultPostingCacheBytes;
+	// negative disables the posting cache).
+	PostingBytes int
+	// ResultBytes bounds the result cache (0 = DefaultResultCacheBytes;
+	// negative disables the result cache).
+	ResultBytes int
+	// Seed drives the deterministic eviction stream (default 1).
+	Seed int64
+}
+
+// postingCacheKey is the comparable form of a storage key: keys.Key itself
+// is not comparable (it wraps a byte slice), so the packed bits plus the bit
+// length stand in for it.
+type postingCacheKey struct {
+	packed string
+	bits   int
+}
+
+func postingKeyOf(k keys.Key) postingCacheKey {
+	return postingCacheKey{packed: string(k.Bytes()), bits: k.Len()}
+}
+
+// resultCacheKey identifies one similarity question. The schema level is
+// implied by attr == ""; NoShortFallback changes the answer set, so it is
+// part of the key.
+type resultCacheKey struct {
+	needle  string
+	attr    string
+	d       int
+	method  Method
+	noShort bool
+}
+
+// queryCache bundles the store's two initiator-side caches. Either may be
+// nil (disabled) independently.
+type queryCache struct {
+	postings *qcache.Cache[postingCacheKey, []triples.Posting]
+	results  *qcache.Cache[resultCacheKey, []Match]
+}
+
+// Per-entry accounting constants, following the keyscheme.Scratch cost-model
+// idiom: approximate heap footprint of the fixed parts of an entry.
+const (
+	cacheSlotCostBytes    = 48 // map slot + order-list slot
+	postingHdrCostBytes   = 24 // slice header of a cached posting list
+	matchCostBytes        = 96 // Match struct minus its variable strings
+	tupleFieldCostBytes   = 48 // one reconstructed field (name header + value)
+	resultKeyCostBytes    = 64 // resultCacheKey struct + map overhead
+	postingEntryCostBytes = 32 // Posting struct overhead beyond EncodedSize
+)
+
+func postingListCost(k postingCacheKey, ps []triples.Posting) int {
+	cost := cacheSlotCostBytes + len(k.packed) + postingHdrCostBytes
+	for i := range ps {
+		cost += postingEntryCostBytes + ps[i].EncodedSize()
+	}
+	return cost
+}
+
+func matchListCost(k resultCacheKey, ms []Match) int {
+	cost := cacheSlotCostBytes + resultKeyCostBytes + len(k.needle) + len(k.attr)
+	for i := range ms {
+		m := &ms[i]
+		cost += matchCostBytes + len(m.OID) + len(m.Attr) + len(m.Matched)
+		for _, f := range m.Object.Fields {
+			cost += tupleFieldCostBytes + len(f.Name) + len(f.Val.Str)
+		}
+	}
+	return cost
+}
+
+// EnableCache installs the initiator-side caches. Call it before issuing
+// queries (core.Open does, right after the load phase); it is not safe to
+// race with in-flight queries.
+func (s *Store) EnableCache(cfg CacheConfig) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	qc := &queryCache{}
+	if cfg.PostingBytes >= 0 {
+		limit := cfg.PostingBytes
+		if limit == 0 {
+			limit = DefaultPostingCacheBytes
+		}
+		qc.postings = qcache.New[postingCacheKey, []triples.Posting](limit, cfg.Seed, postingListCost)
+	}
+	if cfg.ResultBytes >= 0 {
+		limit := cfg.ResultBytes
+		if limit == 0 {
+			limit = DefaultResultCacheBytes
+		}
+		qc.results = qcache.New[resultCacheKey, []Match](limit, cfg.Seed+1, matchListCost)
+	}
+	s.cache = qc
+}
+
+// CacheEnabled reports whether EnableCache has installed the caches.
+func (s *Store) CacheEnabled() bool { return s.cache != nil }
+
+// CacheStats snapshots both caches' counters (zero-valued when a cache is
+// disabled).
+type CacheStats struct {
+	Postings qcache.Stats
+	Results  qcache.Stats
+}
+
+// Sub returns per-cache counter deltas since an earlier snapshot.
+func (cs CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{Postings: cs.Postings.Sub(o.Postings), Results: cs.Results.Sub(o.Results)}
+}
+
+// CacheStats snapshots the store's cache counters.
+func (s *Store) CacheStats() CacheStats {
+	var out CacheStats
+	if s.cache == nil {
+		return out
+	}
+	if s.cache.postings != nil {
+		out.Postings = s.cache.postings.Stats()
+	}
+	if s.cache.results != nil {
+		out.Results = s.cache.results.Stats()
+	}
+	return out
+}
+
+// cacheStamp captures the validity window an operation's cache traffic
+// carries: the grid's current membership epoch and the store's write
+// generation. Captured once per operation, so one operation never mixes
+// windows.
+func (s *Store) cacheStamp() qcache.Stamp {
+	return qcache.Stamp{Epoch: s.grid.Epoch(), Gen: s.writeGen.Load()}
+}
+
+// bumpWriteGen advances the write generation; every routed Insert/Delete
+// calls it, invalidating both caches wholesale. Over-invalidation is safe
+// and cheap; a stale cached answer would not be.
+func (s *Store) bumpWriteGen() {
+	if s.cache != nil {
+		s.writeGen.Add(1)
+	}
+}
+
+// copyMatches returns a caller-owned top-level slice of a cached result
+// (callers sort and truncate match slices; the inner tuples are shared
+// read-only, like any reconstructed object).
+func copyMatches(ms []Match) []Match {
+	if ms == nil {
+		return nil
+	}
+	out := make([]Match, len(ms))
+	copy(out, ms)
+	return out
+}

@@ -1,0 +1,209 @@
+package ops
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// measure runs one instance-level Similar under a fresh tally and returns
+// the matches plus the query's own message cost.
+func (f *fixture) measure(t *testing.T, needle string, d int, opts SimilarOptions) ([]Match, int64) {
+	t.Helper()
+	var tally metrics.Tally
+	ms, err := f.store.Similar(&tally, 3, needle, "word", d, opts)
+	if err != nil {
+		t.Fatalf("similar(%q): %v", needle, err)
+	}
+	return ms, tally.Snapshot().Messages
+}
+
+// TestCacheServesRepeatsLocally: the second identical question answers from
+// the initiator at zero message cost with an identical result, and a needle
+// with no matches is negatively cached the same way.
+func TestCacheServesRepeatsLocally(t *testing.T) {
+	f := newWordFixture(t, 24, 300, StoreConfig{})
+	f.store.EnableCache(CacheConfig{})
+	opts := SimilarOptions{}
+
+	needle := f.words[7]
+	first, cold := f.measure(t, needle, 1, opts)
+	if cold == 0 {
+		t.Fatal("cold query sent no messages")
+	}
+	again, warm := f.measure(t, needle, 1, opts)
+	if warm != 0 {
+		t.Errorf("repeated query sent %d messages, want 0", warm)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("cached answer diverges:\n got %+v\nwant %+v", again, first)
+	}
+
+	// Negative caching: no matches is an answer too.
+	if ms, cold := f.measure(t, "zzzzzzzzzz", 0, opts); len(ms) != 0 || cold == 0 {
+		t.Fatalf("miss-needle cold query: %d matches, %d messages", len(ms), cold)
+	}
+	if _, warm := f.measure(t, "zzzzzzzzzz", 0, opts); warm != 0 {
+		t.Errorf("repeated miss-needle query sent %d messages, want 0", warm)
+	}
+
+	st := f.store.CacheStats()
+	if st.Results.Hits != 2 || st.Results.Misses != 2 {
+		t.Errorf("result cache counted %d hits / %d misses, want 2 / 2", st.Results.Hits, st.Results.Misses)
+	}
+	if st.Postings.Puts == 0 || st.Postings.Bytes <= 0 {
+		t.Errorf("posting cache never filled: %+v", st.Postings)
+	}
+}
+
+// TestCacheSharesProbeKeysAcrossNeedles: distinct needles sharing q-grams
+// reuse each other's posting-cache entries, so the second needle's wire cost
+// drops below its uncached cost even though its result was never cached.
+func TestCacheSharesProbeKeysAcrossNeedles(t *testing.T) {
+	words := []string{"gridstorm", "gridstone", "flankpath", "flankpeak"}
+	uncached := newFixtureFromWords(t, 16, words, StoreConfig{})
+	cached := newFixtureFromWords(t, 16, words, StoreConfig{})
+	cached.store.EnableCache(CacheConfig{})
+	opts := SimilarOptions{NoShortFallback: true}
+
+	_, _ = cached.measure(t, "gridstorm", 1, opts)
+	_, baseline := uncached.measure(t, "gridstone", 1, opts)
+	got, shared := cached.measure(t, "gridstone", 1, opts)
+	want, _ := uncached.measure(t, "gridstone", 1, opts)
+	if shared >= baseline {
+		t.Errorf("overlapping needle cost %d messages with a warm posting cache, uncached %d", shared, baseline)
+	}
+	if !reflect.DeepEqual(matchOIDs(got), matchOIDs(want)) {
+		t.Errorf("warm-cache answer diverges from uncached: %v vs %v", matchOIDs(got), matchOIDs(want))
+	}
+}
+
+// TestCacheInvalidatedByWrites: a routed insert or delete bumps the write
+// generation, so the next query refetches and observes the write.
+func TestCacheInvalidatedByWrites(t *testing.T) {
+	f := newWordFixture(t, 24, 200, StoreConfig{})
+	f.store.EnableCache(CacheConfig{})
+	opts := SimilarOptions{}
+	needle := f.words[11]
+
+	before, _ := f.measure(t, needle, 0, opts)
+	if _, warm := f.measure(t, needle, 0, opts); warm != 0 {
+		t.Fatalf("repeat sent %d messages before the write", warm)
+	}
+
+	// Insert a new object carrying the needle itself: the cached answer is
+	// now stale, and serving it would lose the write.
+	tr := triples.Triple{OID: "wNEW", Attr: "word", Val: triples.String(needle)}
+	if err := f.store.InsertTriple(nil, 3, tr); err != nil {
+		t.Fatal(err)
+	}
+	after, cost := f.measure(t, needle, 0, opts)
+	if cost == 0 {
+		t.Error("query after insert was served from the cache")
+	}
+	if len(after) != len(before)+1 || !matchOIDs(after)["wNEW"] {
+		t.Errorf("query after insert returned %v, want %v plus wNEW", matchOIDs(after), matchOIDs(before))
+	}
+
+	if _, warm := f.measure(t, needle, 0, opts); warm != 0 {
+		t.Fatalf("repeat after refill sent messages")
+	}
+	if err := f.store.DeleteTriple(nil, 3, tr); err != nil {
+		t.Fatal(err)
+	}
+	final, cost := f.measure(t, needle, 0, opts)
+	if cost == 0 {
+		t.Error("query after delete was served from the cache")
+	}
+	if !reflect.DeepEqual(matchOIDs(final), matchOIDs(before)) {
+		t.Errorf("delete not observed: %v, want %v", matchOIDs(final), matchOIDs(before))
+	}
+}
+
+// TestCacheInvalidatedByMembership: a membership change publishes a new grid
+// epoch, which empties both caches wholesale — over-invalidation keeps
+// cached answers equal to what the post-churn overlay returns.
+func TestCacheInvalidatedByMembership(t *testing.T) {
+	f := newWordFixture(t, 24, 200, StoreConfig{})
+	f.store.EnableCache(CacheConfig{})
+	opts := SimilarOptions{}
+	needle := f.words[23]
+
+	want, _ := f.measure(t, needle, 1, opts)
+	if _, warm := f.measure(t, needle, 1, opts); warm != 0 {
+		t.Fatalf("repeat sent %d messages before churn", warm)
+	}
+	epoch := f.store.grid.Epoch()
+	if _, err := f.store.grid.Join(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.store.grid.Epoch() == epoch {
+		t.Fatal("join did not advance the epoch")
+	}
+	got, cost := f.measure(t, needle, 1, opts)
+	if cost == 0 {
+		t.Error("query after membership churn was served from the cache")
+	}
+	if !reflect.DeepEqual(matchOIDs(got), matchOIDs(want)) {
+		t.Errorf("post-churn answer diverges: %v, want %v", matchOIDs(got), matchOIDs(want))
+	}
+	if inv := f.store.CacheStats().Results.Invalidations; inv == 0 {
+		t.Error("result cache counted no invalidations")
+	}
+}
+
+// TestCacheBypassedByAblations: the ablation options and the naive baseline
+// measure the uncached wire protocol, so they must never hit either cache.
+func TestCacheBypassedByAblations(t *testing.T) {
+	f := newWordFixture(t, 24, 120, StoreConfig{})
+	f.store.EnableCache(CacheConfig{})
+	needle := f.words[5]
+	for _, opts := range []SimilarOptions{{NoBatchedRouting: true}, {NoFilters: true}, {Method: MethodNaive}} {
+		first, _ := f.measure(t, needle, 1, opts)
+		second, cost := f.measure(t, needle, 1, opts)
+		if cost == 0 {
+			t.Errorf("%+v: repeat was served from the cache", opts)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%+v: repeated ablation queries diverge", opts)
+		}
+	}
+	if st := f.store.CacheStats(); st.Results.Hits != 0 || st.Postings.Hits != 0 {
+		t.Errorf("ablation queries hit the caches: %+v", st)
+	}
+}
+
+// TestCacheEvictionIsDeterministic: the same byte bound, seed and query
+// sequence evicts the same entries, so cached runs replay exactly.
+func TestCacheEvictionIsDeterministic(t *testing.T) {
+	run := func() (CacheStats, map[string]bool) {
+		f := newWordFixture(t, 16, 150, StoreConfig{})
+		// A bound small enough that the posting cache must evict.
+		f.store.EnableCache(CacheConfig{PostingBytes: 4 << 10, Seed: 42})
+		rng := rand.New(rand.NewSource(5))
+		last := map[string]bool{}
+		for i := 0; i < 30; i++ {
+			ms, err := f.store.Similar(nil, simnet.NodeID(rng.Intn(16)), f.words[rng.Intn(len(f.words))], "word", 1, SimilarOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = matchOIDs(ms)
+		}
+		return f.store.CacheStats(), last
+	}
+	a, lastA := run()
+	b, lastB := run()
+	if a.Postings.Evictions == 0 {
+		t.Fatalf("4KiB posting bound never evicted: %+v", a.Postings)
+	}
+	if a != b {
+		t.Errorf("cache counters diverge across identical runs:\n a=%+v\n b=%+v", a, b)
+	}
+	if !reflect.DeepEqual(lastA, lastB) {
+		t.Errorf("results diverge across identical runs")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/metrics"
 	"repro/internal/pgrid"
+	"repro/internal/qcache"
 	"repro/internal/simnet"
 	"repro/internal/strdist"
 	"repro/internal/triples"
@@ -41,13 +42,27 @@ type SimilarOptions struct {
 	// NoBatchedRouting issues one routed lookup per gram and per candidate
 	// oid instead of the shower-style multicast, undoing the second
 	// optimization Section 4 describes ("we collect the calls to Retrieve()
-	// and contact peers only once"). Used by the delegation ablation.
+	// and contact peers only once"). Used by the delegation ablation. It
+	// also bypasses both initiator-side caches: the ablation's point is the
+	// uncached wire protocol.
 	NoBatchedRouting bool
 	// NoFilters disables the length and position filters of Algorithm 2
 	// line 8, letting every gram hit become a candidate. Used by the filter
-	// ablation.
+	// ablation; it bypasses the result cache.
 	NoFilters bool
 }
+
+// queryScratch holds the reusable buffers of one similarity-query phase: the
+// flattened oid set, the key batch of a fetch, and the posting merge buffer.
+// Pooled on the Store (qscratch) — the query-path allocation diet.
+type queryScratch struct {
+	oids     []string
+	keys     []keys.Key
+	postings []triples.Posting
+}
+
+func (s *Store) getQueryScratch() *queryScratch   { return s.qscratch.Get().(*queryScratch) }
+func (s *Store) putQueryScratch(qs *queryScratch) { s.qscratch.Put(qs) }
 
 // Similar implements Algorithm 2: it returns all objects with a value of
 // attribute attr within edit distance d of needle (instance level), or — when
@@ -60,18 +75,51 @@ func (s *Store) Similar(t *metrics.Tally, from simnet.NodeID, needle, attr strin
 
 // similarAt is Similar with an explicit virtual start time, returning the
 // operator's completion time so callers (e.g. the similarity join) can fan
-// several selections out from one fork point. The candidate phases — the
-// q-gram multicast and the short-string fallback scan — are independent
-// branch expansions: under the concurrent fabric they run in parallel, on
-// the actor engine they are issued asynchronously onto the shared
-// discrete-event timeline (so sibling phases contend in peer mailboxes like
-// any concurrent operations), and their candidate sets merge afterwards.
+// several selections out from one fork point.
+//
+// When the result cache is enabled, the whole answer is served locally at
+// zero message cost if the identical question (needle, attr, d, method,
+// short-fallback setting) was answered under the current validity stamp —
+// the membership epoch plus write generation, so churn and writes empty the
+// cache before they could make an answer stale. The ablation options
+// (NoBatchedRouting, NoFilters) and the naive baseline bypass both caches:
+// they exist to measure the uncached wire protocol.
 func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
 	opts SimilarOptions, start simnet.VTime) ([]Match, simnet.VTime, error) {
 
 	if d < 0 {
 		return nil, start, fmt.Errorf("ops: negative distance %d", d)
 	}
+	c := s.cache
+	if c == nil || c.results == nil || opts.Method == MethodNaive ||
+		opts.NoBatchedRouting || opts.NoFilters {
+		return s.similarUncachedAt(t, from, needle, attr, d, opts, start)
+	}
+	key := resultCacheKey{needle: needle, attr: attr, d: d, method: opts.Method, noShort: opts.NoShortFallback}
+	st := s.cacheStamp()
+	if ms, ok := c.results.Get(st, key); ok {
+		t.ObservePath(0, int64(start))
+		return copyMatches(ms), start, nil
+	}
+	ms, end, err := s.similarUncachedAt(t, from, needle, attr, d, opts, start)
+	if err == nil {
+		// Cache a private copy: callers sort and truncate the returned
+		// top-level slice (TopNString does both).
+		c.results.Put(st, key, copyMatches(ms))
+	}
+	return ms, end, err
+}
+
+// similarUncachedAt evaluates Algorithm 2 on the overlay. The candidate
+// phases — the q-gram multicast and the short-string fallback scan — are
+// independent branch expansions: under the concurrent fabric they run in
+// parallel, on the actor engine they are issued asynchronously onto the
+// shared discrete-event timeline (so sibling phases contend in peer
+// mailboxes like any concurrent operations), and their candidate sets merge
+// afterwards.
+func (s *Store) similarUncachedAt(t *metrics.Tally, from simnet.NodeID, needle, attr string, d int,
+	opts SimilarOptions, start simnet.VTime) ([]Match, simnet.VTime, error) {
+
 	schema := attr == ""
 	if opts.Method == MethodNaive {
 		return s.similarNaiveAt(t, from, needle, attr, d, start)
@@ -105,7 +153,7 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 	for oid := range shortOids {
 		oids[oid] = true
 	}
-	objects, end, err := s.reconstructAt(t, from, setToSlice(oids), opts.NoBatchedRouting, end)
+	objects, end, err := s.reconstructSetAt(t, from, oids, opts.NoBatchedRouting, opts.NoFilters, end)
 	if err != nil {
 		return nil, end, err
 	}
@@ -121,10 +169,19 @@ func (s *Store) probeCandidates(t *metrics.Tally, from simnet.NodeID, needle, at
 	opts SimilarOptions, start simnet.VTime) (map[string]bool, simnet.VTime, error) {
 	probes := s.scheme.Probes(attr, needle, d, opts.Method == MethodQSamples)
 
-	postings, end, err := s.fetch(t, from, probes.Keys, opts.NoBatchedRouting, start)
+	keyOf := probes.KeyOf
+	if opts.NoFilters {
+		// Ablations measure the uncached wire protocol; a nil keyOf keeps
+		// the posting cache out of fetch.
+		keyOf = nil
+	}
+	qs := s.getQueryScratch()
+	defer s.putQueryScratch(qs)
+	postings, end, err := s.fetch(t, from, probes.Keys, opts.NoBatchedRouting, keyOf, qs.postings[:0], start)
 	if err != nil {
 		return nil, end, err
 	}
+	qs.postings = postings[:0]
 	oids := make(map[string]bool)
 	for _, p := range postings {
 		if p.Index != probes.Kind {
@@ -142,9 +199,19 @@ func (s *Store) probeCandidates(t *metrics.Tally, from simnet.NodeID, needle, at
 // multicast (default) or with one routed lookup per key (ablation). The
 // unbatched lookups are independent, so they fan out from the same start
 // time under the concurrent fabric.
+//
+// With the posting cache enabled (and a keyOf attribution function — see
+// keyscheme.ProbeSet.KeyOf), hot keys are served locally and only the misses
+// travel as a partial-batch multicast. dst, when non-nil, is the caller's
+// pooled merge buffer; the returned slice may alias it (or, on the
+// pass-through paths, be a fresh slice from the executor).
 func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
-	unbatched bool, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+	unbatched bool, keyOf func(triples.Posting) (keys.Key, bool),
+	dst []triples.Posting, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
 
+	if c := s.cache; c != nil && c.postings != nil && keyOf != nil && !unbatched {
+		return s.fetchCached(c.postings, t, from, ks, keyOf, dst, start)
+	}
 	if !unbatched {
 		return s.grid.MultiLookupAt(t, from, ks, start)
 	}
@@ -155,7 +222,7 @@ func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
 		results[i], errs[i] = ps, err
 		return e
 	})
-	var out []triples.Posting
+	out := dst
 	for i, ps := range results {
 		if errs[i] != nil {
 			return nil, end, errs[i]
@@ -163,6 +230,66 @@ func (s *Store) fetch(t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
 		out = append(out, ps...)
 	}
 	return out, end, nil
+}
+
+// fetchCached is the posting-cache path of fetch: cached keys answer from
+// the initiator at zero message cost, the misses go out as one partial-batch
+// multicast, and the flat miss result is partitioned back into per-key cache
+// entries via keyOf (keys that returned nothing cache as empty — negative
+// caching). A posting keyOf cannot attribute to a missed key disqualifies
+// the whole batch from caching; the fetch result itself is unaffected, so
+// the valve trades hit ratio for correctness, never the reverse.
+func (s *Store) fetchCached(pc *qcache.Cache[postingCacheKey, []triples.Posting],
+	t *metrics.Tally, from simnet.NodeID, ks []keys.Key,
+	keyOf func(triples.Posting) (keys.Key, bool),
+	dst []triples.Posting, start simnet.VTime) ([]triples.Posting, simnet.VTime, error) {
+
+	st := s.cacheStamp()
+	out := dst
+	var missed []keys.Key
+	for _, k := range ks {
+		if ps, ok := pc.Get(st, postingKeyOf(k)); ok {
+			out = append(out, ps...)
+		} else {
+			missed = append(missed, k)
+		}
+	}
+	if len(missed) == 0 {
+		// Every key served locally: zero messages, zero elapsed time.
+		t.ObservePath(0, int64(start))
+		return out, start, nil
+	}
+	ps, end, err := s.grid.MultiLookupAt(t, from, missed, start)
+	if err != nil {
+		return nil, end, err
+	}
+	perKey := make(map[postingCacheKey][]triples.Posting, len(missed))
+	for _, k := range missed {
+		perKey[postingKeyOf(k)] = nil
+	}
+	cacheable := true
+	for _, p := range ps {
+		k, ok := keyOf(p)
+		if !ok {
+			cacheable = false
+			break
+		}
+		id := postingKeyOf(k)
+		if _, requested := perKey[id]; !requested {
+			cacheable = false
+			break
+		}
+		perKey[id] = append(perKey[id], p)
+	}
+	if cacheable {
+		// Insert in missed-key order, not map order: the cache's seeded
+		// eviction draws from insertion order, which must be reproducible.
+		for _, k := range missed {
+			id := postingKeyOf(k)
+			pc.Put(st, id, perKey[id])
+		}
+	}
+	return append(out, ps...), end, nil
 }
 
 // shortCandidates returns oids from the short-value index (instance level)
@@ -256,7 +383,9 @@ func (s *Store) similarNaiveAt(t *metrics.Tally, from simnet.NodeID, needle, att
 	for _, p := range res {
 		oids[p.Triple.OID] = true
 	}
-	objects, end, err := s.reconstructAt(t, from, setToSlice(oids), false, end)
+	// The naive baseline stays entirely uncached: it is the paper's cost
+	// comparison, so its reconstruction fetches must hit the wire too.
+	objects, end, err := s.reconstructSetAt(t, from, oids, false, true, end)
 	if err != nil {
 		return nil, end, err
 	}
@@ -267,22 +396,58 @@ func (s *Store) similarNaiveAt(t *metrics.Tally, from simnet.NodeID, needle, att
 // multicast over the oid index (lines 10-11 of Algorithm 2, using the
 // shower-style batching the paper lists as an implemented optimization).
 func (s *Store) reconstruct(t *metrics.Tally, from simnet.NodeID, oids []string) ([]triples.Tuple, error) {
-	out, _, err := s.reconstructAt(t, from, oids, false, simnet.VTime(t.PathEnd()))
+	out, _, err := s.reconstructAt(t, from, oids, false, false, simnet.VTime(t.PathEnd()))
 	return out, err
 }
 
+// reconstructSetAt flattens a candidate oid set into a pooled scratch slice
+// and reconstructs — one flatten, one sort (inside reconstructAt), zero
+// per-query slice allocations on the similarity path. noCache keeps the
+// posting cache out of the oid fetch (ablations, the naive baseline).
+func (s *Store) reconstructSetAt(t *metrics.Tally, from simnet.NodeID, set map[string]bool,
+	unbatched, noCache bool, start simnet.VTime) ([]triples.Tuple, simnet.VTime, error) {
+
+	if len(set) == 0 {
+		return nil, start, nil
+	}
+	qs := s.getQueryScratch()
+	defer s.putQueryScratch(qs)
+	oids := qs.oids[:0]
+	for oid := range set {
+		oids = append(oids, oid)
+	}
+	qs.oids = oids
+	return s.reconstructAt(t, from, oids, unbatched, noCache, start)
+}
+
+// oidKeyOf attributes an oid-index posting back to its storage key for the
+// posting cache: the key is recomputable from the posting's own oid.
+func oidKeyOf(p triples.Posting) (keys.Key, bool) {
+	if p.Index != triples.IndexOID {
+		return keys.Key{}, false
+	}
+	return triples.OIDKey(p.Triple.OID), true
+}
+
 func (s *Store) reconstructAt(t *metrics.Tally, from simnet.NodeID, oids []string,
-	unbatched bool, start simnet.VTime) ([]triples.Tuple, simnet.VTime, error) {
+	unbatched, noCache bool, start simnet.VTime) ([]triples.Tuple, simnet.VTime, error) {
 
 	if len(oids) == 0 {
 		return nil, start, nil
 	}
 	sort.Strings(oids)
-	ks := make([]keys.Key, len(oids))
-	for i, oid := range oids {
-		ks[i] = triples.OIDKey(oid)
+	qs := s.getQueryScratch()
+	defer s.putQueryScratch(qs)
+	ks := qs.keys[:0]
+	for _, oid := range oids {
+		ks = append(ks, triples.OIDKey(oid))
 	}
-	postings, end, err := s.fetch(t, from, ks, unbatched, start)
+	qs.keys = ks
+	keyOf := oidKeyOf
+	if noCache {
+		keyOf = nil
+	}
+	postings, end, err := s.fetch(t, from, ks, unbatched, keyOf, qs.postings[:0], start)
 	if err != nil {
 		return nil, end, err
 	}
@@ -292,6 +457,7 @@ func (s *Store) reconstructAt(t *metrics.Tally, from simnet.NodeID, oids []strin
 			byOID[p.Triple.OID] = append(byOID[p.Triple.OID], p.Triple)
 		}
 	}
+	qs.postings = postings[:0]
 	out := make([]triples.Tuple, 0, len(byOID))
 	for _, oid := range oids {
 		if ts := byOID[oid]; len(ts) > 0 {
@@ -301,13 +467,20 @@ func (s *Store) reconstructAt(t *metrics.Tally, from simnet.NodeID, oids []strin
 	return out, end, nil
 }
 
+// matchSeenKey deduplicates verified matches without building a composite
+// string per candidate (the seen-set used to concatenate oid, attribute and
+// candidate with NUL separators — one allocation per verification).
+type matchSeenKey struct {
+	oid, attr, candidate string
+}
+
 // verifyMatches performs the final edit-distance verification (line 23 of
 // Algorithm 2) on reconstructed objects and assembles Match results. At
 // instance level every string value of attr is checked; at schema level every
 // attribute name is.
 func verifyMatches(objects []triples.Tuple, needle, attr string, d int, schema bool) []Match {
 	var out []Match
-	seen := make(map[string]bool)
+	seen := make(map[matchSeenKey]bool)
 	for _, o := range objects {
 		for _, f := range o.Fields {
 			var candidate string
@@ -323,7 +496,7 @@ func verifyMatches(objects []triples.Tuple, needle, attr string, d int, schema b
 			if !ok {
 				continue
 			}
-			key := o.OID + "\x00" + f.Name + "\x00" + candidate
+			key := matchSeenKey{oid: o.OID, attr: f.Name, candidate: candidate}
 			if seen[key] {
 				continue
 			}

@@ -19,6 +19,7 @@ package ops
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/keys"
 	"repro/internal/keyscheme"
@@ -118,6 +119,16 @@ type Store struct {
 	// scratch pools entry-extraction buffers (scheme scratch, entry buffer)
 	// across routed inserts, keeping the entry hot path allocation-lean.
 	scratch sync.Pool
+	// qscratch pools query-side buffers (oid slices, key batches, posting
+	// merge buffers) across similarity queries — the query-path allocation
+	// diet's counterpart to scratch.
+	qscratch sync.Pool
+
+	// cache holds the initiator-side posting and result caches (nil until
+	// EnableCache); writeGen is the cache-invalidating write generation,
+	// bumped by every routed Insert/Delete.
+	cache    *queryCache
+	writeGen atomic.Uint64
 
 	mu        sync.Mutex
 	attrsSeen map[string]bool
@@ -136,6 +147,7 @@ func NewStore(grid *pgrid.Grid, cfg StoreConfig) *Store {
 		cfg:       cfg,
 		scheme:    keyscheme.MustNew(cfg.Scheme, cfg.schemeParams()),
 		scratch:   sync.Pool{New: func() any { return newExtractScratch() }},
+		qscratch:  sync.Pool{New: func() any { return new(queryScratch) }},
 		attrsSeen: make(map[string]bool),
 		counts:    make(map[triples.IndexKind]int64),
 	}
@@ -305,6 +317,7 @@ func (s *Store) LoadTriple(tr triples.Triple) error {
 	if err := validateTriple(tr); err != nil {
 		return err
 	}
+	s.bumpWriteGen() // unaccounted, but still a write: cached answers must not survive it
 	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
 	for _, e := range es {
 		if err := s.grid.BulkInsert(e.Key, e.Posting); err != nil {
@@ -337,6 +350,7 @@ func (s *Store) InsertTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Tr
 	if err := validateTriple(tr); err != nil {
 		return err
 	}
+	s.bumpWriteGen()
 	es := s.entriesForTriple(tr, s.markAttr(tr.Attr))
 	for _, e := range es {
 		if err := s.grid.Insert(t, from, e.Key, e.Posting); err != nil {
@@ -366,6 +380,7 @@ func (s *Store) DeleteTriple(t *metrics.Tally, from simnet.NodeID, tr triples.Tr
 	if err := validateTriple(tr); err != nil {
 		return err
 	}
+	s.bumpWriteGen()
 	es := s.entriesForTriple(tr, false)
 	for _, e := range es {
 		match := func(p triples.Posting) bool {

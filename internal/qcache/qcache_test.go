@@ -1,0 +1,145 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// unitCost charges every entry a fixed 10 accounted bytes.
+func unitCost(string, int) int { return 10 }
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[string, int](100, 1, unitCost)
+	st := Stamp{Epoch: 1, Gen: 0}
+	if _, ok := c.Get(st, "a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(st, "a", 42)
+	v, ok := c.Get(st, "a")
+	if !ok || v != 42 {
+		t.Fatalf("Get(a) = %d, %v; want 42, true", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 || s.Bytes != 10 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put, 1 entry, 10 bytes", s)
+	}
+}
+
+func TestEpochAdvanceInvalidates(t *testing.T) {
+	c := New[string, int](100, 1, unitCost)
+	old := Stamp{Epoch: 1}
+	c.Put(old, "a", 1)
+	// A newer epoch drops everything cached under the old one.
+	if _, ok := c.Get(Stamp{Epoch: 2}, "a"); ok {
+		t.Fatal("entry survived an epoch advance")
+	}
+	if s := c.Stats(); s.Invalidations != 1 || s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("stats after invalidation = %+v", s)
+	}
+	// An operation still carrying the old stamp misses without clobbering
+	// the newer window.
+	c.Put(Stamp{Epoch: 2}, "b", 2)
+	if _, ok := c.Get(old, "b"); ok {
+		t.Fatal("old-stamp Get served a new-window entry")
+	}
+	if _, ok := c.Get(Stamp{Epoch: 2}, "b"); !ok {
+		t.Fatal("new-window entry lost to an old-stamp Get")
+	}
+}
+
+func TestWriteGenerationInvalidates(t *testing.T) {
+	c := New[string, int](100, 1, unitCost)
+	c.Put(Stamp{Epoch: 1, Gen: 3}, "a", 1)
+	if _, ok := c.Get(Stamp{Epoch: 1, Gen: 4}, "a"); ok {
+		t.Fatal("entry survived a write-generation bump")
+	}
+}
+
+func TestStalePutDropped(t *testing.T) {
+	c := New[string, int](100, 1, unitCost)
+	c.Get(Stamp{Epoch: 5}, "x") // moves the cache to epoch 5
+	c.Put(Stamp{Epoch: 4}, "a", 1)
+	if _, ok := c.Get(Stamp{Epoch: 5}, "a"); ok {
+		t.Fatal("stale Put was admitted")
+	}
+	if s := c.Stats(); s.Puts != 0 {
+		t.Errorf("stale put counted: %+v", s)
+	}
+}
+
+func TestByteBoundEvicts(t *testing.T) {
+	c := New[string, int](35, 1, unitCost) // room for 3 entries of 10
+	st := Stamp{Epoch: 1}
+	for i := 0; i < 5; i++ {
+		c.Put(st, fmt.Sprintf("k%d", i), i)
+	}
+	s := c.Stats()
+	if s.Entries != 3 || s.Bytes != 30 || s.Evictions != 2 {
+		t.Errorf("stats = %+v, want 3 entries, 30 bytes, 2 evictions", s)
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New[string, int](5, 1, unitCost) // every entry costs 10 > 5
+	st := Stamp{Epoch: 1}
+	c.Put(st, "a", 1)
+	if c.Len() != 0 {
+		t.Fatal("oversized entry cached")
+	}
+}
+
+func TestOverwriteReplacesCost(t *testing.T) {
+	cost := func(_ string, v int) int { return v }
+	c := New[string, int](100, 1, cost)
+	st := Stamp{Epoch: 1}
+	c.Put(st, "a", 60)
+	c.Put(st, "a", 20)
+	s := c.Stats()
+	if s.Bytes != 20 || s.Entries != 1 || s.Evictions != 0 {
+		t.Errorf("stats after overwrite = %+v, want 20 bytes, 1 entry, 0 evictions", s)
+	}
+}
+
+// TestEvictionDeterministic pins the seeded eviction contract: the identical
+// operation sequence with the same seed keeps the same survivors, and a
+// different seed is allowed to (and here does) keep different ones.
+func TestEvictionDeterministic(t *testing.T) {
+	survivors := func(seed int64) string {
+		c := New[string, int](50, seed, unitCost)
+		st := Stamp{Epoch: 1}
+		for i := 0; i < 20; i++ {
+			c.Put(st, fmt.Sprintf("k%02d", i), i)
+		}
+		var out string
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("k%02d", i)
+			if _, ok := c.Get(st, k); ok {
+				out += k + ","
+			}
+		}
+		return out
+	}
+	a, b := survivors(7), survivors(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no survivors at all")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	c := New[string, int](100, 1, unitCost)
+	st := Stamp{Epoch: 1}
+	c.Put(st, "a", 1)
+	before := c.Stats()
+	c.Get(st, "a")
+	c.Get(st, "b")
+	d := c.Stats().Sub(before)
+	if d.Hits != 1 || d.Misses != 1 || d.Puts != 0 {
+		t.Errorf("delta = %+v, want 1 hit, 1 miss, 0 puts", d)
+	}
+	if d.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", d.HitRatio())
+	}
+}

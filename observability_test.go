@@ -81,6 +81,7 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		Service:     100 * time.Microsecond,
 		Trace:       tr,
 		MetricsAddr: "127.0.0.1:0",
+		Cache:       true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +115,9 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		"pgrid_peer_backlog_high_water{peer=",
 		"pgrid_peers ",
 		"pgrid_trace_records_total",
+		`pgrid_cache_hits_total{cache="posting"}`,
+		`pgrid_cache_misses_total{cache="result"}`,
+		`pgrid_cache_bytes{cache="posting"}`,
 	} {
 		if !bytes.Contains(body, []byte(family)) {
 			t.Errorf("scrape missing %q", family)
