@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
-	"time"
 
 	"repro/internal/asyncnet"
 	"repro/internal/bench"
@@ -217,10 +216,14 @@ func TestAsyncConcurrentQueries(t *testing.T) {
 	}
 }
 
-// TestAsyncQueriesTolerateChurn runs concurrent queries while other
-// goroutines toggle peers down and up through the (mutex-guarded) failure
-// set — errors are acceptable under replication 1, data races and wrong
-// results are not.
+// TestAsyncQueriesTolerateChurn runs gated concurrent queries against a
+// fabric whose failure set keeps changing: each body crashes a different
+// peer before every query and revives it afterwards, so queries keep routing
+// into freshly downed peers — errors are acceptable under partial
+// unreachability, data races and wrong results are not. All issue goes
+// through the gated Concurrent path (no raw churner goroutine, no wall-clock
+// sleeps), so the run is deterministic and every successful query's latency
+// tally is meaningful and asserted non-zero.
 func TestAsyncQueriesTolerateChurn(t *testing.T) {
 	corpus := dataset.BibleWords(300, 29)
 	cfg := core.Config{Peers: 96, Async: true, Latency: asyncnet.DefaultLatency(4)}
@@ -232,36 +235,19 @@ func TestAsyncQueriesTolerateChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stop := make(chan struct{})
-	var churner sync.WaitGroup
-	churner.Add(1)
-	go func() {
-		defer churner.Done()
-		rng := rand.New(rand.NewSource(77))
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			id := simnet.NodeID(rng.Intn(96))
-			eng.Net().SetDown(id, true)
-			time.Sleep(time.Millisecond)
-			eng.Net().SetDown(id, false)
-		}
-	}()
-	// Queries issue through the gated Concurrent path (the crash churner above
-	// stays a raw goroutine — it is not an overlay operation), so each
-	// successful query's latency tally is meaningful and asserted non-zero.
 	okCount := 0
 	var mu sync.Mutex
 	eng.Concurrent(6, func(w int) {
 		rng := rand.New(rand.NewSource(int64(w)))
 		for q := 0; q < 6; q++ {
+			// Crash churn, gated: a fresh peer is down for exactly this query.
+			down := simnet.NodeID(rng.Intn(96))
+			eng.Net().SetDown(down, true)
 			needle := corpus[rng.Intn(len(corpus))]
 			var tally metrics.Tally
 			ms, err := eng.Store().Similar(&tally, simnet.NodeID(rng.Intn(96)), needle, "word", 1,
 				ops.SimilarOptions{})
+			eng.Net().SetDown(down, false)
 			if err != nil {
 				continue // partial unreachability is acceptable under churn
 			}
@@ -278,8 +264,6 @@ func TestAsyncQueriesTolerateChurn(t *testing.T) {
 			}
 		}
 	})
-	close(stop)
-	churner.Wait()
 	if okCount < 18 {
 		t.Errorf("only %d/36 churned queries found their needle", okCount)
 	}
@@ -287,15 +271,20 @@ func TestAsyncQueriesTolerateChurn(t *testing.T) {
 
 // TestMembershipChurnDuringSimilarityQueries runs the paper's operators —
 // similarity search, string top-N and batched multicast underneath — on the
-// concurrent runtime while another goroutine performs real structural churn
-// through the engine: Join, graceful Leave and RefreshRefs, each published as
-// a grid epoch. Unlike crash churn, graceful membership churn never destroys
-// data, and every query reads one consistent epoch, so results must match the
+// actor runtime while a sibling Concurrent body performs real structural
+// churn through the engine: Join, graceful Leave and RefreshRefs, each
+// published as a grid epoch. On the actor engine the gated bodies interleave
+// on one shared virtual timeline, so churn lands between and during query
+// fan-outs without any raw goroutine (this is the last migration of the
+// ROADMAP's raw-concurrent-issue item — churn and queries both issue gated,
+// and the latency tallies the adversity sweep asserts stay meaningful).
+// Unlike crash churn, graceful membership churn never destroys data, and
+// every query reads one consistent epoch, so results must match the
 // brute-force oracle exactly; any error fails the test.
 func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
 	const peers = 48
 	corpus := dataset.BibleWords(250, 41)
-	cfg := core.Config{Peers: peers, Async: true, Latency: asyncnet.DefaultLatency(6)}
+	cfg := core.Config{Peers: peers, Runtime: core.RuntimeActor, Latency: asyncnet.DefaultLatency(6)}
 	cfg.Grid.Replication = 2
 	cfg.Grid.RefsPerLevel = 3
 	cfg.Grid.MaxDepth = 64
@@ -314,44 +303,42 @@ func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
 		return n
 	}
 
-	var churner sync.WaitGroup
-	churner.Add(1)
-	go func() {
-		defer churner.Done()
-		rng := rand.New(rand.NewSource(55))
-		var joined []simnet.NodeID
-		for op := 0; op < 60; op++ {
-			if len(joined) > 0 && rng.Intn(2) == 0 {
-				idx := rng.Intn(len(joined))
-				// Sole owners must stay; any other Leave error is a bug.
-				switch err := eng.Leave(joined[idx]); {
-				case err == nil:
-					joined = append(joined[:idx], joined[idx+1:]...)
-				case !errors.Is(err, pgrid.ErrSoleOwner):
-					t.Errorf("Leave: %v", err)
-					return
-				}
-			} else {
-				id, _, err := eng.Join()
-				if err != nil {
-					t.Errorf("Join: %v", err)
-					return
-				}
-				joined = append(joined, id)
-			}
-			if op%8 == 0 {
-				eng.RefreshRefs()
-			}
-		}
-	}()
-
-	// Queries issue through the gated Concurrent path while the raw churner
-	// goroutine above mutates membership: the churn interleaving is what the
-	// test exercises, while gated issue keeps every query's latency tally
-	// meaningful (raw cross-operation goroutines would inflate each other's
-	// latencies). Fixed rounds per body replace the old stop-channel polling.
+	// Body 0 is the churner, bodies 1-4 are query workers; all five issue
+	// through the gated Concurrent path and interleave on the actor runtime's
+	// shared virtual timeline. Join/Leave exercise the write-fencing drain
+	// from inside an open issue window — the gated path the fencing layer was
+	// built for.
 	var slowest [4]int64
-	eng.Concurrent(4, func(w int) {
+	eng.Concurrent(5, func(body int) {
+		if body == 0 {
+			rng := rand.New(rand.NewSource(55))
+			var joined []simnet.NodeID
+			for op := 0; op < 60; op++ {
+				if len(joined) > 0 && rng.Intn(2) == 0 {
+					idx := rng.Intn(len(joined))
+					// Sole owners must stay; any other Leave error is a bug.
+					switch err := eng.Leave(joined[idx]); {
+					case err == nil:
+						joined = append(joined[:idx], joined[idx+1:]...)
+					case !errors.Is(err, pgrid.ErrSoleOwner):
+						t.Errorf("Leave: %v", err)
+						return
+					}
+				} else {
+					id, _, err := eng.Join()
+					if err != nil {
+						t.Errorf("Join: %v", err)
+						return
+					}
+					joined = append(joined, id)
+				}
+				if op%8 == 0 {
+					eng.RefreshRefs()
+				}
+			}
+			return
+		}
+		w := body - 1
 		rng := rand.New(rand.NewSource(int64(500 + w)))
 		for q := 0; q < 12; q++ {
 			needle := corpus[rng.Intn(len(corpus))]
@@ -386,7 +373,6 @@ func TestMembershipChurnDuringSimilarityQueries(t *testing.T) {
 			}
 		}
 	})
-	churner.Wait()
 	for w, l := range slowest {
 		if l == 0 {
 			t.Errorf("worker %d recorded no latency tally", w)

@@ -82,6 +82,9 @@ type rawOptions struct {
 	rate        float64
 	zipf        float64
 	arrivals    int
+	drop        float64
+	adversity   bool
+	advOut      string
 }
 
 // options is the validated, resolved form of rawOptions.
@@ -170,6 +173,12 @@ func (r rawOptions) resolve() (options, error) {
 			return o, errors.New("-arrivals needs -arrival poisson")
 		}
 	}
+	if r.drop < 0 || r.drop >= 1 {
+		return o, fmt.Errorf("invalid -drop %g (want a loss probability in [0, 1): rate 1 partitions every link and nothing can complete)", r.drop)
+	}
+	if r.advOut != "" && !r.adversity {
+		return o, errors.New("-adversity-out needs -adversity: it is where the sweep's JSON lands")
+	}
 	if r.zipf != 0 && r.zipf <= 1 {
 		return o, fmt.Errorf("invalid -zipf %g (want 0 for uniform needles, or an exponent > 1)", r.zipf)
 	}
@@ -228,6 +237,12 @@ func main() {
 			"Zipf exponent of the needle popularity with -arrival poisson (0 = uniform; exponents must exceed 1)")
 		arrivals = flag.Int("arrivals", 0,
 			"query arrivals per open-loop run with -arrival poisson (0 = driver default)")
+		drop = flag.Float64("drop", 0,
+			"per-message loss probability of the fabric (0 = lossless); enables the grid's retry/failover policy and is deterministic per seed")
+		adversity = flag.Bool("adversity", false,
+			"run the recall-under-adversity sweep (replication x drop rate under churn) instead of the build/workload loop")
+		advOut = flag.String("adversity-out", "",
+			"write the adversity sweep as deterministic JSON to this file (with -adversity)")
 	)
 	flag.Parse()
 
@@ -247,9 +262,18 @@ func main() {
 		rate:        *rate,
 		zipf:        *zipf,
 		arrivals:    *arrivals,
+		drop:        *drop,
+		adversity:   *adversity,
+		advOut:      *advOut,
 	}.resolve()
 	if err != nil {
 		fatal(err)
+	}
+	if *adversity {
+		if err := runAdversity(*seed, *advOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	peers, m, mode := opt.peers, opt.method, opt.mode
 	latency, err := asyncnet.ParseLatency(*latDist, *seed)
@@ -297,6 +321,7 @@ func main() {
 			Trace:            tracer,
 			MetricsAddr:      *metricsAddr,
 			Cache:            opt.cache,
+			Drop:             *drop,
 		})
 		if err != nil {
 			fatal(err)
@@ -385,7 +410,9 @@ func tolerableChurnErr(err error) bool {
 	}
 	switch err {
 	case pgrid.ErrUnreachable, pgrid.ErrRoutingExhausted, pgrid.ErrNoLiveHost,
-		pgrid.ErrDeparted, simnet.ErrNodeDown:
+		pgrid.ErrDeparted, simnet.ErrNodeDown, simnet.ErrLinkLoss:
+		// ErrLinkLoss only reaches a query result when the fabric is lossy
+		// (-drop) and the retry budget ran out on a write path; reads degrade.
 		return true
 	}
 	if sub := errors.Unwrap(err); sub != nil {
@@ -555,6 +582,7 @@ func runWorkload(eng *core.Engine, corpus []string, m ops.Method, mixes int, see
 		fmt.Printf("bytes:    total=%d mean/query=%.1f\n", totals.Bytes, float64(totals.Bytes)/float64(queries))
 		fmt.Print(col.QueryReport())
 	}
+	printRobustness(eng)
 	printCacheStats(eng)
 	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
@@ -658,6 +686,7 @@ func runWorkloadClients(eng *core.Engine, corpus []string, m ops.Method, mixes, 
 			float64(totals.Queue)/1000, float64(totals.Queue)/float64(queries)/1000)
 		fmt.Print(col.QueryReport())
 	}
+	printRobustness(eng)
 	printCacheStats(eng)
 	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
@@ -682,10 +711,49 @@ func runOpenLoop(eng *core.Engine, corpus []string, m ops.Method, rate, zipf flo
 	}
 	wall := time.Since(startWall)
 	fmt.Print(bench.FormatOpenLoop(points))
+	printRobustness(eng)
 	printCacheStats(eng)
 	printActorLoad(eng)
 	fmt.Printf("wall:     %s\n", wall.Round(time.Millisecond))
 	return nil
+}
+
+// runAdversity executes the recall-under-adversity sweep and prints the
+// recall table; with out non-empty the deterministic JSON lands there.
+func runAdversity(seed int64, out string) error {
+	sweep := &bench.Adversity{
+		Seed:     seed,
+		Progress: func(line string) { fmt.Println(line) },
+	}
+	points, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print("\n" + bench.FormatAdversity(points))
+	if out == "" {
+		return nil
+	}
+	data, err := bench.AdversityJSON(points)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("adversity: JSON written to %s\n", out)
+	return nil
+}
+
+// printRobustness renders the fault-injection counters; silent on a lossless
+// fabric with no robustness activity.
+func printRobustness(eng *core.Engine) {
+	s := eng.Grid().RobustStats()
+	drops := eng.Net().Drops()
+	if drops == 0 && s == (pgrid.RobustStats{}) {
+		return
+	}
+	fmt.Printf("faults:   drops=%d retries=%d failovers=%d unanswered=%d fenced-writes=%d\n",
+		drops, s.Retries, s.Failovers, s.Unanswered, s.FencedWrites)
 }
 
 // printCacheStats renders the initiator-cache summary lines next to the

@@ -218,29 +218,108 @@ func (rt *Runtime) Call(from, to simnet.NodeID, payload simnet.Message, delay, t
 	return corr, nil
 }
 
-// CallRetry is Call over an ordered candidate list: a request dropped at a
-// dead or saturated peer advances to the next candidate at the drop's
-// virtual instant, and the continuation observes only the final outcome —
-// the retry-on-dead-peer pattern of redundant routing references.
-func (rt *Runtime) CallRetry(from simnet.NodeID, candidates []simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, fn ReplyFn) error {
+// RetryPolicy governs CallPolicy: how many attempts a call may spend, which
+// failures it retries, and how retransmissions back off on the virtual
+// timeline.
+type RetryPolicy struct {
+	// MaxAttempts caps total send attempts across all candidates
+	// (0 = one attempt per candidate).
+	MaxAttempts int
+	// Backoff is the virtual-time delay before the first retransmission,
+	// doubling on each further one. Zero retransmits at the failure's
+	// virtual instant. Failing over to the next candidate after a dead or
+	// saturated peer is always immediate: the drop nack arrives at a known
+	// instant, there is nothing to wait out.
+	Backoff simnet.VTime
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff simnet.VTime
+	// Budget bounds the total virtual time from the first send: a
+	// retransmission that would start past the budget is not attempted and
+	// the call fails with the error in hand (0 = unbounded).
+	Budget simnet.VTime
+	// RetryLoss additionally retries in-transit losses and timeouts
+	// (simnet.ErrLinkLoss, ErrTimeout) by retransmitting to the same
+	// candidate with backoff. Without it only dead or saturated peers
+	// (ErrActorDown, ErrMailboxFull) advance the candidate list, which is
+	// CallRetry's historical behavior.
+	RetryLoss bool
+}
+
+// retryable classifies an error under the policy: advance to the next
+// candidate (dead peer), retransmit to the same one (loss), or give up.
+func (p RetryPolicy) retryable(err error) (failover, retransmit bool) {
+	if errors.Is(err, ErrActorDown) || errors.Is(err, ErrMailboxFull) {
+		return true, false
+	}
+	if p.RetryLoss && (errors.Is(err, ErrTimeout) || errors.Is(err, simnet.ErrLinkLoss)) {
+		return false, true
+	}
+	return false, false
+}
+
+// CallPolicy is Call under a retry policy over an ordered candidate list:
+// dead or saturated peers fail over to the next candidate at the drop's
+// virtual instant; lost or timed-out requests (with RetryLoss) retransmit to
+// the same candidate after an exponentially growing backoff, scheduled as a
+// control event on the virtual timeline. The continuation observes only the
+// final outcome. Every attempt's timeout timer is cancelled when it settles
+// and backoff events fire exactly once, so a settled chain leaves no dead
+// events in the heap.
+func (rt *Runtime) CallPolicy(from simnet.NodeID, candidates []simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, pol RetryPolicy, fn ReplyFn) error {
 	if len(candidates) == 0 {
 		return ErrNoActor
 	}
-	var attempt func(i int) error
-	attempt = func(i int) error {
-		_, err := rt.Call(from, candidates[i], payload, delay, timeout, func(rt *Runtime, ev Event, p simnet.Message, err error) {
-			if err != nil && i+1 < len(candidates) &&
-				(errors.Is(err, ErrActorDown) || errors.Is(err, ErrMailboxFull)) {
-				// Dead or saturated peer: move on. Posting errors at this
-				// point surface through the continuation, not a return value.
-				if postErr := attempt(i + 1); postErr != nil {
+	max := pol.MaxAttempts
+	if max <= 0 {
+		max = len(candidates)
+	}
+	start := rt.Now()
+	var attempt func(n, ci int, backoff simnet.VTime) error
+	attempt = func(n, ci int, backoff simnet.VTime) error {
+		_, err := rt.Call(from, candidates[ci], payload, delay, timeout, func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			// Posting errors on a re-attempt surface through the
+			// continuation, not a return value.
+			again := func(ci int, backoff simnet.VTime) {
+				if postErr := attempt(n+1, ci, backoff); postErr != nil {
 					fn(rt, ev, nil, postErr)
 				}
+			}
+			failover, retransmit := pol.retryable(err)
+			switch {
+			case err == nil || n+1 >= max:
+			case failover && ci+1 < len(candidates):
+				again(ci+1, backoff)
+				return
+			case retransmit:
+				if pol.Budget > 0 && rt.Now()+backoff-start > pol.Budget {
+					break // out of budget: deliver the loss
+				}
+				next := backoff * 2
+				if pol.MaxBackoff > 0 && next > pol.MaxBackoff {
+					next = pol.MaxBackoff
+				}
+				if backoff <= 0 {
+					again(ci, next)
+					return
+				}
+				rt.After(backoff, func(rt *Runtime, at simnet.VTime) {
+					again(ci, next)
+				})
 				return
 			}
 			fn(rt, ev, p, err)
 		})
 		return err
 	}
-	return attempt(0)
+	return attempt(0, 0, pol.Backoff)
+}
+
+// CallRetry is Call over an ordered candidate list: a request dropped at a
+// dead or saturated peer advances to the next candidate at the drop's
+// virtual instant, and the continuation observes only the final outcome —
+// the retry-on-dead-peer pattern of redundant routing references. It is
+// CallPolicy under the zero policy (one attempt per candidate, no
+// retransmissions).
+func (rt *Runtime) CallRetry(from simnet.NodeID, candidates []simnet.NodeID, payload simnet.Message, delay, timeout simnet.VTime, fn ReplyFn) error {
+	return rt.CallPolicy(from, candidates, payload, delay, timeout, RetryPolicy{}, fn)
 }

@@ -1,0 +1,170 @@
+package asyncnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// lossyRuntime returns a runtime whose fault plan drops every envelope
+// arriving inside [0, until) — the first attempts of a call chain — and
+// delivers everything after.
+func lossyRuntime(until simnet.VTime) *Runtime {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(5))
+	rt.Register(2, 8, 0, nil)
+	rt.SetFaults(&simnet.FaultPlan{
+		Seed:    11,
+		Windows: []FaultWindow{{Start: 0, End: until, Rate: 1}},
+	})
+	return rt
+}
+
+// FaultWindow aliases keep the test terse.
+type FaultWindow = simnet.FaultWindow
+
+// TestCallPolicyRetransmitsThroughLoss: a request lost in transit is nacked
+// at its arrival instant and retransmitted after the policy backoff; the
+// retransmission lands past the loss burst and the call succeeds.
+func TestCallPolicyRetransmitsThroughLoss(t *testing.T) {
+	rt := lossyRuntime(15)
+	var got simnet.Message
+	pol := RetryPolicy{MaxAttempts: 3, Backoff: 20, RetryLoss: true}
+	if err := rt.CallPolicy(2, []simnet.NodeID{1}, testMsg{id: 6}, 10, 0, pol,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			if err != nil {
+				t.Errorf("final outcome: %v", err)
+				return
+			}
+			got = p
+		}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if got == nil || got.(testMsg).id != 6 {
+		t.Fatalf("reply payload = %v", got)
+	}
+	if rt.LossDrops() != 1 {
+		t.Fatalf("LossDrops = %d, want 1 (first attempt only)", rt.LossDrops())
+	}
+	// First arrival at 10 (dropped), backoff 20 from the nack, retransmit
+	// posted at 30, arrival 40, echo turnaround 5 → settled at 45.
+	if now := rt.Now(); now != 45 {
+		t.Fatalf("clock at %d after settle, want 45", now)
+	}
+}
+
+// TestCallPolicyBackoffTimerHygiene extends the stale-timer regression to
+// retry chains: after a settled chain with exponential backoff — successful
+// or exhausted — the event heap is empty and further Run/Drain calls step
+// nothing and leave the virtual clock untouched.
+func TestCallPolicyBackoffTimerHygiene(t *testing.T) {
+	// Exhausted chain: every arrival is lost, three attempts with backoff
+	// 20 then 40. Nacks at 10 and 40+..; the clock's final position pins the
+	// exponential schedule: arrivals at 10, 40 (nack 10 + backoff 20 + delay
+	// 10), and 90 (nack 40 + backoff 40 + delay 10).
+	rt := lossyRuntime(1 << 30)
+	var finalErr error
+	pol := RetryPolicy{MaxAttempts: 3, Backoff: 20, RetryLoss: true}
+	if err := rt.CallPolicy(2, []simnet.NodeID{1}, testMsg{}, 10, 1_000_000, pol,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) { finalErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if !errors.Is(finalErr, simnet.ErrLinkLoss) {
+		t.Fatalf("exhausted chain error = %v, want ErrLinkLoss", finalErr)
+	}
+	if rt.LossDrops() != 3 {
+		t.Fatalf("LossDrops = %d, want 3", rt.LossDrops())
+	}
+	if now := rt.Now(); now != 90 {
+		t.Fatalf("clock at %d after exhausted chain, want 90", now)
+	}
+	// Hygiene: no timer of any attempt survives the settle, despite the long
+	// timeouts; the settled runtime is inert.
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events after a settled retry chain, want 0", n)
+	}
+	if again := rt.Run(); again != 0 {
+		t.Fatalf("Run stepped %d dead events after settle", again)
+	}
+	if now := rt.Now(); now != 90 {
+		t.Fatalf("clock moved to %d on a settled runtime", now)
+	}
+	if n := rt.Drain(nil); n != 0 {
+		t.Fatalf("Drain stepped %d dead events after settle", n)
+	}
+}
+
+// TestCallPolicyBudget: a retransmission that would start past the virtual
+// budget is not attempted; the call fails with the loss in hand.
+func TestCallPolicyBudget(t *testing.T) {
+	rt := lossyRuntime(1 << 30)
+	var finalErr error
+	pol := RetryPolicy{MaxAttempts: 10, Backoff: 50, RetryLoss: true, Budget: 40}
+	if err := rt.CallPolicy(2, []simnet.NodeID{1}, testMsg{}, 10, 0, pol,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) { finalErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if !errors.Is(finalErr, simnet.ErrLinkLoss) {
+		t.Fatalf("budget-bound chain error = %v, want ErrLinkLoss", finalErr)
+	}
+	if rt.LossDrops() != 1 {
+		t.Fatalf("LossDrops = %d, want 1 (no retransmission within budget)", rt.LossDrops())
+	}
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events, want 0", n)
+	}
+}
+
+// TestCallPolicyMaxBackoffCapsGrowth pins the cap: with MaxBackoff equal to
+// the base, every retransmission waits the same interval.
+func TestCallPolicyMaxBackoffCapsGrowth(t *testing.T) {
+	rt := lossyRuntime(1 << 30)
+	pol := RetryPolicy{MaxAttempts: 3, Backoff: 20, MaxBackoff: 20, RetryLoss: true}
+	if err := rt.CallPolicy(2, []simnet.NodeID{1}, testMsg{}, 10, 0, pol,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) {}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	// Arrivals at 10, 40, 70: nack + capped backoff 20 + delay 10 each time.
+	if now := rt.Now(); now != 70 {
+		t.Fatalf("clock at %d with capped backoff, want 70", now)
+	}
+}
+
+// TestCallPolicyFailoverThenRetransmit mixes the two retry axes: a dead
+// first candidate fails over immediately (no backoff), and a loss at the
+// second is retransmitted to that same candidate.
+func TestCallPolicyFailoverThenRetransmit(t *testing.T) {
+	rt := NewRuntime()
+	rt.Register(1, 8, 0, echoHandler(5))
+	rt.Register(3, 8, 0, echoHandler(5))
+	rt.Register(2, 8, 0, nil)
+	rt.SetDown(1, true)
+	rt.SetFaults(&simnet.FaultPlan{
+		Seed:    5,
+		Windows: []FaultWindow{{Start: 0, End: 15, Rate: 1}},
+	})
+	var got simnet.Message
+	pol := RetryPolicy{MaxAttempts: 4, Backoff: 10, RetryLoss: true}
+	if err := rt.CallPolicy(2, []simnet.NodeID{1, 3}, testMsg{id: 2}, 10, 0, pol,
+		func(rt *Runtime, ev Event, p simnet.Message, err error) {
+			if err != nil {
+				t.Errorf("final outcome: %v", err)
+				return
+			}
+			got = p
+		}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run()
+	if got == nil || got.(testMsg).id != 2 {
+		t.Fatalf("reply payload = %v", got)
+	}
+	if n := rt.PendingEvents(); n != 0 {
+		t.Fatalf("event heap holds %d events after mixed chain, want 0", n)
+	}
+}

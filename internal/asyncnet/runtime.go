@@ -169,6 +169,11 @@ type Runtime struct {
 	issueCond *sync.Cond
 	issuers   int64
 
+	// fault injection: envelopes can be lost in transit (see SetFaults).
+	faults    *simnet.FaultPlan
+	faultSeq  map[uint64]uint64
+	lossDrops int
+
 	// request/reply state (see reqreply.go).
 	nextCorr    uint64
 	calls       map[CorrID]*call
@@ -235,6 +240,50 @@ func (rt *Runtime) Tracer() *Tracer {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.tracer
+}
+
+// SetFaults installs (nil removes) a loss model on the runtime itself:
+// request/reply envelopes are dropped at their arrival instant and fail their
+// call through the drop-nack path, exactly as a down actor or full mailbox
+// would — so loss surfaces to CallPolicy's retry machinery, never as a silent
+// hang. Only envelopes are subject to loss; bare messages are delivery
+// commitments whose senders already accounted (and possibly lost) them on the
+// fabric. Per-link sequence numbers restart on every call, so reinstalling
+// the same plan replays the same drop schedule.
+func (rt *Runtime) SetFaults(plan *simnet.FaultPlan) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.faults = plan
+	rt.faultSeq = nil
+	if plan != nil {
+		rt.faultSeq = make(map[uint64]uint64)
+	}
+}
+
+// LossDrops reports how many envelopes the runtime's fault plan has dropped.
+func (rt *Runtime) LossDrops() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.lossDrops
+}
+
+// lostLocked advances the link sequence number and draws the loss decision
+// for an arriving envelope. Must run under rt.mu.
+func (rt *Runtime) lostLocked(ev Event, at simnet.VTime) bool {
+	if rt.faults == nil || ev.From == ev.To {
+		return false
+	}
+	if _, ok := ev.Msg.(Envelope); !ok {
+		return false
+	}
+	link := uint64(uint32(ev.From))<<32 | uint64(uint32(ev.To))
+	seq := rt.faultSeq[link]
+	rt.faultSeq[link] = seq + 1
+	if rt.faults.Drop(ev.From, ev.To, seq, at) {
+		rt.lossDrops++
+		return true
+	}
+	return false
 }
 
 // opOf extracts the owning operation's correlation id from a message (0 for
@@ -352,11 +401,14 @@ func (rt *Runtime) Step() bool {
 	switch it.kind {
 	case kindArrival:
 		var dropErr error
+		lost := rt.lostLocked(it.ev, it.at)
 		expired := false
 		if env, ok := it.ev.Msg.(Envelope); ok && env.Deadline > 0 && rt.now > env.Deadline {
 			expired = true
 		}
 		switch {
+		case lost:
+			dropErr = simnet.ErrLinkLoss
 		case expired:
 			dropErr = ErrTimeout
 		case a == nil || a.down:

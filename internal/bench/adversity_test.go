@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sweep runs one small adversity sweep; thresholds and determinism tests
+// share the configuration so CI pays for the grids once per test, not once
+// per assertion.
+func sweep(t *testing.T, seed int64) []AdversityPoint {
+	t.Helper()
+	a := &Adversity{
+		Peers:        32,
+		Items:        800,
+		Lookups:      200,
+		Replications: []int{2},
+		DropRates:    []float64{0.01, 0.2},
+		ChurnMoves:   25,
+		Seed:         seed,
+	}
+	points, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+// TestAdversityRecallThresholds pins the robustness claim BENCH_9.json
+// records: with replication >= 2 and the retry policy on, recall stays >=
+// 0.99 at drop rates up to 1%, and degrades gracefully — not to zero — at
+// 20% loss under sustained membership churn.
+func TestAdversityRecallThresholds(t *testing.T) {
+	for _, p := range sweep(t, 1) {
+		switch {
+		case p.DropRate <= 0.01 && p.Recall < 0.99:
+			t.Errorf("recall %.4f at drop %.2f replication %d, want >= 0.99 (%+v)",
+				p.Recall, p.DropRate, p.Replication, p)
+		case p.Recall < 0.8:
+			t.Errorf("recall %.4f at drop %.2f replication %d: not graceful degradation (%+v)",
+				p.Recall, p.DropRate, p.Replication, p)
+		}
+		if p.DropRate > 0 && p.Drops == 0 {
+			t.Errorf("drop %.2f injected no losses (%+v)", p.DropRate, p)
+		}
+		if p.DropRate > 0 && p.Retries == 0 {
+			t.Errorf("drop %.2f triggered no retransmissions (%+v)", p.DropRate, p)
+		}
+		if p.Joins == 0 || p.Leaves == 0 {
+			t.Errorf("churn did not move membership both ways (%+v)", p)
+		}
+	}
+}
+
+// TestAdversityJSONDeterministic: the sweep's JSON export is a function of
+// the seed alone — every reported quantity is virtual-time-derived, so two
+// same-seed runs export byte-identical files.
+func TestAdversityJSONDeterministic(t *testing.T) {
+	a, err := AdversityJSON(sweep(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdversityJSON(sweep(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed sweeps exported different JSON:\n%s\nvs\n%s", a, b)
+	}
+	if len(a) == 0 || a[len(a)-1] != '\n' {
+		t.Error("export is empty or unterminated")
+	}
+}

@@ -146,6 +146,17 @@ type Config struct {
 	// ops.DefaultResultCacheBytes; negative disables the result cache).
 	// Nonzero implies Cache.
 	ResultCacheBytes int
+	// Drop is the per-message loss probability of the fabric (0 = lossless).
+	// The fault plan installs after the load phase — the paper does not
+	// measure loading, and a lossy load would make the stored state depend on
+	// the drop schedule — and it auto-enables the grid's retry policy
+	// (retransmission, replica failover, degraded reads) unless the caller
+	// configured Grid.Retry explicitly. Drops are deterministic per
+	// (seed, link, sequence), so same-seed lossy runs are byte-identical.
+	Drop float64
+	// FaultSeed isolates the loss draws from every other seeded choice
+	// (default: derived from Grid.Seed).
+	FaultSeed uint64
 }
 
 func (c *Config) normalize() {
@@ -179,6 +190,15 @@ func (c *Config) normalize() {
 	}
 	if c.PostingCacheBytes != 0 || c.ResultCacheBytes != 0 {
 		c.Cache = true
+	}
+	if c.Drop > 0 && !c.Grid.Retry.Enabled {
+		// A lossy fabric without the robustness layer would just fail
+		// queries wholesale; losses only mean anything when something
+		// retransmits. Callers tune attempts/backoff via Grid.Retry.
+		c.Grid.Retry = pgrid.RetryConfig{Enabled: true}
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = uint64(c.Grid.Seed)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
 	}
 }
 
@@ -227,6 +247,12 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: loading: %w", err)
 	}
 	net.Collector().Reset()
+	if cfg.Drop > 0 {
+		// Loss injects after the load phase: the stored state must not depend
+		// on the drop schedule, and measured queries start at link sequence
+		// zero so same-seed lossy runs replay identically.
+		net.SetFaults(&simnet.FaultPlan{DropRate: cfg.Drop, Seed: cfg.FaultSeed})
+	}
 	if cfg.Cache {
 		// Caches install after the load phase: the load's writes must not
 		// churn the write generation, and cached traffic belongs to the

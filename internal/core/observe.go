@@ -98,6 +98,29 @@ func (e *Engine) buildRegistry() *metrics.Registry {
 			return []metrics.HistSample{{Bounds: bounds, Counts: counts, Count: count, Sum: sum}}
 		})
 
+	// Robustness counters: always registered (they read as 0 on a lossless,
+	// churn-free run), so dashboards need no conditional scraping.
+	single := func(value func() float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			return []metrics.Sample{{Value: value()}}
+		}
+	}
+	r.Counter("pgrid_drops_total",
+		"Messages the fabric's fault plan dropped in transit.",
+		single(func() float64 { return float64(e.net.Drops()) }))
+	r.Counter("pgrid_retries_total",
+		"Retransmissions of messages lost in transit.",
+		single(func() float64 { return float64(e.grid.RobustStats().Retries) }))
+	r.Counter("pgrid_failovers_total",
+		"Sends redirected to a structural replica after an unreachable target.",
+		single(func() float64 { return float64(e.grid.RobustStats().Failovers) }))
+	r.Counter("pgrid_unanswered_total",
+		"Read branches degraded to silence after the retry policy was exhausted.",
+		single(func() float64 { return float64(e.grid.RobustStats().Unanswered) }))
+	r.Counter("pgrid_fenced_writes_total",
+		"Writes that raced a membership change and were redirected to the current epoch's owners.",
+		single(func() float64 { return float64(e.grid.RobustStats().FencedWrites) }))
+
 	r.Gauge("pgrid_peers",
 		"Live peers in the overlay.",
 		func() []metrics.Sample {

@@ -45,12 +45,54 @@ type Tally struct {
 	// executors model links but not per-peer serialization, so they always
 	// report zero.
 	Queue int64
+	// Retries counts retransmissions of messages lost in transit; Failovers
+	// counts sends redirected to a replica after the original target was
+	// unreachable. Both stay zero on a lossless fabric.
+	Retries   int64
+	Failovers int64
+	// Unanswered counts query branches abandoned after retries and failovers
+	// were exhausted: the query completed, but with a possibly partial
+	// (degraded) answer. A fault-free run always reports zero.
+	Unanswered int64
 }
 
 // Add records one message of the given payload size.
 func (t *Tally) Add(bytes int) {
 	atomic.AddInt64(&t.Messages, 1)
 	atomic.AddInt64(&t.Bytes, int64(bytes))
+}
+
+// AddRetry counts one retransmission of a lost message. Nil-safe.
+func (t *Tally) AddRetry() {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.Retries, 1)
+}
+
+// AddFailover counts one send redirected to a replica. Nil-safe.
+func (t *Tally) AddFailover() {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.Failovers, 1)
+}
+
+// AddUnanswered counts one abandoned (degraded) query branch. Nil-safe.
+func (t *Tally) AddUnanswered() {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.Unanswered, 1)
+}
+
+// UnansweredCount reports the abandoned branches so far; result caches use
+// it to tell complete answers from degraded ones. Nil-safe.
+func (t *Tally) UnansweredCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&t.Unanswered)
 }
 
 // ObservePath folds one completed message path into the tally: a chain of
@@ -94,11 +136,14 @@ func (t *Tally) MaxHops() int64 {
 // goroutines may still be adding.
 func (t *Tally) Snapshot() Tally {
 	return Tally{
-		Messages: atomic.LoadInt64(&t.Messages),
-		Bytes:    atomic.LoadInt64(&t.Bytes),
-		Hops:     atomic.LoadInt64(&t.Hops),
-		Latency:  atomic.LoadInt64(&t.Latency),
-		Queue:    atomic.LoadInt64(&t.Queue),
+		Messages:   atomic.LoadInt64(&t.Messages),
+		Bytes:      atomic.LoadInt64(&t.Bytes),
+		Hops:       atomic.LoadInt64(&t.Hops),
+		Latency:    atomic.LoadInt64(&t.Latency),
+		Queue:      atomic.LoadInt64(&t.Queue),
+		Retries:    atomic.LoadInt64(&t.Retries),
+		Failovers:  atomic.LoadInt64(&t.Failovers),
+		Unanswered: atomic.LoadInt64(&t.Unanswered),
 	}
 }
 
@@ -118,6 +163,9 @@ func (t *Tally) AddTally(o Tally) {
 	atomic.AddInt64(&t.Messages, o.Messages)
 	atomic.AddInt64(&t.Bytes, o.Bytes)
 	atomic.AddInt64(&t.Queue, o.Queue)
+	atomic.AddInt64(&t.Retries, o.Retries)
+	atomic.AddInt64(&t.Failovers, o.Failovers)
+	atomic.AddInt64(&t.Unanswered, o.Unanswered)
 	atomicMax(&t.Hops, o.Hops)
 	atomicMax(&t.Latency, o.Latency)
 }
@@ -127,11 +175,14 @@ func (t *Tally) AddTally(o Tally) {
 // meaningful when o precedes t on the same tally.
 func (t Tally) Sub(o Tally) Tally {
 	return Tally{
-		Messages: t.Messages - o.Messages,
-		Bytes:    t.Bytes - o.Bytes,
-		Hops:     t.Hops - o.Hops,
-		Latency:  t.Latency - o.Latency,
-		Queue:    t.Queue - o.Queue,
+		Messages:   t.Messages - o.Messages,
+		Bytes:      t.Bytes - o.Bytes,
+		Hops:       t.Hops - o.Hops,
+		Latency:    t.Latency - o.Latency,
+		Queue:      t.Queue - o.Queue,
+		Retries:    t.Retries - o.Retries,
+		Failovers:  t.Failovers - o.Failovers,
+		Unanswered: t.Unanswered - o.Unanswered,
 	}
 }
 
@@ -143,6 +194,10 @@ func (t Tally) String() string {
 	}
 	if t.Queue > 0 {
 		s += fmt.Sprintf(" / %.2fms queued", float64(t.Queue)/1000)
+	}
+	if t.Retries > 0 || t.Failovers > 0 || t.Unanswered > 0 {
+		s += fmt.Sprintf(" / %d retries / %d failovers / %d unanswered",
+			t.Retries, t.Failovers, t.Unanswered)
 	}
 	return s
 }

@@ -1,11 +1,13 @@
 package ops
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/pgrid"
 	"repro/internal/simnet"
 	"repro/internal/triples"
 )
@@ -205,5 +207,77 @@ func TestCacheEvictionIsDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(lastA, lastB) {
 		t.Errorf("results diverge across identical runs")
+	}
+}
+
+// lossyFixture is newFixtureFromWords with the grid's retry policy enabled,
+// so queries on a faulted fabric degrade (partial answers, unanswered probes)
+// instead of erroring — the regime the cache's degraded-answer valve guards.
+func lossyFixture(t *testing.T, nPeers int, words []string) *fixture {
+	t.Helper()
+	var tuples []triples.Tuple
+	oids := map[string]string{}
+	for i, w := range words {
+		oid := fmt.Sprintf("w%05d", i)
+		oids[oid] = w
+		tuples = append(tuples, triples.MustTuple(oid, "word", w))
+	}
+	net := simnet.New(nPeers)
+	cfg := StoreConfig{}
+	tmp := NewStore(nil, cfg)
+	sample, err := tmp.CollectKeys(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := pgrid.DefaultConfig()
+	gcfg.Replication = 2
+	gcfg.Retry = pgrid.RetryConfig{Enabled: true, MaxAttempts: 2, Backoff: 1}
+	grid, err := pgrid.Build(net, nPeers, sample, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(grid, cfg)
+	for _, tu := range tuples {
+		if err := store.LoadTuple(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Collector().Reset()
+	return &fixture{store: store, net: net, words: words, oids: oids}
+}
+
+// TestCacheSkipsDegradedAnswers: an answer assembled while probes went
+// unanswered (total loss, retry budget exhausted) must not enter either
+// cache — once the fabric heals, the same question hits the wire again and
+// returns the complete answer, not a cached degraded one.
+func TestCacheSkipsDegradedAnswers(t *testing.T) {
+	f := lossyFixture(t, 16, []string{"gridstorm", "gridstone", "flankpath", "flankpeak", "mudranger"})
+	f.store.EnableCache(CacheConfig{})
+	opts := SimilarOptions{NoShortFallback: true}
+
+	// Degrade: every message is lost; the query returns without error but
+	// with unanswered probes, and nothing may be cached.
+	f.net.SetFaults(&simnet.FaultPlan{DropRate: 1, Seed: 3})
+	degraded, _ := f.measure(t, "gridstone", 1, opts)
+	if st := f.store.CacheStats(); st.Results.Puts != 0 || st.Postings.Puts != 0 {
+		t.Fatalf("degraded answer entered a cache: %+v", st)
+	}
+	if s := f.store.grid.RobustStats(); s.Unanswered == 0 {
+		t.Fatalf("total loss degraded nothing (answer %d matches) — the valve went untested", len(degraded))
+	}
+
+	// Heal the fabric: the same question must hit the wire and answer fully.
+	f.net.SetFaults(nil)
+	healed, msgs := f.measure(t, "gridstone", 1, opts)
+	if msgs == 0 {
+		t.Fatal("healed query sent no messages: a degraded answer was served from cache")
+	}
+	if !reflect.DeepEqual(matchOIDs(healed), f.bruteSimilar("gridstone", 1)) {
+		t.Errorf("healed answer %v diverges from oracle %v", matchOIDs(healed), f.bruteSimilar("gridstone", 1))
+	}
+
+	// And now the complete answer is cacheable again.
+	if _, warm := f.measure(t, "gridstone", 1, opts); warm != 0 {
+		t.Errorf("repeat after healing sent %d messages, want 0 (cached)", warm)
 	}
 }

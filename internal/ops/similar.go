@@ -101,10 +101,17 @@ func (s *Store) similarAt(t *metrics.Tally, from simnet.NodeID, needle, attr str
 		t.ObservePath(0, int64(start))
 		return copyMatches(ms), start, nil
 	}
+	pre := s.grid.RobustStats().Unanswered
 	ms, end, err := s.similarUncachedAt(t, from, needle, attr, d, opts, start)
-	if err == nil {
+	if err == nil && s.grid.RobustStats().Unanswered == pre {
 		// Cache a private copy: callers sort and truncate the returned
-		// top-level slice (TopNString does both).
+		// top-level slice (TopNString does both). Degraded answers — a probe
+		// left unanswered after the retry policy gave up on a lossy fabric —
+		// never enter the cache: they may be missing matches, and a cached
+		// answer must be byte-identical to a fault-free one. The counter
+		// check is conservative under concurrent queries (another query's
+		// degradation also skips this Put), which costs hit ratio, never
+		// correctness.
 		c.results.Put(st, key, copyMatches(ms))
 	}
 	return ms, end, err
@@ -259,6 +266,7 @@ func (s *Store) fetchCached(pc *qcache.Cache[postingCacheKey, []triples.Posting]
 		t.ObservePath(0, int64(start))
 		return out, start, nil
 	}
+	pre := s.grid.RobustStats().Unanswered
 	ps, end, err := s.grid.MultiLookupAt(t, from, missed, start)
 	if err != nil {
 		return nil, end, err
@@ -267,7 +275,10 @@ func (s *Store) fetchCached(pc *qcache.Cache[postingCacheKey, []triples.Posting]
 	for _, k := range missed {
 		perKey[postingKeyOf(k)] = nil
 	}
-	cacheable := true
+	// A multicast that degraded (a branch left unanswered on a lossy fabric)
+	// may be missing postings; caching it would poison every later hit under
+	// the same stamp.
+	cacheable := s.grid.RobustStats().Unanswered == pre
 	for _, p := range ps {
 		k, ok := keyOf(p)
 		if !ok {

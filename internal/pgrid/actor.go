@@ -95,6 +95,22 @@ func (x *actorExec) attach(id simnet.NodeID) {
 	x.rt.Register(id, x.mailbox, x.service, x.handle)
 }
 
+// awaitWriteDrain waits out in-flight write applies. Actor-mode applies are
+// events on the shared heap, and the drain loop that would step them may
+// itself be paused by the waiting goroutine's open issue window — so the
+// waiter pumps the heap itself, releasing memberMu around each step so
+// apply handlers can take it.
+func (x *actorExec) awaitWriteDrain() {
+	g := x.g
+	for g.pendingWrites > 0 {
+		g.memberMu.Unlock()
+		if !x.rt.Step() {
+			runtime.Gosched()
+		}
+		g.memberMu.Lock()
+	}
+}
+
 // opKind selects the routed operation's action at the responsible peer.
 type opKind int
 
@@ -160,12 +176,16 @@ type actorOp struct {
 	// drain and has released its issue window; whoever completes the
 	// operation re-opens the window on the waiter's behalf before signalling,
 	// handing it over without a gap the drain loop could slip through.
-	parked  bool
-	results []triples.Posting
-	errs    []error
-	deleted bool
-	maxEnd  simnet.VTime // latest observed path end, runtime timeline
-	done    chan struct{}
+	parked bool
+	// writeFence marks that applyOwnerWrite opened a write-apply phase for
+	// this operation; the last resolved message closes it (endWrite) so
+	// membership moves waiting on the drain may proceed.
+	writeFence bool
+	results    []triples.Posting
+	errs       []error
+	deleted    bool
+	maxEnd     simnet.VTime // latest observed path end, runtime timeline
+	done       chan struct{}
 }
 
 // addPending records n in-flight messages.
@@ -185,8 +205,14 @@ func (op *actorOp) finishMsg() {
 	op.pending--
 	last := op.pending == 0
 	parked := op.parked
+	fenced := op.writeFence
 	op.mu.Unlock()
 	if last {
+		if fenced {
+			// Every replica apply of this write has landed (or failed for
+			// good): close the apply phase the owner apply opened.
+			op.x.g.endWrite()
+		}
 		if parked {
 			op.x.rt.BeginIssue()
 		}
@@ -204,6 +230,26 @@ func (op *actorOp) recordErr(err error) {
 // fail resolves one in-flight message with a failure (dropped or unpostable).
 func (op *actorOp) fail(err error) {
 	op.recordErr(err)
+	op.finishMsg()
+}
+
+// readFailed records a failed branch of a read operation, degrading it into
+// an unanswered probe when the retry policy is enabled: the query keeps its
+// partial results. Write failures always surface.
+func (op *actorOp) readFailed(err error) {
+	if op.kind == opInsert || op.kind == opDelete {
+		op.recordErr(err)
+		return
+	}
+	if err = op.x.g.degradeReadErr(op.t, err); err != nil {
+		op.recordErr(err)
+	}
+}
+
+// failBranch resolves one in-flight message of a failed branch, degrading
+// reads like readFailed.
+func (op *actorOp) failBranch(err error) {
+	op.readFailed(err)
 	op.finishMsg()
 }
 
@@ -246,7 +292,10 @@ func (x *actorExec) newOp(v *view, t *metrics.Tally, from simnet.NodeID, kind op
 	op := &actorOp{x: x, v: v, t: t, from: from, kind: kind, done: make(chan struct{})}
 	op.corr = x.rt.Open(true, func(rt *asyncnet.Runtime, ev asyncnet.Event, payload simnet.Message, err error) {
 		if err != nil {
-			op.fail(err)
+			// A dropped protocol message (deadline, mailbox, runtime-level
+			// loss) fails this branch; reads degrade it to an unanswered
+			// probe under the retry policy.
+			op.failBranch(err)
 			return
 		}
 		// The reply paid the initiator's mailbox wait and service time like
@@ -297,9 +346,10 @@ func (x *actorExec) post(op *actorOp, from, to simnet.NodeID, payload simnet.Mes
 // initiator. A send failure (initiator crashed) mirrors the chained
 // executor: the error is recorded and the results are lost.
 func (x *actorExec) reply(op *actorOp, from simnet.NodeID, res []triples.Posting, hops int64, departRT simnet.VTime) bool {
-	arrive, err := x.g.net.SendTimed(op.t, from, op.from, resultMsg{postings: res}, departRT)
+	arrive, err := x.g.sendRetrans(op.t, from, op.from,
+		func() simnet.Message { return resultMsg{postings: res} }, departRT)
 	if err != nil {
-		op.recordErr(err)
+		op.readFailed(err)
 		return false
 	}
 	op.addPending(1)
@@ -421,13 +471,13 @@ func (x *actorExec) handle(rt *asyncnet.Runtime, ev asyncnet.Event) {
 func (x *actorExec) onRouteStep(op *actorOp, ev asyncnet.Event, m routeStepMsg) {
 	defer op.finishMsg()
 	if m.budget <= 0 {
-		op.recordErr(ErrRoutingExhausted)
+		op.readFailed(ErrRoutingExhausted)
 		return
 	}
 	here, now := ev.To, ev.At
 	p, err := op.v.peer(here)
 	if err != nil {
-		op.recordErr(err)
+		op.readFailed(err)
 		return
 	}
 	if op.stop(p) {
@@ -437,15 +487,15 @@ func (x *actorExec) onRouteStep(op *actorOp, ev asyncnet.Event, m routeStepMsg) 
 	l := p.path.CommonPrefixLen(op.target)
 	next, err := x.g.pickRef(op.v, p, l, op.salt)
 	if err != nil {
-		op.recordErr(err)
+		op.readFailed(err)
 		return
 	}
-	arrive, err := x.g.net.SendTimed(op.t, here, next, op.wire(), now)
+	reached, arrive, err := x.g.sendFailover(op.v, op.t, here, next, op.wire, now)
 	if err != nil {
-		op.recordErr(err)
+		op.readFailed(err)
 		return
 	}
-	x.post(op, here, next, routeStepMsg{hops: m.hops + 1, budget: m.budget - 1}, arrive)
+	x.post(op, here, reached, routeStepMsg{hops: m.hops + 1, budget: m.budget - 1}, arrive)
 }
 
 // arrived performs the operation's action at the peer the routing loop
@@ -469,10 +519,21 @@ func (x *actorExec) arrived(op *actorOp, ev asyncnet.Event, p *Peer, hops int64)
 		}
 		op.observe(hops, now)
 	case opInsert:
-		p.localPut(op.orig, op.posting)
+		x.g.applyOwnerWrite(op.v, p, op.target, func(q *Peer) bool {
+			q.localPut(op.orig, op.posting)
+			return true
+		})
+		op.mu.Lock()
+		op.writeFence = true
+		op.mu.Unlock()
 		x.applyAtReplicas(op, p, here, false, hops, now)
 	case opDelete:
-		deleted := p.localDelete(op.orig, op.match)
+		deleted := x.g.applyOwnerWrite(op.v, p, op.target, func(q *Peer) bool {
+			return q.localDelete(op.orig, op.match)
+		})
+		op.mu.Lock()
+		op.writeFence = true
+		op.mu.Unlock()
 		if deleted {
 			op.mu.Lock()
 			op.deleted = true
@@ -496,7 +557,7 @@ func (x *actorExec) applyAtReplicas(op *actorOp, p *Peer, here simnet.NodeID, de
 		return replicateMsg{key: op.orig, posting: op.posting}
 	}
 	for _, r := range p.replicas {
-		arrive, err := x.g.net.SendTimed(op.t, here, r, wire(), now)
+		arrive, err := x.g.sendRetrans(op.t, here, r, wire, now)
 		if err != nil {
 			op.recordErr(err)
 			continue
@@ -512,16 +573,13 @@ func (x *actorExec) applyAtReplicas(op *actorOp, p *Peer, here simnet.NodeID, de
 // onApply lands a replica push.
 func (x *actorExec) onApply(op *actorOp, ev asyncnet.Event, m applyMsg) {
 	defer op.finishMsg()
-	p, err := op.v.peer(ev.To)
-	if err != nil {
-		op.recordErr(err)
-		return
-	}
-	if m.del {
-		p.localDelete(op.orig, op.match)
-	} else {
-		p.localPut(op.orig, op.posting)
-	}
+	x.g.applyReplicaWrite(op.v, ev.To, op.target, func(q *Peer) bool {
+		if m.del {
+			return q.localDelete(op.orig, op.match)
+		}
+		q.localPut(op.orig, op.posting)
+		return true
+	})
 	op.observe(m.hops, ev.At)
 }
 
@@ -553,15 +611,17 @@ func (x *actorExec) onMultiStep(op *actorOp, ev asyncnet.Event, m multiStepMsg) 
 
 	branches, pickErrs := splitMultiBranches(x.g, op.v, p, rest, m.scope)
 	for _, e := range pickErrs {
-		op.recordErr(e)
+		op.readFailed(e)
 	}
 	for _, b := range branches {
-		arrive, err := x.g.net.SendTimed(op.t, here, b.next, multiLookupWire(b.keys), now)
+		b := b
+		reached, arrive, err := x.g.sendFailover(op.v, op.t, here, b.next,
+			func() simnet.Message { return multiLookupWire(b.keys) }, now)
 		if err != nil {
-			op.recordErr(err)
+			op.readFailed(err)
 			continue
 		}
-		x.post(op, here, b.next, multiStepMsg{keys: b.keys, scope: b.level + 1, hops: m.hops + 1}, arrive)
+		x.post(op, here, reached, multiStepMsg{keys: b.keys, scope: b.level + 1, hops: m.hops + 1}, arrive)
 	}
 }
 
@@ -589,16 +649,16 @@ func (x *actorExec) onShowerStep(op *actorOp, ev asyncnet.Event, scope int, hops
 	}
 	branches, pickErrs := splitShowerBranches(x.g, op.v, p, op.ivH, scope)
 	for _, e := range pickErrs {
-		op.recordErr(e)
+		op.readFailed(e)
 	}
 	for _, b := range branches {
-		arrive, err := x.g.net.SendTimed(op.t, here, b.next,
-			rangeMsg{iv: op.iv, filterBytes: op.opts.FilterBytes}, now)
+		reached, arrive, err := x.g.sendFailover(op.v, op.t, here, b.next,
+			func() simnet.Message { return rangeMsg{iv: op.iv, filterBytes: op.opts.FilterBytes} }, now)
 		if err != nil {
-			op.recordErr(err)
+			op.readFailed(err)
 			continue
 		}
-		x.post(op, here, b.next, showerStepMsg{scope: b.level + 1, hops: hops + 1}, arrive)
+		x.post(op, here, reached, showerStepMsg{scope: b.level + 1, hops: hops + 1}, arrive)
 	}
 }
 

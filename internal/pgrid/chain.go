@@ -33,6 +33,15 @@ func (x *chainExec) concurrent(n int, body func(i int)) {
 
 func (x *chainExec) attach(simnet.NodeID) {}
 
+// awaitWriteDrain waits out in-flight write applies. Chained writes run to
+// completion on their issuing goroutines, so a condition wait (which
+// releases memberMu while parked) is all that is needed; endWrite signals.
+func (x *chainExec) awaitWriteDrain() {
+	for x.g.pendingWrites > 0 {
+		x.g.writeDrained.Wait()
+	}
+}
+
 // routeToward implements the routing loop of Algorithm 1: starting at from,
 // repeatedly forward to a reference in the complementary subtrie at the
 // divergence level until stop(peer) holds. target is a hashed-space key. Each
@@ -59,13 +68,13 @@ func (x *chainExec) routeToward(v *view, t *metrics.Tally, from simnet.NodeID, t
 		if err != nil {
 			return 0, cur, err
 		}
-		arrive, err := g.net.SendTimed(t, at, next, mkMsg(), cur.at)
+		reached, arrive, err := g.sendFailover(v, t, at, next, mkMsg, cur.at)
 		if err != nil {
 			return 0, cur, err
 		}
 		cur.at = arrive
 		cur.hops++
-		at = next
+		at = reached
 	}
 	return 0, cur, ErrRoutingExhausted
 }
@@ -77,14 +86,18 @@ func (x *chainExec) lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		func(p *Peer) bool { return p.Responsible(hk) },
 		func() simnet.Message { return lookupMsg{key: k} }, cursor{at: start})
 	if err != nil {
-		return nil, cur.at, err
+		if err = g.degradeReadErr(t, err); err != nil {
+			return nil, cur.at, err
+		}
+		return nil, cur.at, nil
 	}
 	p := v.peers[dest]
 	res := p.localPrefix(k)
 	if len(res) > 0 || g.cfg.ReplyEmpty {
-		arrive, err := g.net.SendTimed(t, dest, from, resultMsg{postings: res}, cur.at)
+		arrive, err := g.sendRetrans(t, dest, from,
+			func() simnet.Message { return resultMsg{postings: res} }, cur.at)
 		if err != nil {
-			return res, cur.finish(t), err
+			return res, cur.finish(t), g.degradeReadErr(t, err)
 		}
 		cur.at = arrive
 		cur.hops++
@@ -124,9 +137,10 @@ func (x *chainExec) multiStep(v *view, t *metrics.Tally, initiator, at simnet.No
 	var localErr error
 	if len(local) > 0 || (g.cfg.ReplyEmpty && served) {
 		reply := cur
-		arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: local}, reply.at)
+		arrive, err := g.sendRetrans(t, at, initiator,
+			func() simnet.Message { return resultMsg{postings: local} }, reply.at)
 		if err != nil {
-			localErr = err
+			localErr = g.degradeReadErr(t, err)
 			local = nil
 		} else {
 			reply.at = arrive
@@ -141,17 +155,21 @@ func (x *chainExec) multiStep(v *view, t *metrics.Tally, initiator, at simnet.No
 	// forwarding targets before forking; reference picking is deterministic,
 	// so branch sets are identical under every execution engine.
 	branches, pickErrs := splitMultiBranches(g, v, p, rest, scope)
+	for i, e := range pickErrs {
+		pickErrs[i] = g.degradeReadErr(t, e)
+	}
 
 	results := make([][]triples.Posting, len(branches))
 	errs := make([]error, len(branches))
 	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
 		b := branches[i]
-		arrive, err := g.net.SendTimed(t, at, b.next, multiLookupWire(b.keys), start)
+		reached, arrive, err := g.sendFailover(v, t, at, b.next,
+			func() simnet.Message { return multiLookupWire(b.keys) }, start)
 		if err != nil {
-			errs[i] = err
+			errs[i] = g.degradeReadErr(t, err)
 			return start
 		}
-		res, bEnd, err := x.multiStep(v, t, initiator, b.next, b.keys, b.level+1,
+		res, bEnd, err := x.multiStep(v, t, initiator, reached, b.keys, b.level+1,
 			cursor{at: arrive, hops: cur.hops + 1})
 		results[i] = res
 		errs[i] = err
@@ -241,9 +259,10 @@ func (x *chainExec) showerStep(v *view, t *metrics.Tally, initiator, at simnet.N
 		res := p.localRange(iv, opts.Filter)
 		if len(res) > 0 || g.cfg.ReplyEmpty {
 			reply := cur
-			arrive, err := g.net.SendTimed(t, at, initiator, resultMsg{postings: res}, reply.at)
+			arrive, err := g.sendRetrans(t, at, initiator,
+				func() simnet.Message { return resultMsg{postings: res} }, reply.at)
 			if err != nil {
-				localErr = err
+				localErr = g.degradeReadErr(t, err)
 			} else {
 				local = res
 				reply.at = arrive
@@ -258,18 +277,21 @@ func (x *chainExec) showerStep(v *view, t *metrics.Tally, initiator, at simnet.N
 	}
 
 	branches, pickErrs := splitShowerBranches(g, v, p, ivH, scope)
+	for i, e := range pickErrs {
+		pickErrs[i] = g.degradeReadErr(t, e)
+	}
 
 	results := make([][]triples.Posting, len(branches))
 	errs := make([]error, len(branches))
 	fanEnd := g.net.Fanout(cur.at, len(branches), func(i int, start simnet.VTime) simnet.VTime {
 		b := branches[i]
-		arrive, err := g.net.SendTimed(t, at, b.next,
-			rangeMsg{iv: iv, filterBytes: opts.FilterBytes}, start)
+		reached, arrive, err := g.sendFailover(v, t, at, b.next,
+			func() simnet.Message { return rangeMsg{iv: iv, filterBytes: opts.FilterBytes} }, start)
 		if err != nil {
-			errs[i] = err
+			errs[i] = g.degradeReadErr(t, err)
 			return start
 		}
-		res, bEnd, err := x.showerStep(v, t, initiator, b.next, iv, ivH, b.level+1, opts,
+		res, bEnd, err := x.showerStep(v, t, initiator, reached, iv, ivH, b.level+1, opts,
 			cursor{at: arrive, hops: cur.hops + 1})
 		results[i] = res
 		errs[i] = err
@@ -318,11 +340,13 @@ func (x *chainExec) insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		return err
 	}
 	p := v.peers[dest]
-	p.localPut(k, posting)
+	g.applyOwnerWrite(v, p, hk, func(q *Peer) bool { q.localPut(k, posting); return true })
+	defer g.endWrite()
 	end := cur.at
 	var errs []error
 	for _, r := range p.replicas {
-		arrive, err := g.net.SendTimed(t, dest, r, replicateMsg{key: k, posting: posting}, cur.at)
+		arrive, err := g.sendRetrans(t, dest, r,
+			func() simnet.Message { return replicateMsg{key: k, posting: posting} }, cur.at)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -330,7 +354,7 @@ func (x *chainExec) insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		if arrive > end {
 			end = arrive
 		}
-		v.peers[r].localPut(k, posting)
+		g.applyReplicaWrite(v, r, hk, func(q *Peer) bool { q.localPut(k, posting); return true })
 	}
 	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return errors.Join(errs...)
@@ -346,11 +370,13 @@ func (x *chainExec) remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		return false, err
 	}
 	p := v.peers[dest]
-	deleted := p.localDelete(k, match)
+	deleted := g.applyOwnerWrite(v, p, hk, func(q *Peer) bool { return q.localDelete(k, match) })
+	defer g.endWrite()
 	end := cur.at
 	var errs []error
 	for _, r := range p.replicas {
-		arrive, err := g.net.SendTimed(t, dest, r, deleteMsg{key: k}, cur.at)
+		arrive, err := g.sendRetrans(t, dest, r,
+			func() simnet.Message { return deleteMsg{key: k} }, cur.at)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -358,7 +384,7 @@ func (x *chainExec) remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		if arrive > end {
 			end = arrive
 		}
-		v.peers[r].localDelete(k, match)
+		g.applyReplicaWrite(v, r, hk, func(q *Peer) bool { return q.localDelete(k, match) })
 	}
 	t.ObservePath(cur.hops+boolInt64(len(p.replicas) > 0), int64(end))
 	return deleted, errors.Join(errs...)

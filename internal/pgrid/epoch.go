@@ -19,9 +19,11 @@ package pgrid
 // versions fresh stores. A query running on the previous epoch therefore
 // keeps reading the previous owner's untouched store: graceful departure and
 // splitting behave like a drain, where the old owner keeps serving in-flight
-// queries until their snapshots are released. The known trade-off is that an
-// Insert racing with a split of the same partition follows the epoch it
-// observed and may land in the pre-split store only; queries are always
+// queries until their snapshots are released. Writes crossing epochs are
+// fenced (see robust.go): an Insert or Delete racing a membership change of
+// its partition is redirected under memberMu to the current epoch's owners,
+// so it is neither stranded in a store the new epoch no longer reads nor
+// applied twice through diverged replica lists; queries are always
 // consistent within their snapshot.
 //
 // Departed peers are tombstoned: the slot in view.peers becomes nil, the id

@@ -56,6 +56,11 @@ type executor interface {
 	concurrent(n int, body func(i int))
 	// attach makes a newly joined peer addressable by the engine.
 	attach(id simnet.NodeID)
+	// awaitWriteDrain blocks until no routed write is between its fenced
+	// owner apply and its last replica apply (Grid.pendingWrites == 0).
+	// Called with memberMu held; the actor engine releases it around heap
+	// steps so it can complete the in-flight applies itself.
+	awaitWriteDrain()
 }
 
 // Fanout executes logically parallel branch expansions under the grid's

@@ -80,6 +80,13 @@ type Config struct {
 	// on the fabric; without one the hashed path is kept, as it is by
 	// default, so seeded route determinism is opt-out only.
 	LatencyAwareRefs bool
+	// Retry enables the robustness layer (see robust.go): wire sends lost in
+	// transit are retransmitted with exponential virtual-time backoff,
+	// unreachable targets fail over to structural replicas, and read
+	// branches that stay unanswered degrade the query to partial results
+	// instead of failing it. Off by default so the fault-free
+	// cross-executor oracle compares byte-identical runs.
+	Retry RetryConfig
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -367,9 +374,19 @@ type Grid struct {
 	cur atomic.Pointer[view]
 	// memberMu serializes epoch builders (Join, Leave, RefreshRefs).
 	memberMu sync.Mutex
+	// pendingWrites counts routed writes between their fenced owner apply
+	// and their last replica apply; Join and Leave drain it before moving
+	// data so a handover never snapshots a partition member that is still
+	// missing an in-flight replica push. Guarded by memberMu; writeDrained
+	// is signalled by endWrite when the count returns to zero.
+	pendingWrites int
+	writeDrained  *sync.Cond
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Cumulative robustness counters (atomic; see robust.go).
+	retries, failovers, unanswered, fencedWrites int64
 }
 
 // Errors returned by grid operations.
@@ -421,6 +438,7 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 	leafPaths := splitTrie(hashed, targetLeaves, cfg.MaxDepth)
 
 	g := &Grid{net: net, cfg: cfg, h: h, rng: rng}
+	g.writeDrained = sync.NewCond(&g.memberMu)
 	if cfg.Exec == ExecActor {
 		g.exec = newActorExec(g)
 	} else {

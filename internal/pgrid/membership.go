@@ -60,6 +60,7 @@ func (m refExchangeMsg) Kind() string { return "pgrid.refexchange" }
 func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
 	g.memberMu.Lock()
 	defer g.memberMu.Unlock()
+	g.waitWritesLocked()
 	next := g.snapshot().clone()
 
 	li, hostID, err := g.pickHostPartition(next)
@@ -190,6 +191,7 @@ func (g *Grid) splitPartition(next *view, t *metrics.Tally, np *Peer, li int, ho
 func (g *Grid) Leave(t *metrics.Tally, id simnet.NodeID) error {
 	g.memberMu.Lock()
 	defer g.memberMu.Unlock()
+	g.waitWritesLocked()
 	cur := g.snapshot()
 	if int(id) < 0 || int(id) >= len(cur.peers) {
 		return fmt.Errorf("%w: %d", ErrNotMember, id)

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -134,6 +135,13 @@ type Network struct {
 	down    map[NodeID]bool
 	tracer  func(TraceEvent)
 	latency LatencyFunc
+	faults  *FaultPlan
+
+	// Per-link message sequence numbers for the loss draws. A separate
+	// mutex so SendTimed's read path keeps taking mu.RLock only.
+	faultMu sync.Mutex
+	linkSeq map[uint64]uint64
+	drops   int64 // atomic
 
 	collector *metrics.Collector
 }
@@ -240,6 +248,7 @@ func (n *Network) SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart
 	downTo := n.down[to]
 	tracer := n.tracer
 	latency := n.latency
+	faults := n.faults
 	n.mu.RUnlock()
 
 	var err error
@@ -254,6 +263,21 @@ func (n *Network) SendTimed(t *metrics.Tally, from, to NodeID, m Message, depart
 			tracer(TraceEvent{From: from, To: to, Msg: m, Err: err, Depart: depart, Arrive: depart})
 		}
 		return depart, err
+	}
+	if faults != nil && n.dropped(faults, from, to, depart) {
+		// Lost in transit: the message departed, so it still counts toward
+		// messages and bytes (retransmissions then show up as real
+		// overhead); only delivery fails.
+		size := m.Size()
+		n.collector.Record(m.Kind(), size)
+		if t != nil {
+			t.Add(size)
+		}
+		atomic.AddInt64(&n.drops, 1)
+		if tracer != nil {
+			tracer(TraceEvent{From: from, To: to, Msg: m, Err: ErrLinkLoss, Depart: depart, Arrive: depart})
+		}
+		return depart, ErrLinkLoss
 	}
 	size := m.Size()
 	n.collector.Record(m.Kind(), size)

@@ -118,6 +118,11 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 		`pgrid_cache_hits_total{cache="posting"}`,
 		`pgrid_cache_misses_total{cache="result"}`,
 		`pgrid_cache_bytes{cache="posting"}`,
+		"pgrid_drops_total",
+		"pgrid_retries_total",
+		"pgrid_failovers_total",
+		"pgrid_unanswered_total",
+		"pgrid_fenced_writes_total",
 	} {
 		if !bytes.Contains(body, []byte(family)) {
 			t.Errorf("scrape missing %q", family)
