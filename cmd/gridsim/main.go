@@ -42,6 +42,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -208,8 +210,12 @@ func main() {
 		workers     = flag.Int("workers", 0, "fanout goroutine bound (0 = default)")
 		loadWorkers = flag.Int("load-workers", 0,
 			"bulk-load pipeline concurrency: 0 = GOMAXPROCS, 1 = serial (results are identical either way)")
+		loadBudget = flag.Int64("load-budget", 0,
+			"streaming load budget in bytes: cap on extracted index entries resident at once (0 = materialize the whole entry set; results are identical either way)")
 		latDist = flag.String("latency-dist", "uniform:10ms-100ms",
 			"per-link latency distribution: none, fixed:25ms, uniform:10ms-100ms, lognormal:20ms,0.5")
+		bandwidth = flag.String("bandwidth", "none",
+			"per-link capacity adding size/rate to every message's delay and to actor service times (e.g. 512KiB/s, 10MB/s; none = size-free messages)")
 		churn = flag.Float64("churn-rate", 0,
 			"churn events per simulated second, scheduled on the virtual timeline (0 = none)")
 		churnMode = flag.String("churn-mode", "crash",
@@ -280,6 +286,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	bwRate, err := asyncnet.ParseBandwidth(*bandwidth)
+	if err != nil {
+		fatal(err)
+	}
 	var tracer *asyncnet.Tracer
 	if *traceOut != "" || *traceChrome != "" {
 		tracer = asyncnet.NewTracer(0)
@@ -299,6 +309,9 @@ func main() {
 		if latency != nil {
 			lat = latency.String()
 		}
+		if bwRate > 0 {
+			lat += "+bw:" + asyncnet.FormatRate(bwRate)
+		}
 		fmt.Printf("workload: runtime=%s method=%s scheme=%s cache=%s latency=%s churn=%.2f/s mode=%s clients=%d (%d mix initiations)\n\n",
 			mode, m, opt.scheme, cacheState, lat, *churn, *churnMode, *clients, *mixes)
 	}
@@ -309,20 +322,35 @@ func main() {
 	for _, n := range peers {
 		loadStart := time.Now()
 		tracer.Reset() // a sweep reuses the ring; each size traces afresh
+		// Memory-capped load mode: the windowed apply churns through far more
+		// short-lived garbage (per-window merge rebuilds) than it keeps live,
+		// and the default GC pacer grants headroom of twice the live set
+		// before collecting any of it. Halve the headroom for the load phase
+		// so peak RSS tracks the live set, not the churn; the workload phase
+		// runs at default pacing.
+		gcRestore := -1
+		if *loadBudget > 0 {
+			gcRestore = debug.SetGCPercent(50)
+		}
 		eng, err := core.Open(tuples, core.Config{
 			Peers:            n,
 			Scheme:           opt.scheme,
 			Runtime:          mode,
 			Workers:          *workers,
 			LoadWorkers:      *loadWorkers,
+			LoadBudget:       *loadBudget,
 			Latency:          latency,
 			Service:          *service,
 			LatencyAwareRefs: *latAware,
 			Trace:            tracer,
 			MetricsAddr:      *metricsAddr,
 			Cache:            opt.cache,
+			Bandwidth:        bwRate,
 			Drop:             *drop,
 		})
+		if gcRestore >= 0 {
+			debug.SetGCPercent(gcRestore)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -339,6 +367,14 @@ func main() {
 			s.Peers, s.Leaves, s.MinDepth, s.AvgDepth, s.MaxDepth,
 			s.AvgRefs, s.StoredItems, s.MaxLeafItems,
 			loadWall.Round(time.Millisecond), postingsPerSec)
+		li := eng.LoadInfo()
+		if li.Budget > 0 {
+			fmt.Printf("load:     windows=%d budget=%s modeled-peak=%s rss-peak=%s\n",
+				li.Windows, fmtBytes(li.Budget), fmtBytes(li.PeakEntryBytes), fmtBytes(peakRSS()))
+		} else {
+			fmt.Printf("load:     materialized modeled-peak=%s rss-peak=%s\n",
+				fmtBytes(li.PeakEntryBytes), fmtBytes(peakRSS()))
+		}
 		if opt.openLoop {
 			if err := runOpenLoop(eng, corpus, m, *rate, *zipf, *arrivals, *seed); err != nil {
 				fatal(fmt.Errorf("open-loop workload at %d peers: %w", n, err))
@@ -923,6 +959,43 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// peakRSS reports the process's peak resident set size in bytes: VmHWM from
+// /proc/self/status where available (the OS high-water mark — the honest
+// memory-peak measure for load-mode comparisons), falling back to the Go
+// runtime's Sys (memory obtained from the OS, which includes reserved GC
+// headroom and so overstates residency).
+func peakRSS() int64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if kb, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func fatal(err error) {

@@ -116,6 +116,93 @@ func (l LogNormal) String() string {
 	return fmt.Sprintf("lognormal:%s,%.2f", l.Median.Duration(), l.Sigma)
 }
 
+// Bandwidth adds a size-dependent transmission term to a base propagation
+// model: a message of s bytes takes s/BytesPerSec on the wire in addition to
+// the base delay. Large result sets and bulk handovers stop being free the
+// way the paper's pure message-count cost model treats them. The term is a
+// deterministic integer function of the size, so concurrent and serial
+// executions still observe identical delays.
+type Bandwidth struct {
+	// Base draws the propagation delay (nil = zero: bandwidth only).
+	Base LatencyModel
+	// BytesPerSec is the link capacity; <= 0 disables the term.
+	BytesPerSec int64
+}
+
+// Sample implements LatencyModel.
+func (b Bandwidth) Sample(from, to simnet.NodeID, size int) simnet.VTime {
+	var d simnet.VTime
+	if b.Base != nil {
+		d = b.Base.Sample(from, to, size)
+	}
+	return d + TxTime(b.BytesPerSec, size)
+}
+
+// String implements LatencyModel.
+func (b Bandwidth) String() string {
+	base := "none"
+	if b.Base != nil {
+		base = b.Base.String()
+	}
+	return fmt.Sprintf("%s+bw:%s", base, FormatRate(b.BytesPerSec))
+}
+
+// TxTime is the transmission time of size bytes at bytesPerSec, rounded up
+// to the next virtual-time tick (microsecond). <= 0 rates and sizes cost
+// nothing.
+func TxTime(bytesPerSec int64, size int) simnet.VTime {
+	if bytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return simnet.VTime((int64(size)*1_000_000 + bytesPerSec - 1) / bytesPerSec)
+}
+
+// FormatRate renders a bytes-per-second rate in the ParseBandwidth syntax.
+func FormatRate(bytesPerSec int64) string {
+	switch {
+	case bytesPerSec <= 0:
+		return "none"
+	case bytesPerSec%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB/s", bytesPerSec>>20)
+	case bytesPerSec%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB/s", bytesPerSec>>10)
+	}
+	return fmt.Sprintf("%dB/s", bytesPerSec)
+}
+
+// ParseBandwidth parses a link-capacity spec into bytes per second:
+//
+//	none            no bandwidth term (0)
+//	512KiB/s        binary units: B/s, KiB/s, MiB/s, GiB/s
+//	10MB/s          decimal units: KB/s, MB/s, GB/s
+//	65536           plain bytes per second
+func ParseBandwidth(spec string) (int64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" || spec == "0" {
+		return 0, nil
+	}
+	num := strings.TrimSuffix(spec, "/s")
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	} {
+		if strings.HasSuffix(num, u.suffix) {
+			num = strings.TrimSuffix(num, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("asyncnet: bad bandwidth %q (want e.g. 512KiB/s, 10MB/s, none)", spec)
+	}
+	return int64(v * float64(mult)), nil
+}
+
 // DefaultLatency is the model the tools use when latency is enabled without
 // an explicit distribution: uniform 10–100ms per link, the spread of
 // wide-area peer-to-peer deployments.

@@ -169,6 +169,13 @@ type Runtime struct {
 	issueCond *sync.Cond
 	issuers   int64
 
+	// svcRate, when positive, adds a size-proportional term to every
+	// actor's per-message service time: a message of s bytes costs
+	// TxTime(svcRate, s) extra processing. Models peers whose handling cost
+	// scales with payload (deserialization, store writes), complementing the
+	// Bandwidth latency model's wire term.
+	svcRate int64
+
 	// fault injection: envelopes can be lost in transit (see SetFaults).
 	faults    *simnet.FaultPlan
 	faultSeq  map[uint64]uint64
@@ -205,6 +212,17 @@ func (rt *Runtime) Register(id simnet.NodeID, capacity int, service simnet.VTime
 		return
 	}
 	rt.actors[id] = &actor{id: id, handler: h, capacity: capacity, service: service}
+}
+
+// SetServiceRate makes every actor's service time message-size dependent: a
+// message of s bytes costs TxTime(bytesPerSec, s) on top of the actor's
+// fixed per-message service. <= 0 removes the term. The extra cost is a
+// deterministic function of the message, so seeded schedules stay
+// reproducible.
+func (rt *Runtime) SetServiceRate(bytesPerSec int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.svcRate = bytesPerSec
 }
 
 // SetDown marks an actor failed or healthy. Messages arriving at a downed
@@ -424,14 +442,18 @@ func (rt *Runtime) Step() bool {
 			if a.pending > a.maxPending {
 				a.maxPending = a.pending
 			}
+			svc := a.service
+			if rt.svcRate > 0 && it.ev.Msg != nil {
+				svc += TxTime(rt.svcRate, it.ev.Msg.Size())
+			}
 			start := rt.now
 			if a.busyUntil > start {
 				start = a.busyUntil
 			}
-			a.busyUntil = start + a.service
+			a.busyUntil = start + svc
 			wait := start - rt.now
 			a.waitTotal += wait
-			a.busyTotal += a.service
+			a.busyTotal += svc
 			a.waitBuckets[bits.Len64(uint64(wait))]++
 			if wait > a.maxWait {
 				a.maxWait = wait
@@ -439,7 +461,7 @@ func (rt *Runtime) Step() bool {
 			ev := it.ev
 			ev.Enqueued = rt.now
 			ev.At = start
-			rt.push(&item{at: start, kind: kindProcess, ev: ev, svc: a.service})
+			rt.push(&item{at: start, kind: kindProcess, ev: ev, svc: svc})
 		}
 		rt.mu.Unlock()
 		if tracer != nil {

@@ -165,28 +165,31 @@ func (t *Tree[V]) BulkLoadSorted(ks []keys.Key, vs []V) {
 // once per index, in ascending order. It panics if the keys are not in
 // nondecreasing order; the order check rides the single pass each path
 // already makes (replicas re-applying a shared shard pay no extra scan), so
-// a violation may leave a partially loaded tree — discard it.
+// a violation on the per-entry insert path may leave a partially loaded tree
+// — discard it (the empty-tree and merge-rebuild paths leave the tree
+// unchanged on panic).
+//
+// A non-empty tree takes the merge-rebuild path (MergeSorted) when the batch
+// is large enough relative to the tree for a full rebuild to pay off, and
+// per-entry inserts otherwise; stored contents and iteration order are
+// identical either way.
 func (t *Tree[V]) BulkLoadSortedFunc(n int, at func(int) (keys.Key, V)) {
 	if n == 0 {
 		return
 	}
-	var prev keys.Key
-	checked := func(i int) (keys.Key, V) {
-		k, v := at(i)
-		if i > 0 && prev.Compare(k) > 0 {
-			panic(fmt.Sprintf("btree: bulk load keys out of order at index %d", i))
-		}
-		prev = k
-		return k, v
-	}
-	if t.size > 0 {
+	if t.size > 0 && n*mergeRebuildFactor < t.size {
+		var prev keys.Key
 		for i := 0; i < n; i++ {
-			t.Insert(checked(i))
+			k, v := at(i)
+			if i > 0 && prev.Compare(k) > 0 {
+				panic(fmt.Sprintf("btree: bulk load keys out of order at index %d", i))
+			}
+			prev = k
+			t.Insert(k, v)
 		}
 		return
 	}
-	t.root = buildSorted(n, checked)
-	t.size = n
+	t.MergeSorted(n, at)
 }
 
 // buildSorted assembles a valid B-tree bottom-up from sorted entries: the

@@ -2,3 +2,20 @@ package btree
 
 // CheckInvariants exposes the structural validator to tests.
 func (t *Tree[V]) CheckInvariants() error { return t.checkInvariants() }
+
+// SlotCapacity reports the total entry-slot capacity allocated across the
+// tree's nodes — the retention a fragmentation guard compares against Len.
+func (t *Tree[V]) SlotCapacity() int {
+	if t.root == nil {
+		return 0
+	}
+	return slotCapacity(t.root)
+}
+
+func slotCapacity[V any](n *node[V]) int {
+	total := cap(n.entries)
+	for _, c := range n.children {
+		total += slotCapacity(c)
+	}
+	return total
+}

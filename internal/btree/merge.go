@@ -1,0 +1,136 @@
+// Merge-rebuild: batch inserts into a non-empty tree.
+//
+// Before this file, a sorted batch landing on a non-empty store degraded to
+// one Insert per entry — O(n log size) with a key comparison per B-tree level
+// — which made every runtime batch after the initial bulk load pay the slow
+// path. MergeSorted instead streams the existing tree (an in-order stack
+// iterator, no materialization) and the batch through one merge cursor into
+// buildSorted, the same bottom-up O(n) constructor the empty-tree fast path
+// uses. Duplicate keys keep Insert's semantics exactly: existing entries stay
+// before batch entries (upperBound inserts after equals), and batch entries
+// keep their batch order.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/keys"
+)
+
+// mergeRebuildFactor gates when BulkLoadSortedFunc rebuilds instead of
+// inserting per entry: a rebuild touches every existing entry, so it only
+// pays when the batch is a meaningful fraction of the tree. With factor f,
+// batches of n entries rebuild when n*f >= size — per amortized entry the
+// rebuild then costs O(f) copies versus O(log size) comparisons for inserts.
+const mergeRebuildFactor = 8
+
+// treeIter walks a tree's entries in order without materializing them.
+type treeIter[V any] struct {
+	stack []iterFrame[V]
+}
+
+type iterFrame[V any] struct {
+	n *node[V]
+	i int // next entry index within n
+}
+
+func newTreeIter[V any](root *node[V]) *treeIter[V] {
+	it := &treeIter[V]{}
+	it.descend(root)
+	return it
+}
+
+// descend pushes the path to the leftmost leaf of the subtree rooted at n.
+func (it *treeIter[V]) descend(n *node[V]) {
+	for {
+		it.stack = append(it.stack, iterFrame[V]{n: n})
+		if n.leaf() {
+			return
+		}
+		n = n.children[0]
+	}
+}
+
+// valid reports whether the iterator has a current entry.
+func (it *treeIter[V]) valid() bool {
+	return len(it.stack) > 0
+}
+
+// cur returns the current entry; the iterator must be valid.
+func (it *treeIter[V]) cur() *entry[V] {
+	f := &it.stack[len(it.stack)-1]
+	return &f.n.entries[f.i]
+}
+
+// next advances to the following entry in key order.
+func (it *treeIter[V]) next() {
+	f := &it.stack[len(it.stack)-1]
+	f.i++
+	if !f.n.leaf() && f.i <= len(f.n.entries) {
+		// After yielding separator i-1, visit the subtree between it and the
+		// next separator.
+		it.descend(f.n.children[f.i])
+		return
+	}
+	// Leaf exhausted (or internal node fully yielded): pop to the first
+	// ancestor with an unyielded separator.
+	for len(it.stack) > 0 {
+		f = &it.stack[len(it.stack)-1]
+		if f.i < len(f.n.entries) {
+			return
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+}
+
+// MergeSorted merges a batch of n entries, read through at in ascending index
+// order and key-sorted (ties keep index order), into the tree by one
+// bottom-up rebuild over the merged stream. Entry order among duplicate keys
+// matches n repeated Inserts: existing entries first, then batch entries in
+// batch order. The old nodes are not mutated, so a failure mid-merge (an
+// unsorted batch panics) leaves the tree unchanged. Cost is O(Len + n);
+// prefer Insert for batches much smaller than the tree.
+func (t *Tree[V]) MergeSorted(n int, at func(int) (keys.Key, V)) {
+	if n == 0 {
+		return
+	}
+	var prev keys.Key
+	checked := func(i int) (keys.Key, V) {
+		k, v := at(i)
+		if i > 0 && prev.Compare(k) > 0 {
+			panic(fmt.Sprintf("btree: bulk load keys out of order at index %d", i))
+		}
+		prev = k
+		return k, v
+	}
+	if t.size == 0 {
+		t.root = buildSorted(n, checked)
+		t.size = n
+		return
+	}
+	it := newTreeIter(t.root)
+	bi := 0
+	var bk keys.Key
+	var bv V
+	bLoaded := false
+	merged := func(int) (keys.Key, V) {
+		if !bLoaded && bi < n {
+			bk, bv = checked(bi)
+			bLoaded = true
+		}
+		// Take the existing entry while it sorts at or before the batch head:
+		// existing entries precede batch entries among equal keys.
+		if it.valid() && (!bLoaded || it.cur().key.Compare(bk) <= 0) {
+			e := it.cur()
+			it.next()
+			return e.key, e.val
+		}
+		bLoaded = false
+		bi++
+		return bk, bv
+	}
+	m := t.size + n
+	root := buildSorted(m, merged)
+	t.root = root
+	t.size = m
+}

@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func mkKey(s string) keys.Key { return keys.StringKey(s) }
+
+// collect returns the tree's entries in iteration order.
+func collect(t *Tree[int]) []entry[int] {
+	var out []entry[int]
+	t.Ascend(func(k keys.Key, v int) bool {
+		out = append(out, entry[int]{key: k, val: v})
+		return true
+	})
+	return out
+}
+
+// sortedBatch builds a key-sorted batch with controlled duplicates; values
+// encode generation order so merge-order assertions can tell entries apart.
+func sortedBatch(rng *rand.Rand, n, keySpace, valBase int) ([]keys.Key, []int) {
+	ks := make([]keys.Key, n)
+	vs := make([]int, n)
+	raw := make([]string, n)
+	for i := range raw {
+		raw[i] = fmt.Sprintf("k%05d", rng.Intn(keySpace))
+	}
+	sort.Strings(raw)
+	for i, s := range raw {
+		ks[i] = mkKey(s)
+		vs[i] = valBase + i
+	}
+	return ks, vs
+}
+
+// TestMergeSortedEquivalence checks that MergeSorted on every (tree size,
+// batch size) shape produces exactly the tree that per-entry Inserts build:
+// same invariants, same length, same iteration order including duplicate-key
+// order.
+func TestMergeSortedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ pre, batch int }{
+		{0, 1}, {0, 500}, {1, 1}, {1, 400}, {40, 40}, {400, 3},
+		{400, 400}, {1000, 100}, {100, 1000}, {2000, 2000},
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("pre%d_batch%d", sh.pre, sh.batch), func(t *testing.T) {
+			preK, preV := sortedBatch(rng, sh.pre, 300, 0)
+			batK, batV := sortedBatch(rng, sh.batch, 300, 1_000_000)
+
+			merged := New[int]()
+			merged.BulkLoadSorted(preK, preV)
+			merged.MergeSorted(sh.batch, func(i int) (keys.Key, int) { return batK[i], batV[i] })
+
+			ref := New[int]()
+			ref.BulkLoadSorted(preK, preV)
+			for i := range batK {
+				ref.Insert(batK[i], batV[i])
+			}
+
+			if err := merged.CheckInvariants(); err != nil {
+				t.Fatalf("merged tree: %v", err)
+			}
+			if merged.Len() != ref.Len() {
+				t.Fatalf("merged len %d, reference %d", merged.Len(), ref.Len())
+			}
+			got, want := collect(merged), collect(ref)
+			for i := range want {
+				if !got[i].key.Equal(want[i].key) || got[i].val != want[i].val {
+					t.Fatalf("entry %d: got (%s,%d), want (%s,%d)",
+						i, got[i].key, got[i].val, want[i].key, want[i].val)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeSortedLeavesOldTreeReadable checks merge-rebuild does not mutate
+// the pre-merge nodes: a reader that captured the old root (as a query
+// holding an earlier epoch's store snapshot would) still sees the old
+// contents.
+func TestMergeSortedLeavesOldTreeReadable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	preK, preV := sortedBatch(rng, 300, 100, 0)
+	tr := New[int]()
+	tr.BulkLoadSorted(preK, preV)
+	oldRoot := tr.root
+	oldSize := tr.size
+
+	batK, batV := sortedBatch(rng, 300, 100, 1_000_000)
+	tr.MergeSorted(len(batK), func(i int) (keys.Key, int) { return batK[i], batV[i] })
+
+	old := Tree[int]{root: oldRoot, size: oldSize}
+	if err := old.checkInvariants(); err != nil {
+		t.Fatalf("pre-merge tree mutated: %v", err)
+	}
+	n := 0
+	old.Ascend(func(k keys.Key, v int) bool {
+		if v >= 1_000_000 {
+			t.Fatalf("pre-merge tree sees batch value %d", v)
+		}
+		n++
+		return true
+	})
+	if n != len(preK) {
+		t.Fatalf("pre-merge tree has %d entries, want %d", n, len(preK))
+	}
+}
+
+// TestMergeSortedUnsortedPanics checks the order guard fires and the tree
+// survives untouched.
+func TestMergeSortedUnsortedPanics(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mkKey("b"), 1)
+	tr.Insert(mkKey("d"), 2)
+	bad := []keys.Key{mkKey("z"), mkKey("a")}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unsorted merge batch did not panic")
+			}
+		}()
+		tr.MergeSorted(len(bad), func(i int) (keys.Key, int) { return bad[i], i })
+	}()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("tree damaged by failed merge: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("tree len %d after failed merge, want 2", tr.Len())
+	}
+}
+
+// TestBulkLoadSortedFuncPathSelection checks both the merge-rebuild and the
+// per-entry path behind BulkLoadSortedFunc yield identical trees, so the
+// threshold is a pure performance choice.
+func TestBulkLoadSortedFuncPathSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	preK, preV := sortedBatch(rng, 1000, 400, 0)
+
+	// Small batch (below threshold: per-entry inserts) and large batch
+	// (merge-rebuild), compared against manual Insert loops.
+	for _, bn := range []int{5, 1000} {
+		batK, batV := sortedBatch(rng, bn, 400, 1_000_000)
+		viaFunc := New[int]()
+		viaFunc.BulkLoadSorted(preK, preV)
+		viaFunc.BulkLoadSortedFunc(bn, func(i int) (keys.Key, int) { return batK[i], batV[i] })
+
+		ref := New[int]()
+		ref.BulkLoadSorted(preK, preV)
+		for i := range batK {
+			ref.Insert(batK[i], batV[i])
+		}
+		if err := viaFunc.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", bn, err)
+		}
+		got, want := collect(viaFunc), collect(ref)
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: len %d want %d", bn, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].key.Equal(want[i].key) || got[i].val != want[i].val {
+				t.Fatalf("batch %d entry %d: got (%s,%d), want (%s,%d)",
+					bn, i, got[i].key, got[i].val, want[i].key, want[i].val)
+			}
+		}
+	}
+}
+
+// longKeyBatch builds a sorted batch of posting-shaped keys (qgram||value
+// suffix, ~24 bytes) — the shape BulkLoad actually feeds stores.
+func longKeyBatch(rng *rand.Rand, n, valBase int) ([]keys.Key, []int) {
+	raw := make([]string, n)
+	for i := range raw {
+		raw[i] = fmt.Sprintf("%08x%08x%08x", rng.Uint32(), rng.Uint32(), rng.Uint32())
+	}
+	sort.Strings(raw)
+	ks := make([]keys.Key, n)
+	vs := make([]int, n)
+	for i, s := range raw {
+		ks[i] = mkKey(s)
+		vs[i] = valBase + i
+	}
+	return ks, vs
+}
+
+// BenchmarkBatchInsertNonEmpty compares merge-rebuild against per-entry
+// inserts for a 100k-entry sorted batch landing on a 100k-entry store — the
+// runtime-batch shape BulkLoad produces after an initial load.
+// TestMergeSortedStaysCompact pins the memory property streaming loads rely
+// on: applying many small sorted batches through MergeSorted leaves the tree
+// at bulk occupancy (allocated entry slots ~= Len), whereas the same batches
+// through per-entry Inserts split-fragment it. Without this property a
+// windowed load would retain roughly twice the resident bytes of a
+// materialized one — the opposite of what the byte budget is for.
+func TestMergeSortedStaysCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	merged, inserted := New[int](), New[int]()
+	for w := 0; w < 40; w++ {
+		ks, vs := sortedBatch(rng, 500, 1<<20, w*1000)
+		merged.MergeSorted(len(ks), func(i int) (keys.Key, int) { return ks[i], vs[i] })
+		for i := range ks {
+			inserted.Insert(ks[i], vs[i])
+		}
+	}
+	if err := merged.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	mergedSlots, insertedSlots := merged.SlotCapacity(), inserted.SlotCapacity()
+	// buildSorted allocates exact-capacity entry slices, so slot count tracks
+	// Len closely; the slack covers separator hoisting and small top levels.
+	if max := merged.Len() * 12 / 10; mergedSlots > max {
+		t.Fatalf("merge-rebuilt tree holds %d entry slots for %d entries (> %d)",
+			mergedSlots, merged.Len(), max)
+	}
+	if mergedSlots*13/10 > insertedSlots {
+		t.Fatalf("expected insert-built tree to fragment well past merge-built: merge=%d insert=%d len=%d",
+			mergedSlots, insertedSlots, merged.Len())
+	}
+}
+
+func BenchmarkBatchInsertNonEmpty(b *testing.B) {
+	const preN, batchN = 100_000, 100_000
+	rng := rand.New(rand.NewSource(17))
+	preK, preV := longKeyBatch(rng, preN, 0)
+	batK, batV := longKeyBatch(rng, batchN, 1_000_000)
+
+	b.Run("merge-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tr := New[int]()
+			tr.BulkLoadSorted(preK, preV)
+			runtime.GC() // setup garbage must not bill the timed region
+			b.StartTimer()
+			tr.MergeSorted(batchN, func(i int) (keys.Key, int) { return batK[i], batV[i] })
+		}
+	})
+	b.Run("per-entry", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tr := New[int]()
+			tr.BulkLoadSorted(preK, preV)
+			runtime.GC()
+			b.StartTimer()
+			for j := range batK {
+				tr.Insert(batK[j], batV[j])
+			}
+		}
+	})
+}

@@ -113,6 +113,13 @@ type Config struct {
 	// nonzero values make congestion (queueing delay, backlog) visible
 	// under load.
 	Service time.Duration
+	// Bandwidth, in bytes per second, adds a size-dependent term to every
+	// message: the link delay grows by size/Bandwidth (wrapping Latency in
+	// asyncnet.Bandwidth), and actor-mode service times grow by the same
+	// transmission time, so large result sets and handovers cost virtual
+	// time proportional to their bytes. 0 keeps messages size-free, the
+	// paper's cost model.
+	Bandwidth int64
 	// Mailbox bounds each peer's actor mailbox in actor mode (0 =
 	// effectively unbounded).
 	Mailbox int
@@ -124,6 +131,13 @@ type Config struct {
 	// the pipeline serially. The loaded state is byte-identical for every
 	// value, so seeded determinism is preserved.
 	LoadWorkers int
+	// LoadBudget caps the modeled bytes of extracted index entries resident
+	// during the load (ops.PlanLoadStream): the planner windows the dataset
+	// and each window is extracted, sorted and applied before the next, so
+	// peak load memory is one window instead of the corpus. 0 materializes
+	// the whole entry set (the fastest path when it fits). The loaded state
+	// is byte-identical for every budget.
+	LoadBudget int64
 	// Trace, when non-nil, records every message lifecycle transition of the
 	// measured phase (wire sends on any runtime; the full
 	// enqueue/start/end/drop lifecycle with operation ids in actor mode).
@@ -183,6 +197,10 @@ func (c *Config) normalize() {
 		c.Grid.Service = simnet.VTimeOf(c.Service)
 		c.Grid.Mailbox = c.Mailbox
 	}
+	if c.Bandwidth > 0 {
+		c.Latency = asyncnet.Bandwidth{Base: c.Latency, BytesPerSec: c.Bandwidth}
+		c.Grid.ServiceRate = c.Bandwidth
+	}
 	if c.LatencyAwareRefs {
 		// Raise-only: a caller configuring pgrid.Config directly keeps their
 		// setting.
@@ -209,7 +227,20 @@ type Engine struct {
 	fab   simnet.Fabric
 	grid  *pgrid.Grid
 	store *ops.Store
+	load  LoadInfo
 	obs   observe
+}
+
+// LoadInfo summarizes the load phase's memory shape, for reporting peak
+// usage against the streaming budget.
+type LoadInfo struct {
+	// Windows is the streaming window count (0 = one materialized batch).
+	Windows int
+	// Budget is the configured streaming byte budget (0 = materializing).
+	Budget int64
+	// PeakEntryBytes is the modeled high-water mark of resident extracted
+	// entries — deterministic, unlike allocator measurements.
+	PeakEntryBytes int64
 }
 
 // Open builds the overlay balanced against the dataset's index keys, loads
@@ -234,7 +265,7 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	if cfg.Runtime == RuntimeFanout {
 		fab = asyncnet.NewNet(net, asyncnet.Options{Workers: cfg.Workers})
 	}
-	plan, err := ops.PlanLoad(data, cfg.Store, cfg.LoadWorkers)
+	plan, err := ops.PlanLoadStream(data, cfg.Store, cfg.LoadWorkers, cfg.LoadBudget)
 	if err != nil {
 		return nil, fmt.Errorf("core: collecting keys: %w", err)
 	}
@@ -242,6 +273,9 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building grid: %w", err)
 	}
+	// The sample has done its job (trie balance + hash anchors); at scale it
+	// pins hundreds of MB through the apply phase if kept.
+	plan.ReleaseSample()
 	store := ops.NewStore(grid, cfg.Store)
 	if err := store.ApplyLoadPlan(plan, cfg.LoadWorkers); err != nil {
 		return nil, fmt.Errorf("core: loading: %w", err)
@@ -263,7 +297,9 @@ func Open(data []triples.Tuple, cfg Config) (*Engine, error) {
 			Seed:         cfg.Grid.Seed,
 		})
 	}
-	eng := &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store}
+	eng := &Engine{cfg: cfg, net: net, fab: fab, grid: grid, store: store,
+		load: LoadInfo{Windows: plan.Windows(), Budget: plan.Budget(),
+			PeakEntryBytes: plan.PeakEntryBytes()}}
 	// Observability attaches after the collector reset: traces and metrics
 	// cover the measured phase only, like the paper's accounting.
 	if cfg.Trace != nil {
@@ -302,6 +338,10 @@ func (e *Engine) Store() *ops.Store { return e.store }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// LoadInfo reports the load phase's window count, streaming budget and
+// modeled peak entry bytes.
+func (e *Engine) LoadInfo() LoadInfo { return e.load }
 
 // Query parses, plans and executes a VQL query from a random initiating peer
 // (the paper chooses initiators randomly), returning the materialized result.

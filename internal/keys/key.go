@@ -82,6 +82,18 @@ func FromPackedBits(b []byte, n int) Key {
 	return Key{bits: c, n: n}
 }
 
+// CloneInto appends k's packed representation to arena and returns an equal
+// key backed by the appended region, together with the grown arena. It lets
+// callers compact many keys into one allocation instead of pinning whatever
+// buffers the originals alias. Size the arena's capacity up front: a growth
+// reallocation strands earlier clones on the old backing array (correct, but
+// no longer compact).
+func (k Key) CloneInto(arena []byte) (Key, []byte) {
+	start := len(arena)
+	arena = append(arena, k.bits...)
+	return Key{bits: arena[start:len(arena):len(arena)], n: k.n}, arena
+}
+
 // Len reports the number of bits in k.
 func (k Key) Len() int { return k.n }
 

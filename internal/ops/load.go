@@ -36,6 +36,9 @@ type LoadPlan struct {
 	counts  map[triples.IndexKind]int64
 	attrs   map[string]bool
 	loaded  int64
+	// stream, when non-nil, marks a budgeted plan (PlanLoadStream): entries
+	// is empty and the apply pass re-extracts window by window instead.
+	stream *streamPlan
 }
 
 // PlanLoad extracts the full index-entry set of the dataset in one pass,
@@ -54,83 +57,18 @@ func PlanLoad(data []triples.Tuple, cfg StoreConfig, workers int) (*LoadPlan, er
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Serial pass: decompose, validate, and resolve which triple first
-	// introduces each attribute (that triple carries the catalog posting,
-	// exactly as markAttr resolves it during a serial load).
-	var (
-		ts      []triples.Triple
-		newAttr []bool
-	)
-	attrs := make(map[string]bool)
-	for _, tu := range data {
-		dec, err := triples.Decompose(tu)
-		if err != nil {
-			return nil, fmt.Errorf("ops: planning load of %s: %w", tu.OID, err)
-		}
-		for _, tr := range dec {
-			if err := validateTriple(tr); err != nil {
-				return nil, fmt.Errorf("ops: planning load of %s: %w", tu.OID, err)
-			}
-			newAttr = append(newAttr, !attrs[tr.Attr])
-			attrs[tr.Attr] = true
-			ts = append(ts, tr)
-		}
+	ts, newAttr, attrs, err := decomposeAll(data)
+	if err != nil {
+		return nil, err
 	}
 
-	// Parallel pass: extract entries chunk by chunk. Chunks are contiguous
-	// triple ranges and their outputs are concatenated in chunk order, so the
-	// final slice is in data order.
-	nChunks := workers
-	if nChunks > len(ts) {
-		nChunks = len(ts)
-	}
 	p := &LoadPlan{cfg: cfg, counts: make(map[triples.IndexKind]int64), attrs: attrs,
 		loaded: int64(len(ts))}
-	if nChunks == 0 {
+	if len(ts) == 0 {
 		return p, nil
 	}
-	outs := make([][]pgrid.BulkEntry, nChunks)
-	chunk := (len(ts) + nChunks - 1) / nChunks
-	var wg sync.WaitGroup
-	for c := 0; c < nChunks; c++ {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > len(ts) {
-			hi = len(ts)
-		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			xs := newExtractScratch()
-			// Size the chunk's buffer from its exact per-triple bounds so the
-			// extraction loop never regrows it.
-			est := 0
-			for i := lo; i < hi; i++ {
-				est += 4 + sch.AttrEntryBound(len(ts[i].Attr))
-				if ts[i].Val.Kind == triples.KindString {
-					est += sch.ValueEntryBound(len(ts[i].Val.Str)) + 1
-				}
-			}
-			dst := make([]pgrid.BulkEntry, 0, est)
-			for i := lo; i < hi; i++ {
-				dst = appendTripleEntries(dst, &cfg, sch, ts[i], newAttr[i], xs)
-			}
-			outs[c] = dst
-		}(c, lo, hi)
-	}
-	wg.Wait()
-
-	total := 0
-	for _, out := range outs {
-		total += len(out)
-	}
-	flat := outs[0]
-	if len(outs) > 1 {
-		flat = make([]pgrid.BulkEntry, 0, total)
-		for _, out := range outs {
-			flat = append(flat, out...)
-		}
-	}
+	flat := extractRange(ts, newAttr, 0, len(ts), &cfg, sch, workers)
+	total := len(flat)
 
 	// Pre-sort the entries by key, data order breaking ties (an index sort:
 	// moving 4-byte indices beats shuffling 100+-byte entries, and the
@@ -145,7 +83,7 @@ func PlanLoad(data []triples.Tuple, cfg StoreConfig, workers int) (*LoadPlan, er
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	radixSortEntryIdx(flat, idx)
+	radixSortEntryIdxPar(flat, idx, workers)
 	permuteEntries(flat, idx)
 	p.entries = flat
 
@@ -161,6 +99,100 @@ func PlanLoad(data []triples.Tuple, cfg StoreConfig, workers int) (*LoadPlan, er
 		}
 	}
 	return p, nil
+}
+
+// decomposeAll runs the serial decompose/validate pass: it flattens the
+// dataset into triples, resolves which triple first introduces each attribute
+// (that triple carries the catalog posting, exactly as markAttr resolves it
+// during a serial load), and reports errors deterministically regardless of
+// any later worker count.
+func decomposeAll(data []triples.Tuple) ([]triples.Triple, []bool, map[string]bool, error) {
+	var (
+		ts      []triples.Triple
+		newAttr []bool
+	)
+	attrs := make(map[string]bool)
+	for _, tu := range data {
+		dec, err := triples.Decompose(tu)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("ops: planning load of %s: %w", tu.OID, err)
+		}
+		for _, tr := range dec {
+			if err := validateTriple(tr); err != nil {
+				return nil, nil, nil, fmt.Errorf("ops: planning load of %s: %w", tu.OID, err)
+			}
+			newAttr = append(newAttr, !attrs[tr.Attr])
+			attrs[tr.Attr] = true
+			ts = append(ts, tr)
+		}
+	}
+	return ts, newAttr, attrs, nil
+}
+
+// entryCountBound is the planner's per-triple bound on extracted entries —
+// the same bound the extraction chunks size their buffers with.
+func entryCountBound(sch keyscheme.Scheme, tr triples.Triple) int {
+	est := 4 + sch.AttrEntryBound(len(tr.Attr))
+	if tr.Val.Kind == triples.KindString {
+		est += sch.ValueEntryBound(len(tr.Val.Str)) + 1
+	}
+	return est
+}
+
+// extractRange extracts the index entries of triples [lo, hi) in data order,
+// chunked contiguously across up to `workers` goroutines. The output is
+// identical for any worker count: chunks are contiguous triple ranges, their
+// outputs concatenate in chunk order, and per-triple extraction is
+// deterministic.
+func extractRange(ts []triples.Triple, newAttr []bool, lo, hi int,
+	cfg *StoreConfig, sch keyscheme.Scheme, workers int) []pgrid.BulkEntry {
+	n := hi - lo
+	nChunks := workers
+	if nChunks > n {
+		nChunks = n
+	}
+	if n == 0 {
+		return nil
+	}
+	outs := make([][]pgrid.BulkEntry, nChunks)
+	chunk := (n + nChunks - 1) / nChunks
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		clo := lo + c*chunk
+		chi := clo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		wg.Add(1)
+		go func(c, clo, chi int) {
+			defer wg.Done()
+			xs := newExtractScratch()
+			// Size the chunk's buffer from its exact per-triple bounds so the
+			// extraction loop never regrows it.
+			est := 0
+			for i := clo; i < chi; i++ {
+				est += entryCountBound(sch, ts[i])
+			}
+			dst := make([]pgrid.BulkEntry, 0, est)
+			for i := clo; i < chi; i++ {
+				dst = appendTripleEntries(dst, cfg, sch, ts[i], newAttr[i], xs)
+			}
+			outs[c] = dst
+		}(c, clo, chi)
+	}
+	wg.Wait()
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	total := 0
+	for _, out := range outs {
+		total += len(out)
+	}
+	flat := make([]pgrid.BulkEntry, 0, total)
+	for _, out := range outs {
+		flat = append(flat, out...)
+	}
+	return flat
 }
 
 // radixSortEntryIdx sorts idx — indices into es — by entry key, ascending,
@@ -273,11 +305,23 @@ func permuteEntries(es []pgrid.BulkEntry, idx []int32) {
 // key of every triple, catalog postings excluded.
 func (p *LoadPlan) SampleKeys() []keys.Key { return p.sample }
 
+// ReleaseSample drops the plan's balancing sample. The sample is dead weight
+// once the grid is built — at 10M postings it holds hundreds of megabytes of
+// key headers (and, for a streaming plan, their compacted byte arenas)
+// through the entire apply phase. Callers release it between grid
+// construction and ApplyLoadPlan; SampleKeys returns nil afterwards.
+func (p *LoadPlan) ReleaseSample() { p.sample = nil }
+
 // Triples reports the number of triples the plan covers.
 func (p *LoadPlan) Triples() int64 { return p.loaded }
 
 // Postings reports the number of index entries the plan will store.
-func (p *LoadPlan) Postings() int { return len(p.entries) }
+func (p *LoadPlan) Postings() int {
+	if p.stream != nil {
+		return p.stream.postings
+	}
+	return len(p.entries)
+}
 
 // ApplyLoadPlan bulk-loads a plan into the store's grid with up to `workers`
 // concurrent shard appliers (<= 0 means GOMAXPROCS) and adopts the plan's
@@ -290,7 +334,14 @@ func (s *Store) ApplyLoadPlan(p *LoadPlan, workers int) error {
 	if p.cfg != s.cfg {
 		return fmt.Errorf("ops: plan built for store config %+v, store has %+v", p.cfg, s.cfg)
 	}
-	if err := s.grid.BulkLoad(p.entries, workers); err != nil {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if p.stream != nil {
+		if err := s.applyStream(p, workers); err != nil {
+			return err
+		}
+	} else if err := s.grid.BulkLoad(p.entries, workers); err != nil {
 		return fmt.Errorf("ops: applying load plan: %w", err)
 	}
 	s.mu.Lock()

@@ -1,0 +1,54 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/pgrid"
+)
+
+// radixEntries synthesizes a batch large enough to cross radixParallelMin,
+// with heavy duplicate keys, shared prefixes and truncated keys (so the
+// exhausted-key bucket and the bit-length tiebreak both see traffic).
+func radixEntries(rng *rand.Rand, n int) []pgrid.BulkEntry {
+	es := make([]pgrid.BulkEntry, n)
+	for i := range es {
+		k := keys.StringKey(fmt.Sprintf("G#w#%03d", rng.Intn(500)))
+		if rng.Intn(8) == 0 {
+			// Truncate to a bit length that is not a byte multiple: these
+			// keys exhaust mid-byte and land in radix bucket 0.
+			k = k.Prefix(rng.Intn(k.Len()-1) + 1)
+		}
+		es[i] = pgrid.BulkEntry{Key: k}
+	}
+	return es
+}
+
+// TestRadixSortParMatchesSerial pins the parallel top-level radix pass to
+// the serial sort, index for index, across worker counts.
+func TestRadixSortParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := radixParallelMin + 4321 // past the parallel gate, not worker-aligned
+	es := radixEntries(rng, n)
+
+	want := make([]int32, n)
+	for i := range want {
+		want[i] = int32(i)
+	}
+	radixSortEntryIdx(es, want)
+
+	for _, workers := range []int{2, 3, 4, 8, 64} {
+		got := make([]int32, n)
+		for i := range got {
+			got[i] = int32(i)
+		}
+		radixSortEntryIdxPar(es, got, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: idx[%d] = %d, serial has %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

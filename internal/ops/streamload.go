@@ -1,0 +1,192 @@
+package ops
+
+// Streaming load planning.
+//
+// PlanLoad materializes every index entry of the dataset before sorting, so
+// its peak memory is O(corpus): ~10M postings hold ~1.5 GB of entries
+// resident at once. The streaming planner caps that with a byte budget. It
+// splits the triple stream into contiguous windows whose modeled entry
+// footprint fits the budget and makes two passes over each window: the
+// planning pass extracts a window, harvests the balancing sample keys and
+// kind counts, and drops the entries; the apply pass re-extracts the window,
+// sorts it, and hands it to Grid.BulkLoad before the next window is touched.
+// Peak resident entries are one window, not the corpus.
+//
+// Stores come out byte-identical to the materializing plan: windows are
+// contiguous data ranges, each window's batch is key-sorted with data order
+// breaking ties, and the stores' merge-rebuild places batch entries after
+// existing equal keys — so duplicate-key postings accumulate in window
+// order, which is data order, exactly as one globally sorted batch applies
+// them. The balancing sample is the same key multiset (grid construction
+// sorts it anyway), and counts/attrs are order-free.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/keys"
+	"repro/internal/keyscheme"
+	"repro/internal/triples"
+)
+
+// entryFootprint models the resident bytes one extracted entry costs:
+// the BulkEntry struct (key header + posting) plus the key's packed-byte
+// backing and the posting payload it pins. It is a deterministic planning
+// constant — window boundaries and the reported peak must not depend on
+// allocator behavior.
+const entryFootprint = 160
+
+// loadWindow is one contiguous triple range of a streaming plan.
+type loadWindow struct {
+	lo, hi int
+}
+
+// PlanLoadStream plans the same load as PlanLoad while keeping at most
+// `budget` modeled bytes of extracted entries resident (<= 0 falls back to
+// the fully materializing PlanLoad). The returned plan retains the decomposed
+// triples instead of the entries; ApplyLoadPlan re-extracts each window and
+// bulk-loads it before touching the next. Budgets smaller than one triple's
+// extraction still admit one triple per window. The loaded store is
+// byte-identical to the materializing plan's for any budget and worker
+// count.
+func PlanLoadStream(data []triples.Tuple, cfg StoreConfig, workers int, budget int64) (*LoadPlan, error) {
+	if budget <= 0 {
+		return PlanLoad(data, cfg, workers)
+	}
+	cfg.normalize()
+	sch, err := keyscheme.New(cfg.Scheme, cfg.schemeParams())
+	if err != nil {
+		return nil, fmt.Errorf("ops: planning load: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ts, newAttr, attrs, err := decomposeAll(data)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &LoadPlan{cfg: cfg, counts: make(map[triples.IndexKind]int64), attrs: attrs,
+		loaded: int64(len(ts)),
+		stream: &streamPlan{ts: ts, newAttr: newAttr, sch: sch, budget: budget}}
+	if len(ts) == 0 {
+		return p, nil
+	}
+
+	// Window the triple stream by modeled extraction footprint. Bounds are
+	// computed from the same per-triple entry bound the extraction buffers
+	// use, so windowing is deterministic and needs no trial extraction.
+	st := p.stream
+	lo := 0
+	var winBytes int64
+	for i := range ts {
+		b := int64(entryCountBound(sch, ts[i])) * entryFootprint
+		if i > lo && winBytes+b > budget {
+			st.windows = append(st.windows, loadWindow{lo: lo, hi: i})
+			lo, winBytes = i, 0
+		}
+		winBytes += b
+	}
+	st.windows = append(st.windows, loadWindow{lo: lo, hi: len(ts)})
+
+	// Planning pass: extract each window for its sample keys and counts,
+	// then let the entries go. Samples are per-window key slices (copies —
+	// they must not pin a window's entry array), concatenated in window
+	// order: the same multiset the materializing plan samples, in an order
+	// grid construction is indifferent to (it sorts the sample).
+	for _, w := range st.windows {
+		entries := extractRange(ts, newAttr, w.lo, w.hi, &cfg, sch, workers)
+		if mb := int64(len(entries)) * entryFootprint; mb > st.peakBytes {
+			st.peakBytes = mb
+		}
+		st.postings += len(entries)
+		sampleBytes := 0
+		for i := range entries {
+			kind := entries[i].Posting.Index
+			p.counts[kind]++
+			if kind != triples.IndexCatalog {
+				sampleBytes += entries[i].Key.PackedLen()
+			}
+		}
+		// Compact the window's sample keys into one exactly-sized arena:
+		// aliasing the entry keys would pin the window's extraction buffers
+		// and defeat the budget.
+		arena := make([]byte, 0, sampleBytes)
+		for i := range entries {
+			if entries[i].Posting.Index != triples.IndexCatalog {
+				var k keys.Key
+				k, arena = entries[i].Key.CloneInto(arena)
+				p.sample = append(p.sample, k)
+			}
+		}
+	}
+	return p, nil
+}
+
+// streamPlan is the streaming tail of a LoadPlan: the decomposed triples and
+// the window schedule, re-extracted window by window at apply time.
+type streamPlan struct {
+	ts       []triples.Triple
+	newAttr  []bool
+	sch      keyscheme.Scheme
+	budget   int64
+	windows  []loadWindow
+	postings int
+	// peakBytes is the modeled high-water mark of resident extracted entries
+	// across planning and apply (one window at a time).
+	peakBytes int64
+}
+
+// applyStream re-extracts, sorts and bulk-loads each window in order.
+func (s *Store) applyStream(p *LoadPlan, workers int) error {
+	st := p.stream
+	for _, w := range st.windows {
+		entries := extractRange(st.ts, st.newAttr, w.lo, w.hi, &p.cfg, st.sch, workers)
+		idx := make([]int32, len(entries))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		radixSortEntryIdxPar(entries, idx, workers)
+		permuteEntries(entries, idx)
+		// Compact (merge-rebuild) application: later windows are small
+		// relative to the grown stores, and letting them fall to per-entry
+		// inserts would split-fragment the trees to ~2x their compact
+		// resident size — the streaming planner would end up costing more
+		// peak RSS than the materializing one it replaces.
+		if err := s.grid.BulkLoadCompact(entries, workers); err != nil {
+			return fmt.Errorf("ops: applying load window [%d,%d): %w", w.lo, w.hi, err)
+		}
+	}
+	return nil
+}
+
+// Windows reports the streaming plan's window count (0 for a materializing
+// plan: one monolithic batch).
+func (p *LoadPlan) Windows() int {
+	if p.stream == nil {
+		return 0
+	}
+	return len(p.stream.windows)
+}
+
+// Budget reports the streaming byte budget the plan was built with (0 for a
+// materializing plan).
+func (p *LoadPlan) Budget() int64 {
+	if p.stream == nil {
+		return 0
+	}
+	return p.stream.budget
+}
+
+// PeakEntryBytes reports the modeled high-water mark of resident extracted
+// entries: one window's footprint for a streaming plan, the whole entry set
+// for a materializing one. Modeled (entry count × a fixed per-entry
+// footprint), so it is deterministic across runs and comparable between
+// planners.
+func (p *LoadPlan) PeakEntryBytes() int64 {
+	if p.stream != nil {
+		return p.stream.peakBytes
+	}
+	return int64(len(p.entries)) * entryFootprint
+}

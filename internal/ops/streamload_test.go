@@ -1,0 +1,129 @@
+package ops
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/keys"
+	"repro/internal/pgrid"
+	"repro/internal/simnet"
+	"repro/internal/triples"
+)
+
+// storeFingerprint hashes every peer's full posting stream in store order —
+// keys ordered, duplicate-key postings in insertion order — so two grids
+// compare byte for byte.
+func storeFingerprint(t *testing.T, g *pgrid.Grid, nPeers int) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var buf []byte
+	for id := 0; id < nPeers; id++ {
+		p, err := g.Peer(simnet.NodeID(id))
+		if err != nil {
+			continue // departed slot
+		}
+		for _, post := range p.LocalPrefix(keys.Key{}) {
+			buf = triples.AppendPosting(buf[:0], post)
+			h.Write(buf)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestStreamLoadMatchesMaterializing pins the streaming planner's identity
+// claim: for any budget — from many tiny windows to one window covering
+// everything — the loaded grid is byte-identical to the materializing plan
+// and to a serial LoadTuple loop, and the plan reports the same statistics.
+func TestStreamLoadMatchesMaterializing(t *testing.T) {
+	corpus := dataset.BibleWords(300, 11)
+	tuples := dataset.StringTuples("word", "w", corpus)
+	cfg := StoreConfig{}
+	const nPeers = 24
+
+	build := func(p *LoadPlan, workers int) (*pgrid.Grid, *Store) {
+		t.Helper()
+		grid, err := pgrid.Build(simnet.New(nPeers), nPeers, p.SampleKeys(), pgrid.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(grid, cfg)
+		if err := st.ApplyLoadPlan(p, workers); err != nil {
+			t.Fatal(err)
+		}
+		return grid, st
+	}
+
+	mat, err := PlanLoad(tuples, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mGrid, mStore := build(mat, 4)
+	want := storeFingerprint(t, mGrid, nPeers)
+	wantStats := mStore.Stats()
+
+	for _, tc := range []struct {
+		name    string
+		budget  int64
+		workers int
+	}{
+		{"tiny-budget-many-windows", 64 << 10, 4},
+		{"tiny-budget-serial", 64 << 10, 1},
+		{"mid-budget", 256 << 10, 4},
+		{"huge-budget-one-window", 1 << 40, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := PlanLoadStream(tuples, cfg, tc.workers, tc.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.budget < 1<<30 && p.Windows() < 2 {
+				t.Fatalf("budget %d produced %d windows; expected several", tc.budget, p.Windows())
+			}
+			if p.Postings() != mat.Postings() || p.Triples() != mat.Triples() {
+				t.Fatalf("plan reports %d postings / %d triples, materializing %d / %d",
+					p.Postings(), p.Triples(), mat.Postings(), mat.Triples())
+			}
+			if len(p.SampleKeys()) != len(mat.SampleKeys()) {
+				t.Fatalf("sample has %d keys, materializing %d",
+					len(p.SampleKeys()), len(mat.SampleKeys()))
+			}
+			if p.PeakEntryBytes() > mat.PeakEntryBytes() {
+				t.Fatalf("streaming peak %d exceeds materializing %d",
+					p.PeakEntryBytes(), mat.PeakEntryBytes())
+			}
+			if p.Windows() > 1 && p.PeakEntryBytes()*2 > mat.PeakEntryBytes() {
+				t.Fatalf("windowed peak %d not well under materializing %d",
+					p.PeakEntryBytes(), mat.PeakEntryBytes())
+			}
+			grid, st := build(p, tc.workers)
+			if got := storeFingerprint(t, grid, nPeers); got != want {
+				t.Fatalf("streamed store fingerprint %016x, materializing %016x", got, want)
+			}
+			got := st.Stats()
+			if got.Triples != wantStats.Triples || got.Postings != wantStats.Postings {
+				t.Fatalf("stats %+v, want %+v", got, wantStats)
+			}
+			for kind, n := range wantStats.ByIndex {
+				if got.ByIndex[kind] != n {
+					t.Fatalf("index %v has %d postings, want %d", kind, got.ByIndex[kind], n)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanLoadStreamZeroBudgetMaterializes pins the fallback: budget <= 0 is
+// the materializing planner.
+func TestPlanLoadStreamZeroBudgetMaterializes(t *testing.T) {
+	p, err := PlanLoadStream(loadTestTuples(), StoreConfig{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Windows() != 0 || p.Budget() != 0 {
+		t.Fatalf("zero budget: windows=%d budget=%d, want materializing plan", p.Windows(), p.Budget())
+	}
+	if p.Postings() == 0 {
+		t.Fatal("materializing fallback extracted nothing")
+	}
+}

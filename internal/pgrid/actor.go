@@ -70,13 +70,15 @@ func newActorExec(g *Grid) *actorExec {
 	if mb <= 0 {
 		mb = actorMailboxDefault
 	}
-	return &actorExec{
+	x := &actorExec{
 		g:       g,
 		rt:      asyncnet.NewRuntime(),
 		service: g.cfg.Service,
 		mailbox: mb,
 		ops:     make(map[asyncnet.CorrID]*actorOp),
 	}
+	x.rt.SetServiceRate(g.cfg.ServiceRate)
+	return x
 }
 
 // gatedSelf reports whether operation waits must park under an active drain

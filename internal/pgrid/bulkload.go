@@ -29,7 +29,6 @@ package pgrid
 import (
 	"errors"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -58,6 +57,21 @@ var ErrNoPartition = errors.New("pgrid: no partition covers key")
 // linear merge against the hash anchors, and shard batches skip their sort
 // entirely (the counting sort preserves input order).
 func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
+	return g.bulkLoad(entries, workers, false)
+}
+
+// BulkLoadCompact is BulkLoad with every shard applied through an
+// unconditional merge-rebuild, so member stores come out at bulk occupancy
+// even when a shard is small relative to the store it lands in. Streaming
+// loads use it for every window: per-entry insert fallbacks across many
+// windows would split-fragment the trees to roughly twice their compact
+// resident size. Stored contents and iteration order are identical to
+// BulkLoad's.
+func (g *Grid) BulkLoadCompact(entries []BulkEntry, workers int) error {
+	return g.bulkLoad(entries, workers, true)
+}
+
+func (g *Grid) bulkLoad(entries []BulkEntry, workers int, compact bool) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -86,11 +100,11 @@ func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
 	for r := range rankLeaf {
 		rankLeaf[r] = -1
 	}
-	for li := range v.leaves {
-		path := v.leaves[li].path
+	v.leaves.forEach(func(li int, lf *leafInfo) {
+		path := lf.path
 		l := path.Len()
 		if l > g.h.width {
-			continue
+			return
 		}
 		val := 0
 		for b := 0; b < l; b++ {
@@ -104,7 +118,7 @@ func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
 		for r := lo; r < hi; r++ {
 			rankLeaf[r] = int32(li)
 		}
-	}
+	})
 	for r, li := range rankLeaf {
 		if li < 0 {
 			rankLeaf[r] = int32(v.leafForHashed(g.h.rankKey(r)))
@@ -137,22 +151,35 @@ func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
 
 	// Pass 2 (serial counting sort): group entry indices by leaf, keeping
 	// data order inside each shard.
-	counts := make([]int, len(v.leaves))
+	nLeaves := v.leaves.len()
+	counts := make([]int, nLeaves)
 	for _, li := range leafOf {
 		counts[li]++
 	}
-	offs := make([]int, len(v.leaves)+1)
+	offs := make([]int, nLeaves+1)
 	for i, c := range counts {
 		offs[i+1] = offs[i] + c
 	}
 	order := make([]int32, len(entries))
-	next := append([]int(nil), offs[:len(v.leaves)]...)
+	next := append([]int(nil), offs[:nLeaves]...)
 	for i, li := range leafOf {
 		order[next[li]] = int32(i)
 		next[li]++
 	}
 
-	// Pass 3 (parallel): one owner goroutine per partition shard.
+	// Pass 3 (parallel): one owner goroutine per partition shard. When there
+	// are fewer busy shards than workers, the leftover workers parallelize
+	// each shard's sort instead of idling (the unsorted-batch path).
+	busy := 0
+	for _, c := range counts {
+		if c > 0 {
+			busy++
+		}
+	}
+	sortWorkers := 1
+	if !sorted && busy > 0 && busy < workers {
+		sortWorkers = workers / busy
+	}
 	var wg sync.WaitGroup
 	work := make(chan int, workers)
 	for w := 0; w < workers; w++ {
@@ -160,11 +187,11 @@ func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
 		go func() {
 			defer wg.Done()
 			for li := range work {
-				g.applyShard(v, li, entries, order[offs[li]:offs[li+1]], sorted)
+				g.applyShard(v, li, entries, order[offs[li]:offs[li+1]], sorted, sortWorkers, compact)
 			}
 		}()
 	}
-	for li := range v.leaves {
+	for li := 0; li < nLeaves; li++ {
 		if counts[li] > 0 {
 			work <- li
 		}
@@ -179,18 +206,21 @@ func (g *Grid) BulkLoad(entries []BulkEntry, workers int) error {
 // order, matching serial inserts). Pre-sorted batches need no re-sort — the
 // counting sort preserved input order. Members read the shared shard through
 // an index closure; nothing is copied per replica.
-func (g *Grid) applyShard(v *view, li int, entries []BulkEntry, shard []int32, sorted bool) {
+func (g *Grid) applyShard(v *view, li int, entries []BulkEntry, shard []int32, sorted bool, sortWorkers int, compact bool) {
 	if !sorted {
-		sort.SliceStable(shard, func(a, b int) bool {
-			return entries[shard[a]].Key.Compare(entries[shard[b]].Key) < 0
-		})
+		sortShardStable(entries, shard, sortWorkers)
 	}
 	at := func(j int) (keys.Key, triples.Posting) {
 		e := &entries[shard[j]]
 		return e.Key, e.Posting
 	}
-	for _, id := range v.leaves[li].peers {
-		v.peers[id].localPutBatchSortedFunc(len(shard), at)
+	for _, id := range v.leaves.at(li).peers {
+		p := v.peers.at(id)
+		if compact {
+			p.localMergeBatchSortedFunc(len(shard), at)
+		} else {
+			p.localPutBatchSortedFunc(len(shard), at)
+		}
 	}
 }
 

@@ -91,7 +91,7 @@ func (x *chainExec) lookup(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 		}
 		return nil, cur.at, nil
 	}
-	p := v.peers[dest]
+	p := v.peers.at(dest)
 	res := p.localPrefix(k)
 	if len(res) > 0 || g.cfg.ReplyEmpty {
 		arrive, err := g.sendRetrans(t, dest, from,
@@ -339,7 +339,7 @@ func (x *chainExec) insert(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 	if err != nil {
 		return err
 	}
-	p := v.peers[dest]
+	p := v.peers.at(dest)
 	g.applyOwnerWrite(v, p, hk, func(q *Peer) bool { q.localPut(k, posting); return true })
 	defer g.endWrite()
 	end := cur.at
@@ -369,7 +369,7 @@ func (x *chainExec) remove(v *view, t *metrics.Tally, from simnet.NodeID, k keys
 	if err != nil {
 		return false, err
 	}
-	p := v.peers[dest]
+	p := v.peers.at(dest)
 	deleted := g.applyOwnerWrite(v, p, hk, func(q *Peer) bool { return q.localDelete(k, match) })
 	defer g.endWrite()
 	end := cur.at

@@ -1,0 +1,250 @@
+package pgrid
+
+// Chunked copy-on-write membership tables.
+//
+// A view used to hold the peer and leaf sets as flat slices, so every epoch
+// builder (Join, Leave, RefreshRefs) copied O(peers) slice headers before
+// touching anything — the dominant cost of a membership operation past a few
+// thousand peers. The tables below chunk both sets: cloning a table copies
+// only the chunk-pointer slice (1/chunkSize of the old cost), and a builder
+// copies an individual chunk the first time it writes into it, so the work of
+// publishing an epoch is proportional to what the operation changed, not to
+// the overlay size, and the allocation count per operation is flat in the
+// peer count.
+//
+// Ownership discipline: a freshly cloned table shares every chunk with the
+// published view it came from. set() copies a shared chunk before writing
+// (copy-on-write) and marks it owned; owned chunks are written in place.
+// push() appends past the published length n — no published view reads those
+// slots, so it always writes in place. Once the builder publishes, the table
+// is frozen again (the next clone resets every owned flag).
+
+import (
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+const (
+	peerChunkShift = 8
+	peerChunkSize  = 1 << peerChunkShift // peers per chunk
+	peerChunkMask  = peerChunkSize - 1
+
+	// leafChunkTarget is the packing size of leaf chunks; an insert splits a
+	// chunk in two once it would grow past leafChunkMax.
+	leafChunkTarget = 128
+	leafChunkMax    = 2 * leafChunkTarget
+)
+
+// peerTable is a chunked vector of peers, dense by NodeID (nil tombstones
+// mark departed slots). Every chunk has length peerChunkSize; slots at index
+// >= n are unpublished scratch space.
+type peerTable struct {
+	chunks [][]*Peer
+	owned  []bool
+	n      int
+}
+
+// newPeerTable packs a freshly built peer set; all chunks start owned (the
+// table has not been published yet).
+func newPeerTable(peers []*Peer) peerTable {
+	t := peerTable{n: len(peers)}
+	for lo := 0; lo < len(peers); lo += peerChunkSize {
+		c := make([]*Peer, peerChunkSize)
+		copy(c, peers[lo:])
+		t.chunks = append(t.chunks, c)
+		t.owned = append(t.owned, true)
+	}
+	return t
+}
+
+func (t *peerTable) len() int { return t.n }
+
+// at returns the peer in slot id; callers bounds-check against len().
+func (t *peerTable) at(id simnet.NodeID) *Peer {
+	return t.chunks[id>>peerChunkShift][id&peerChunkMask]
+}
+
+// clone returns a builder table sharing every chunk with t.
+func (t *peerTable) clone() peerTable {
+	return peerTable{
+		chunks: append([][]*Peer(nil), t.chunks...),
+		owned:  make([]bool, len(t.chunks)),
+		n:      t.n,
+	}
+}
+
+// set replaces slot id, copying the chunk first if it is still shared.
+func (t *peerTable) set(id simnet.NodeID, p *Peer) {
+	ci := int(id) >> peerChunkShift
+	if !t.owned[ci] {
+		c := make([]*Peer, peerChunkSize)
+		copy(c, t.chunks[ci])
+		t.chunks[ci] = c
+		t.owned[ci] = true
+	}
+	t.chunks[ci][id&peerChunkMask] = p
+}
+
+// push appends a peer at slot n. The slot is beyond every published length,
+// so writing in place never mutates state a reader can see.
+func (t *peerTable) push(p *Peer) {
+	if t.n&peerChunkMask == 0 {
+		t.chunks = append(t.chunks, make([]*Peer, peerChunkSize))
+		t.owned = append(t.owned, true)
+	}
+	t.chunks[t.n>>peerChunkShift][t.n&peerChunkMask] = p
+	t.n++
+}
+
+// forEach visits every slot in id order, tombstones included. Calling set()
+// on an already-visited slot during the walk is allowed: the walk continues
+// over the pre-set chunk contents, which differ only in that slot.
+func (t *peerTable) forEach(fn func(id simnet.NodeID, p *Peer)) {
+	id := 0
+	for _, c := range t.chunks {
+		for _, p := range c {
+			if id >= t.n {
+				return
+			}
+			fn(simnet.NodeID(id), p)
+			id++
+		}
+	}
+}
+
+// leafTable is a chunked sorted vector of leafInfo. Chunks have variable
+// length (concatenated they are the sorted leaf list); offs[c] is the global
+// index of chunk c's first leaf, with offs[len(chunks)] == n. offs is shared
+// across clones and rebuilt by the (rare) insert.
+type leafTable struct {
+	chunks [][]leafInfo
+	offs   []int
+	owned  []bool
+	n      int
+}
+
+// newLeafTable packs a sorted leaf list; all chunks start owned.
+func newLeafTable(leaves []leafInfo) leafTable {
+	t := leafTable{n: len(leaves), offs: []int{0}}
+	for lo := 0; lo < len(leaves); lo += leafChunkTarget {
+		hi := lo + leafChunkTarget
+		if hi > len(leaves) {
+			hi = len(leaves)
+		}
+		t.chunks = append(t.chunks, append(make([]leafInfo, 0, hi-lo), leaves[lo:hi]...))
+		t.owned = append(t.owned, true)
+		t.offs = append(t.offs, hi)
+	}
+	return t
+}
+
+func (t *leafTable) len() int { return t.n }
+
+// chunkOf locates the chunk holding global index i.
+func (t *leafTable) chunkOf(i int) int {
+	return sort.Search(len(t.chunks), func(c int) bool { return t.offs[c+1] > i })
+}
+
+// at returns a pointer to the leaf at global index i. The pointee is shared
+// with published views unless the chunk is owned — treat it as read-only and
+// go through set to modify.
+func (t *leafTable) at(i int) *leafInfo {
+	c := t.chunkOf(i)
+	return &t.chunks[c][i-t.offs[c]]
+}
+
+// clone returns a builder table sharing every chunk (and offs) with t.
+func (t *leafTable) clone() leafTable {
+	return leafTable{
+		chunks: append([][]leafInfo(nil), t.chunks...),
+		offs:   t.offs,
+		owned:  make([]bool, len(t.chunks)),
+		n:      t.n,
+	}
+}
+
+// set replaces the leaf at global index i, copying the chunk first if it is
+// still shared.
+func (t *leafTable) set(i int, lf leafInfo) {
+	c := t.chunkOf(i)
+	if !t.owned[c] {
+		t.chunks[c] = append([]leafInfo(nil), t.chunks[c]...)
+		t.owned[c] = true
+	}
+	t.chunks[c][i-t.offs[c]] = lf
+}
+
+// insert places lf at global index i (shifting the rest right), touching only
+// the chunk that holds the position: the chunk is rebuilt with the leaf
+// spliced in, split in two when it would outgrow leafChunkMax, and offs is
+// rebuilt. A constant number of allocations regardless of table size.
+func (t *leafTable) insert(i int, lf leafInfo) {
+	if len(t.chunks) == 0 {
+		t.chunks = [][]leafInfo{{lf}}
+		t.owned = []bool{true}
+		t.offs = []int{0, 1}
+		t.n = 1
+		return
+	}
+	c := t.chunkOf(i)
+	if c == len(t.chunks) { // i == n: extend the last chunk
+		c--
+	}
+	old := t.chunks[c]
+	pos := i - t.offs[c]
+	merged := make([]leafInfo, 0, len(old)+1)
+	merged = append(merged, old[:pos]...)
+	merged = append(merged, lf)
+	merged = append(merged, old[pos:]...)
+	if len(merged) <= leafChunkMax {
+		t.chunks[c] = merged
+		t.owned[c] = true
+	} else {
+		half := len(merged) / 2
+		chunks := make([][]leafInfo, 0, len(t.chunks)+1)
+		chunks = append(chunks, t.chunks[:c]...)
+		chunks = append(chunks, merged[:half:half], merged[half:])
+		chunks = append(chunks, t.chunks[c+1:]...)
+		owned := make([]bool, 0, len(chunks))
+		owned = append(owned, t.owned[:c]...)
+		owned = append(owned, true, true)
+		owned = append(owned, t.owned[c+1:]...)
+		t.chunks, t.owned = chunks, owned
+	}
+	t.n++
+	offs := make([]int, len(t.chunks)+1)
+	for j, ch := range t.chunks {
+		offs[j+1] = offs[j] + len(ch)
+	}
+	t.offs = offs
+}
+
+// forEach visits every leaf in sorted order. The same re-read caveat as
+// peerTable.forEach applies if set() runs mid-walk.
+func (t *leafTable) forEach(fn func(i int, l *leafInfo)) {
+	i := 0
+	for _, ch := range t.chunks {
+		for j := range ch {
+			fn(i, &ch[j])
+			i++
+		}
+	}
+}
+
+// search returns the smallest global index for which pred is true, assuming
+// pred is monotone over the sorted leaf order (sort.Search over the table).
+func (t *leafTable) search(pred func(l *leafInfo) bool) int {
+	// Two-level search: find the first chunk whose last leaf satisfies pred,
+	// then search inside it — each probe is O(1) instead of a chunkOf lookup.
+	c := sort.Search(len(t.chunks), func(c int) bool {
+		ch := t.chunks[c]
+		return pred(&ch[len(ch)-1])
+	})
+	if c == len(t.chunks) {
+		return t.n
+	}
+	ch := t.chunks[c]
+	j := sort.Search(len(ch), func(j int) bool { return pred(&ch[j]) })
+	return t.offs[c] + j
+}

@@ -222,10 +222,10 @@ func TestJoinSkipsAllDownPartition(t *testing.T) {
 	v := g.snapshot()
 	// Find the most loaded partition and take all its members down.
 	loaded := v.leavesByLoad()[0]
-	for _, id := range v.leaves[loaded].peers {
+	for _, id := range v.leaves.at(loaded).peers {
 		net.SetDown(id, true)
 	}
-	downPath := v.leaves[loaded].path
+	downPath := v.leaves.at(loaded).path
 	id, err := g.Join(nil)
 	if err != nil {
 		t.Fatalf("Join with one partition down: %v", err)
@@ -270,7 +270,7 @@ func TestLeaveLeavesNoZombie(t *testing.T) {
 	cfg.RefsPerLevel = 3
 	g, net := buildTestGrid(t, 24, 400, cfg)
 	var victim simnet.NodeID = -1
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break
@@ -305,14 +305,14 @@ func TestLeaveLeavesNoZombie(t *testing.T) {
 	}
 	// No leaf or replica list references the tombstone.
 	v := g.snapshot()
-	for _, l := range v.leaves {
+	for _, l := range v.leafList() {
 		for _, id := range l.peers {
 			if id == victim {
 				t.Fatalf("leaf %s still lists departed peer %d", l.path, id)
 			}
 		}
 	}
-	for _, p := range v.peers {
+	for _, p := range v.peerList() {
 		if p == nil {
 			continue
 		}
@@ -346,7 +346,7 @@ func TestJoinAfterLeaveNeverReusesTombstone(t *testing.T) {
 	cfg.Replication = 2
 	g, _ := buildTestGrid(t, 8, 200, cfg)
 	var victim simnet.NodeID = -1
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break

@@ -51,97 +51,115 @@ var (
 
 // view is one immutable epoch of the grid's structural state. Everything
 // reachable from a view (leaf table, peer paths, refs, replica lists) is
-// frozen at publish time; only the peer stores' contents evolve.
+// frozen at publish time; only the peer stores' contents evolve. The peer and
+// leaf sets are chunked copy-on-write tables (see chunktable.go), so an epoch
+// builder copies only the chunks it touches instead of O(peers) state.
 type view struct {
 	epoch    uint64
-	peers    []*Peer // dense by NodeID; nil tombstones mark departed slots
-	leaves   []leafInfo
+	peers    peerTable // dense by NodeID; nil tombstones mark departed slots
+	leaves   leafTable // sorted by path
 	departed int
 }
 
-// clone returns a mutable successor of v for an epoch builder: the top-level
-// slices are copied so the published view is never written to, while the
-// *Peer values and leafInfo.peers slices stay shared until a copy-on-write
-// helper replaces them.
+// clone returns a mutable successor of v for an epoch builder: the tables'
+// chunk indexes are copied so the published view is never written to, while
+// the chunks, *Peer values and leafInfo.peers slices stay shared until a
+// copy-on-write helper replaces them.
 func (v *view) clone() *view {
 	return &view{
 		epoch:    v.epoch + 1,
-		peers:    append([]*Peer(nil), v.peers...),
-		leaves:   append([]leafInfo(nil), v.leaves...),
+		peers:    v.peers.clone(),
+		leaves:   v.leaves.clone(),
 		departed: v.departed,
 	}
 }
 
 // peer returns the peer with the given id in this epoch.
 func (v *view) peer(id simnet.NodeID) (*Peer, error) {
-	if int(id) < 0 || int(id) >= len(v.peers) {
+	if int(id) < 0 || int(id) >= v.peers.len() {
 		return nil, fmt.Errorf("pgrid: no peer %d", id)
 	}
-	if v.peers[id] == nil {
+	if v.peers.at(id) == nil {
 		return nil, fmt.Errorf("%w: %d", ErrDeparted, id)
 	}
-	return v.peers[id], nil
+	return v.peers.at(id), nil
 }
 
 // member reports whether id names a peer of this epoch (not tombstoned).
 func (v *view) member(id simnet.NodeID) bool {
-	return int(id) >= 0 && int(id) < len(v.peers) && v.peers[id] != nil
+	return int(id) >= 0 && int(id) < v.peers.len() && v.peers.at(id) != nil
 }
 
 // leafRange returns the half-open index range of leaves whose path has the
 // given prefix.
 func (v *view) leafRange(prefix keys.Key) (int, int) {
-	lo := sort.Search(len(v.leaves), func(i int) bool {
-		return v.leaves[i].path.Compare(prefix) >= 0
+	lo := v.leaves.search(func(l *leafInfo) bool {
+		return l.path.Compare(prefix) >= 0
 	})
-	hi := sort.Search(len(v.leaves), func(i int) bool {
-		return v.leaves[i].path.Compare(prefix) > 0 && !v.leaves[i].path.HasPrefix(prefix)
+	hi := v.leaves.search(func(l *leafInfo) bool {
+		return l.path.Compare(prefix) > 0 && !l.path.HasPrefix(prefix)
 	})
 	return lo, hi
 }
 
 // leafForHashed returns the index of the leaf responsible for a hashed key:
-// the single leaf whose path is a prefix of it, or, if the hashed key is
-// shorter than the trie at that point, the first leaf below it.
+// the single leaf whose path is a prefix of it (or equals it), or, if the
+// hashed key is shorter than the trie at that point, the first leaf below it.
+//
+// One binary search suffices on a prefix-free sorted leaf set: with i the
+// first leaf sorting strictly after hk, the responsible leaf is either at i-1
+// (the leaf equals hk, or is the longest proper prefix of hk — proper
+// prefixes sort before hk and nothing can sort between a prefix of hk and hk)
+// or at i (hk's extensions sort directly after hk, before any unrelated
+// larger path). Both cannot hold at once: a prefix of hk at i-1 and an
+// extension of hk at i would make the former a prefix of the latter.
 func (v *view) leafForHashed(hk keys.Key) int {
-	lo, hi := v.leafRange(hk)
-	if lo < hi {
-		return lo
-	}
-	// hk extends some leaf path: the leaf with the longest path that is a
-	// prefix of hk sorts immediately at or before hk.
-	i := sort.Search(len(v.leaves), func(i int) bool {
-		return v.leaves[i].path.Compare(hk) > 0
+	i := v.leaves.search(func(l *leafInfo) bool {
+		return l.path.Compare(hk) > 0
 	})
-	if i > 0 && hk.HasPrefix(v.leaves[i-1].path) {
+	if i > 0 && hk.HasPrefix(v.leaves.at(i-1).path) {
 		return i - 1
+	}
+	if i < v.leaves.len() && v.leaves.at(i).path.HasPrefix(hk) {
+		return i
 	}
 	return -1
 }
 
 // leafIndexForPath finds the leaf with exactly the given path.
 func (v *view) leafIndexForPath(path keys.Key) int {
-	i := sort.Search(len(v.leaves), func(i int) bool {
-		return v.leaves[i].path.Compare(path) >= 0
+	i := v.leaves.search(func(l *leafInfo) bool {
+		return l.path.Compare(path) >= 0
 	})
-	if i < len(v.leaves) && v.leaves[i].path.Equal(path) {
+	if i < v.leaves.len() && v.leaves.at(i).path.Equal(path) {
 		return i
 	}
 	return -1
 }
 
+// leafLoads returns the stored load per member of every leaf, the ordering
+// key for host-partition selection during Join. Every member is a structural
+// replica of the full partition and membership epochs begin only after write
+// fencing has drained in-flight replica pushes, so a single member's store
+// length equals the per-member average Σ/n exactly — reading one member
+// keeps the scan O(leaves), where the per-member sum made every Join linear
+// in the peer count.
+func (v *view) leafLoads() []int {
+	loads := make([]int, v.leaves.len())
+	v.leaves.forEach(func(i int, l *leafInfo) {
+		loads[i] = v.peers.at(l.peers[0]).StoreLen()
+	})
+	return loads
+}
+
 // leavesByLoad returns the leaf indices ordered by descending average load
-// per member, the order in which a joining peer should try partitions.
+// per member (ties by ascending index), the order in which a joining peer
+// tries partitions. Join itself selects lazily (see pickHostPartition); this
+// materialized form serves tests and tools.
 func (v *view) leavesByLoad() []int {
-	loads := make([]int, len(v.leaves))
-	order := make([]int, len(v.leaves))
-	for i := range v.leaves {
-		load := 0
-		for _, id := range v.leaves[i].peers {
-			load += v.peers[id].StoreLen()
-		}
-		// Average per member: a partition with many replicas is fine.
-		loads[i] = load / len(v.leaves[i].peers)
+	loads := v.leafLoads()
+	order := make([]int, len(loads))
+	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
@@ -158,6 +176,18 @@ func (p *Peer) cloneForEpoch() *Peer {
 		q.refs[l] = append([]simnet.NodeID(nil), p.refs[l]...)
 	}
 	q.replicas = append([]simnet.NodeID(nil), p.replicas...)
+	return q
+}
+
+// cloneForRefRepair is cloneForEpoch specialized for reference repair: only
+// the outer refs slice is copied — repair replaces whole levels with fresh
+// slices and never mutates one in place, so level slices and the replica
+// list stay shared with the published version. Keeps a repaired referrer at
+// a constant few allocations instead of one per routing level.
+func (p *Peer) cloneForRefRepair() *Peer {
+	q := &Peer{id: p.id, path: p.path, store: p.store}
+	q.refs = append([][]simnet.NodeID(nil), p.refs...)
+	q.replicas = p.replicas
 	return q
 }
 

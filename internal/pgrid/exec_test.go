@@ -263,7 +263,7 @@ func TestLatencyAwareRefSelection(t *testing.T) {
 
 	// Structural check: every pick is the minimum-delay live reference.
 	v := aware.snapshot()
-	for _, p := range v.peers {
+	for _, p := range v.peerList() {
 		for l := range p.refs {
 			got, err := aware.pickRef(v, p, l, routeSalt(p.path))
 			if err != nil {

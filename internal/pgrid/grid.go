@@ -66,6 +66,11 @@ type Config struct {
 	// mode; 0 makes processing instantaneous, so actor latency matches the
 	// chained executors exactly under an uncongested grid.
 	Service simnet.VTime
+	// ServiceRate, when positive, scales actor-mode service times with
+	// message size: a message of s bytes costs s/ServiceRate (bytes per
+	// virtual second) on top of Service, so bulk transfers congest peers
+	// the way they congest links under a bandwidth-limited latency model.
+	ServiceRate int64
 	// Mailbox bounds each peer's actor mailbox (actor mode; 0 = effectively
 	// unbounded). Overflowing messages are dropped — backpressure — and
 	// fail the operation branch that sent them.
@@ -80,6 +85,11 @@ type Config struct {
 	// on the fabric; without one the hashed path is kept, as it is by
 	// default, so seeded route determinism is opt-out only.
 	LatencyAwareRefs bool
+	// LoadWorkers bounds the goroutines construction-time sorts may use
+	// (the balancing-sample sort in Build and large unsorted shard sorts in
+	// BulkLoad). <= 1 keeps those sorts serial. The sorted outcome is
+	// identical for any value.
+	LoadWorkers int
 	// Retry enables the robustness layer (see robust.go): wire sends lost in
 	// transit are retransmitted with exponential virtual-time backoff,
 	// unreachable targets fail over to structural replicas, and read
@@ -187,6 +197,18 @@ func (p *Peer) localPutBatchSortedFunc(n int, at func(int) (keys.Key, triples.Po
 	p.store.mu.Lock()
 	defer p.store.mu.Unlock()
 	p.store.t.BulkLoadSortedFunc(n, at)
+}
+
+// localMergeBatchSortedFunc is localPutBatchSortedFunc forced through the
+// merge-rebuild path regardless of batch size, so the store comes out at
+// bulk occupancy. Streaming loads apply every window this way: window
+// batches shrink relative to the growing store, and repeated sub-threshold
+// insert batches would split-fragment the tree to roughly twice the
+// resident bytes of a bulk-built one.
+func (p *Peer) localMergeBatchSortedFunc(n int, at func(int) (keys.Key, triples.Posting)) {
+	p.store.mu.Lock()
+	defer p.store.mu.Unlock()
+	p.store.t.MergeSorted(n, at)
 }
 
 func (p *Peer) localDelete(k keys.Key, match func(triples.Posting) bool) bool {
@@ -385,6 +407,15 @@ type Grid struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// refBy is the reverse routing index: refBy[target] lists peers whose
+	// routing tables may reference target. It is a superset — entries go
+	// stale when a table is repaired away from a target — and every
+	// candidate is re-validated against its actual table before repair, so
+	// staleness costs only the check. Guarded by memberMu. It turns Leave's
+	// reference repair from a full O(peers) table sweep into a visit of the
+	// O(log peers) actual referrers.
+	refBy map[simnet.NodeID][]simnet.NodeID
+
 	// Cumulative robustness counters (atomic; see robust.go).
 	retries, failovers, unanswered, fencedWrites int64
 }
@@ -412,7 +443,7 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 
 	sorted := make([]keys.Key, len(sample))
 	copy(sorted, sample)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	sortKeysParallel(sorted, cfg.LoadWorkers)
 
 	h := newHasher(sorted)
 	// A monotone hash keeps the sorted order, so the hashed sample is sorted —
@@ -439,21 +470,23 @@ func Build(net simnet.Fabric, nPeers int, sample []keys.Key, cfg Config) (*Grid,
 
 	g := &Grid{net: net, cfg: cfg, h: h, rng: rng}
 	g.writeDrained = sync.NewCond(&g.memberMu)
+	g.refBy = make(map[simnet.NodeID][]simnet.NodeID)
 	if cfg.Exec == ExecActor {
 		g.exec = newActorExec(g)
 	} else {
 		g.exec = &chainExec{g: g}
 	}
-	v := &view{leaves: make([]leafInfo, len(leafPaths))}
+	leaves := make([]leafInfo, len(leafPaths))
 	for i, lp := range leafPaths {
-		v.leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
+		leaves[i] = leafInfo{path: lp.path, items: lp.hi - lp.lo}
 	}
-	sort.Slice(v.leaves, func(i, j int) bool { return v.leaves[i].path.Less(v.leaves[j].path) })
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].path.Less(leaves[j].path) })
 
-	assignPeers(v, nPeers, rng)
+	peers := assignPeers(leaves, nPeers, rng)
+	v := &view{peers: newPeerTable(peers), leaves: newLeafTable(leaves)}
 	g.buildRoutingTables(v, rng)
 	g.publish(v)
-	for id := range v.peers {
+	for id := 0; id < v.peers.len(); id++ {
 		g.exec.attach(simnet.NodeID(id))
 	}
 	return g, nil
@@ -515,33 +548,34 @@ func splittable(sorted []keys.Key, l buildLeaf, maxDepth int) bool {
 	return !sorted[l.lo].Equal(sorted[l.hi-1])
 }
 
-// assignPeers distributes nPeers over the leaves of the view under
+// assignPeers distributes nPeers over the sorted leaf list under
 // construction: one peer per leaf first (the trie must stay complete), then
 // the remainder proportionally to each leaf's data share (hot partitions get
-// more structural replicas).
-func assignPeers(v *view, nPeers int, rng *rand.Rand) {
+// more structural replicas). It fills leaves[li].peers in place and returns
+// the dense peer slice.
+func assignPeers(leaves []leafInfo, nPeers int, rng *rand.Rand) []*Peer {
 	ids := rng.Perm(nPeers)
-	counts := make([]int, len(v.leaves))
+	counts := make([]int, len(leaves))
 	total := 0
-	for i := range v.leaves {
+	for i := range leaves {
 		counts[i] = 1
-		total += v.leaves[i].items
+		total += leaves[i].items
 	}
-	extra := nPeers - len(v.leaves)
+	extra := nPeers - len(leaves)
 	if extra > 0 && total > 0 {
 		assigned := 0
-		for i := range v.leaves {
-			share := extra * v.leaves[i].items / total
+		for i := range leaves {
+			share := extra * leaves[i].items / total
 			counts[i] += share
 			assigned += share
 		}
 		// Distribute the remainder round-robin over the densest leaves.
-		order := make([]int, len(v.leaves))
+		order := make([]int, len(leaves))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			return v.leaves[order[a]].items > v.leaves[order[b]].items
+			return leaves[order[a]].items > leaves[order[b]].items
 		})
 		for i := 0; assigned < extra; i = (i + 1) % len(order) {
 			counts[order[i]]++
@@ -549,27 +583,27 @@ func assignPeers(v *view, nPeers int, rng *rand.Rand) {
 		}
 	} else if extra > 0 {
 		// No sample data: spread evenly.
-		for i := 0; extra > 0; i = (i + 1) % len(v.leaves) {
+		for i := 0; extra > 0; i = (i + 1) % len(leaves) {
 			counts[i]++
 			extra--
 		}
 	}
 
-	v.peers = make([]*Peer, nPeers)
+	peers := make([]*Peer, nPeers)
 	next := 0
-	for li := range v.leaves {
+	for li := range leaves {
 		for c := 0; c < counts[li]; c++ {
 			id := simnet.NodeID(ids[next])
 			next++
-			p := &Peer{id: id, path: v.leaves[li].path, store: newPeerStore(postingSet{})}
-			v.peers[id] = p
-			v.leaves[li].peers = append(v.leaves[li].peers, id)
+			p := &Peer{id: id, path: leaves[li].path, store: newPeerStore(postingSet{})}
+			peers[id] = p
+			leaves[li].peers = append(leaves[li].peers, id)
 		}
 	}
-	for li := range v.leaves {
-		members := v.leaves[li].peers
+	for li := range leaves {
+		members := leaves[li].peers
 		for _, id := range members {
-			p := v.peers[id]
+			p := peers[id]
 			for _, other := range members {
 				if other != id {
 					p.replicas = append(p.replicas, other)
@@ -577,12 +611,13 @@ func assignPeers(v *view, nPeers int, rng *rand.Rand) {
 			}
 		}
 	}
+	return peers
 }
 
 // buildRoutingTables fills rho(p, l) for every peer: RefsPerLevel random
 // peers from the complementary subtrie at each level of the peer's path.
 func (g *Grid) buildRoutingTables(v *view, rng *rand.Rand) {
-	for _, p := range v.peers {
+	v.peers.forEach(func(_ simnet.NodeID, p *Peer) {
 		p.refs = make([][]simnet.NodeID, p.path.Len())
 		for l := 0; l < p.path.Len(); l++ {
 			sibling := p.path.Prefix(l + 1).FlipLast()
@@ -596,15 +631,16 @@ func (g *Grid) buildRoutingTables(v *view, rng *rand.Rand) {
 			seen := make(map[simnet.NodeID]bool)
 			want := g.cfg.RefsPerLevel
 			for attempt := 0; attempt < want*4 && len(p.refs[l]) < want; attempt++ {
-				leaf := &v.leaves[lo+rng.Intn(hi-lo)]
+				leaf := v.leaves.at(lo + rng.Intn(hi-lo))
 				id := leaf.peers[rng.Intn(len(leaf.peers))]
 				if !seen[id] {
 					seen[id] = true
 					p.refs[l] = append(p.refs[l], id)
+					g.noteRef(id, p.id)
 				}
 			}
 		}
-	}
+	})
 }
 
 // RefreshRefs replaces routing references that point at dead peers (crashed,
@@ -626,6 +662,14 @@ func (g *Grid) RefreshRefs() int {
 	return changed
 }
 
+// noteRef records referrer -> target in the reverse routing index. Entries
+// are appended blindly (duplicates and stale entries are tolerated; repair
+// validates candidates against the actual tables). Callers hold g.memberMu
+// or run during Build before the grid is published.
+func (g *Grid) noteRef(target, referrer simnet.NodeID) {
+	g.refBy[target] = append(g.refBy[target], referrer)
+}
+
 // repairRefs rewrites, inside the epoch under construction, every routing
 // table that references a dead peer: crashed per the fabric's failure set, or
 // tombstoned in next. Callers hold g.memberMu. Returns the number of levels
@@ -635,66 +679,107 @@ func (g *Grid) repairRefs(next *view) int {
 		return !next.member(id) || g.net.IsDown(id)
 	}
 	changed := 0
-	for idx, p := range next.peers {
+	next.peers.forEach(func(idx simnet.NodeID, p *Peer) {
 		if p == nil {
+			return
+		}
+		changed += g.repairPeerRefs(next, idx, dead)
+	})
+	return changed
+}
+
+// repairRefsTo repairs exactly the routing tables that reference the (now
+// tombstoned) target, walking the reverse index instead of every peer.
+// Candidates are visited in ascending id order — the same order the full
+// sweep would reach them — and each repair also refreshes any other dead
+// levels of that referrer. The target's index entry is dropped afterwards:
+// tombstoned ids never return, and any reference the repair could not
+// replace (whole subtrie dead) is picked up by the next RefreshRefs sweep.
+// Callers hold g.memberMu.
+func (g *Grid) repairRefsTo(next *view, target simnet.NodeID) int {
+	cands := g.refBy[target]
+	delete(g.refBy, target)
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	dead := func(id simnet.NodeID) bool {
+		return !next.member(id) || g.net.IsDown(id)
+	}
+	changed := 0
+	var prev simnet.NodeID = -1
+	for _, idx := range cands {
+		if idx == prev {
 			continue
 		}
-		hasDead := false
-		for l := range p.refs {
-			for _, id := range p.refs[l] {
-				if dead(id) {
-					hasDead = true
-					break
-				}
-			}
-			if hasDead {
+		prev = idx
+		if next.peers.at(idx) == nil {
+			continue
+		}
+		changed += g.repairPeerRefs(next, idx, dead)
+	}
+	return changed
+}
+
+// repairPeerRefs repairs the dead reference levels of the peer at idx inside
+// the epoch under construction, cloning it copy-on-write when anything needs
+// rewriting. Returns the number of levels changed.
+func (g *Grid) repairPeerRefs(next *view, idx simnet.NodeID, dead func(simnet.NodeID) bool) int {
+	p := next.peers.at(idx)
+	hasDead := false
+	for l := range p.refs {
+		for _, id := range p.refs[l] {
+			if dead(id) {
+				hasDead = true
 				break
 			}
 		}
-		if !hasDead {
+		if hasDead {
+			break
+		}
+	}
+	if !hasDead {
+		return 0
+	}
+	changed := 0
+	q := p.cloneForRefRepair()
+	for l := range q.refs {
+		levelDead := false
+		for _, id := range q.refs[l] {
+			if dead(id) {
+				levelDead = true
+				break
+			}
+		}
+		if !levelDead {
 			continue
 		}
-		q := p.cloneForEpoch()
-		for l := range q.refs {
-			levelDead := false
-			for _, id := range q.refs[l] {
-				if dead(id) {
-					levelDead = true
-					break
-				}
-			}
-			if !levelDead {
-				continue
-			}
-			sibling := q.path.Prefix(l + 1).FlipLast()
-			lo, hi := next.leafRange(sibling)
-			if lo >= hi {
-				continue
-			}
-			kept := make([]simnet.NodeID, 0, len(q.refs[l]))
-			for _, id := range q.refs[l] {
-				if !dead(id) {
-					kept = append(kept, id)
-				}
-			}
-			// Refill up to the configured redundancy with fresh live peers;
-			// drop dead entries that cannot be replaced. If the whole
-			// subtrie is dead, keep the old table (no better information).
-			for len(kept) < g.cfg.RefsPerLevel {
-				alt, ok := g.pickLiveInRange(next, lo, hi, kept)
-				if !ok {
-					break
-				}
-				kept = append(kept, alt)
-			}
-			if len(kept) == 0 {
-				continue
-			}
-			q.refs[l] = kept
-			changed++
+		sibling := q.path.Prefix(l + 1).FlipLast()
+		lo, hi := next.leafRange(sibling)
+		if lo >= hi {
+			continue
 		}
-		next.peers[idx] = q
+		kept := make([]simnet.NodeID, 0, len(q.refs[l]))
+		for _, id := range q.refs[l] {
+			if !dead(id) {
+				kept = append(kept, id)
+			}
+		}
+		// Refill up to the configured redundancy with fresh live peers;
+		// drop dead entries that cannot be replaced. If the whole
+		// subtrie is dead, keep the old table (no better information).
+		for len(kept) < g.cfg.RefsPerLevel {
+			alt, ok := g.pickLiveInRange(next, lo, hi, kept)
+			if !ok {
+				break
+			}
+			kept = append(kept, alt)
+			g.noteRef(alt, q.id)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		q.refs[l] = kept
+		changed++
 	}
+	next.peers.set(idx, q)
 	return changed
 }
 
@@ -713,7 +798,7 @@ func (g *Grid) pickLiveInRange(v *view, lo, hi int, exclude []simnet.NodeID) (si
 		return false
 	}
 	for attempt := 0; attempt < 16; attempt++ {
-		leaf := &v.leaves[lo+g.randIntn(hi-lo)]
+		leaf := v.leaves.at(lo + g.randIntn(hi-lo))
 		id := leaf.peers[g.randIntn(len(leaf.peers))]
 		if !isExcluded(id) {
 			return id, true
@@ -721,7 +806,7 @@ func (g *Grid) pickLiveInRange(v *view, lo, hi int, exclude []simnet.NodeID) (si
 	}
 	// Random probing failed (dense failures); fall back to a linear sweep.
 	for li := lo; li < hi; li++ {
-		for _, id := range v.leaves[li].peers {
+		for _, id := range v.leaves.at(li).peers {
 			if !isExcluded(id) {
 				return id, true
 			}
@@ -738,16 +823,16 @@ func (g *Grid) Config() Config { return g.cfg }
 
 // PeerCount returns the size of the peer id space (departed slots included:
 // ids are never reused, so this is also the next id a Join would take).
-func (g *Grid) PeerCount() int { return len(g.snapshot().peers) }
+func (g *Grid) PeerCount() int { return g.snapshot().peers.len() }
 
 // LiveCount returns the number of current members (departed slots excluded).
 func (g *Grid) LiveCount() int {
 	v := g.snapshot()
-	return len(v.peers) - v.departed
+	return v.peers.len() - v.departed
 }
 
 // LeafCount returns the number of key-space partitions.
-func (g *Grid) LeafCount() int { return len(g.snapshot().leaves) }
+func (g *Grid) LeafCount() int { return g.snapshot().leaves.len() }
 
 // Peer returns the peer with the given id in the current epoch. Departed
 // peers yield ErrDeparted.
@@ -760,14 +845,15 @@ func (g *Grid) Peer(id simnet.NodeID) (*Peer, error) {
 func (g *Grid) RandomPeer() simnet.NodeID {
 	v := g.snapshot()
 	// Departed slots are tombstones: probe a few times, then sweep.
+	n := v.peers.len()
 	for attempt := 0; attempt < 8; attempt++ {
-		if p := v.peers[g.randIntn(len(v.peers))]; p != nil {
+		if p := v.peers.at(simnet.NodeID(g.randIntn(n))); p != nil {
 			return p.id
 		}
 	}
-	start := g.randIntn(len(v.peers))
-	for i := range v.peers {
-		if p := v.peers[(start+i)%len(v.peers)]; p != nil {
+	start := g.randIntn(n)
+	for i := 0; i < n; i++ {
+		if p := v.peers.at(simnet.NodeID((start + i) % n)); p != nil {
 			return p.id
 		}
 	}
@@ -797,10 +883,10 @@ type Stats struct {
 // Stats computes overlay statistics over the current epoch.
 func (g *Grid) Stats() Stats {
 	v := g.snapshot()
-	s := Stats{Peers: len(v.peers) - v.departed, Departed: v.departed,
-		Leaves: len(v.leaves), MinDepth: 1 << 30}
+	s := Stats{Peers: v.peers.len() - v.departed, Departed: v.departed,
+		Leaves: v.leaves.len(), MinDepth: 1 << 30}
 	depthSum := 0
-	for _, l := range v.leaves {
+	v.leaves.forEach(func(_ int, l *leafInfo) {
 		d := l.path.Len()
 		if d < s.MinDepth {
 			s.MinDepth = d
@@ -812,20 +898,20 @@ func (g *Grid) Stats() Stats {
 		if l.items > s.MaxLeafItems {
 			s.MaxLeafItems = l.items
 		}
-	}
-	if len(v.leaves) > 0 {
-		s.AvgDepth = float64(depthSum) / float64(len(v.leaves))
+	})
+	if v.leaves.len() > 0 {
+		s.AvgDepth = float64(depthSum) / float64(v.leaves.len())
 	}
 	refSum := 0
-	for _, p := range v.peers {
+	v.peers.forEach(func(_ simnet.NodeID, p *Peer) {
 		if p == nil {
-			continue
+			return
 		}
 		for _, level := range p.refs {
 			refSum += len(level)
 		}
 		s.StoredItems += p.StoreLen()
-	}
+	})
 	if s.Peers > 0 {
 		s.AvgRefs = float64(refSum) / float64(s.Peers)
 	}

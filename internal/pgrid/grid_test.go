@@ -26,7 +26,7 @@ func testPosting(i int) triples.Posting {
 }
 
 // buildTestGrid constructs a grid over n peers holding m sequential items.
-func buildTestGrid(t *testing.T, nPeers, nItems int, cfg Config) (*Grid, *simnet.Network) {
+func buildTestGrid(t testing.TB, nPeers, nItems int, cfg Config) (*Grid, *simnet.Network) {
 	t.Helper()
 	net := simnet.New(nPeers)
 	sample := make([]keys.Key, nItems)
@@ -73,7 +73,7 @@ func TestTrieComplete(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 16, 64, 100} {
 		g, _ := buildTestGrid(t, n, 500, DefaultConfig())
 		paths := make([]keys.Key, 0, g.LeafCount())
-		for _, l := range g.snapshot().leaves {
+		for _, l := range g.snapshot().leafList() {
 			paths = append(paths, l.path)
 		}
 		maxDepth := 0
@@ -107,7 +107,7 @@ func TestEveryPeerAssignedAndReplicasConsistent(t *testing.T) {
 	cfg.Replication = 3
 	g, _ := buildTestGrid(t, 30, 1000, cfg)
 	seen := map[simnet.NodeID]bool{}
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) == 0 {
 			t.Fatal("leaf without peers")
 		}
@@ -135,7 +135,7 @@ func TestEveryPeerAssignedAndReplicasConsistent(t *testing.T) {
 
 func TestRoutingTablesPointToComplementarySubtries(t *testing.T) {
 	g, _ := buildTestGrid(t, 64, 2000, DefaultConfig())
-	for _, p := range g.snapshot().peers {
+	for _, p := range g.snapshot().peerList() {
 		for l, refs := range p.refs {
 			if len(refs) == 0 {
 				t.Fatalf("peer %d has no refs at level %d (path %s)", p.id, l, p.path)
@@ -433,8 +433,8 @@ func TestInsertRoutedAndReplicated(t *testing.T) {
 	// All replicas of the partition must hold the posting.
 	v := g.snapshot()
 	li := v.leafForHashed(g.h.hash(k))
-	for _, id := range v.leaves[li].peers {
-		if got := v.peers[id].localPrefix(k); len(got) != 1 {
+	for _, id := range v.leaves.at(li).peers {
+		if got := v.peers.at(id).localPrefix(k); len(got) != 1 {
 			t.Errorf("replica %d holds %d copies", id, len(got))
 		}
 	}
@@ -469,7 +469,7 @@ func TestLookupSurvivesFailuresWithReplication(t *testing.T) {
 	g, net := buildTestGrid(t, 60, 1000, cfg)
 	rng := rand.New(rand.NewSource(8))
 	// Take down one replica of every partition (leaving at least one up).
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) > 1 {
 			net.SetDown(l.peers[rng.Intn(len(l.peers))], true)
 		}
@@ -505,7 +505,7 @@ func TestRangeQuerySurvivesPartialFailures(t *testing.T) {
 	g, net := buildTestGrid(t, 40, 500, cfg)
 	// Take down a single peer; its partition replica must still answer.
 	var victim simnet.NodeID = -1
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break
@@ -536,7 +536,7 @@ func TestRefreshRefsRepairsRouting(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	// Take down 15% of peers, leaving at least one replica per partition.
 	down := 0
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) > 1 && down < 12 {
 			net.SetDown(l.peers[rng.Intn(len(l.peers))], true)
 			down++
@@ -550,7 +550,7 @@ func TestRefreshRefsRepairsRouting(t *testing.T) {
 	// a live alternative exists in the sibling subtrie. The repair published
 	// a new epoch: snapshot again.
 	v := g.snapshot()
-	for _, p := range v.peers {
+	for _, p := range v.peerList() {
 		if net.IsDown(p.id) {
 			continue
 		}
@@ -559,7 +559,7 @@ func TestRefreshRefsRepairsRouting(t *testing.T) {
 			lo, hi := v.leafRange(sibling)
 			liveExists := false
 			for li := lo; li < hi && !liveExists; li++ {
-				for _, id := range v.leaves[li].peers {
+				for _, id := range v.leaves.at(li).peers {
 					if !net.IsDown(id) {
 						liveExists = true
 						break
@@ -614,7 +614,7 @@ func TestBuildDeterministicWithSeed(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out []string
-		for _, p := range g.snapshot().peers {
+		for _, p := range g.snapshot().peerList() {
 			out = append(out, p.path.String())
 		}
 		return out
@@ -646,7 +646,7 @@ func TestLoadBalancedAcrossPeers(t *testing.T) {
 	// should hold a wildly disproportionate share.
 	g, _ := buildTestGrid(t, 32, 3200, DefaultConfig())
 	var loads []int
-	for _, p := range g.snapshot().peers {
+	for _, p := range g.snapshot().peerList() {
 		loads = append(loads, p.StoreLen())
 	}
 	sort.Ints(loads)

@@ -1,0 +1,83 @@
+package pgrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// randomTrie emits the sorted leaf paths of a random complete binary trie:
+// prefix-free and tiling the key space, the invariant leafForHashed assumes.
+func randomTrie(rng *rand.Rand, maxDepth int) []leafInfo {
+	var leaves []leafInfo
+	var split func(prefix keys.Key, depth int)
+	split = func(prefix keys.Key, depth int) {
+		if depth >= maxDepth || rng.Intn(3) == 0 {
+			leaves = append(leaves, leafInfo{path: prefix})
+			return
+		}
+		split(prefix.AppendBit(0), depth+1)
+		split(prefix.AppendBit(1), depth+1)
+	}
+	split(keys.Key{}, 0)
+	return leaves
+}
+
+func randomBits(rng *rand.Rand, n int) keys.Key {
+	var k keys.Key
+	for i := 0; i < n; i++ {
+		k = k.AppendBit(rng.Intn(2))
+	}
+	return k
+}
+
+// leafForHashedRef is the linear-scan reference: the first leaf in sorted
+// order that covers hk (hk extends the leaf) or that hk covers (hk is a
+// prefix of the leaf).
+func leafForHashedRef(v *view, hk keys.Key) int {
+	for li, lf := range v.leafList() {
+		if hk.HasPrefix(lf.path) || lf.path.HasPrefix(hk) {
+			return li
+		}
+	}
+	return -1
+}
+
+// TestLeafForHashedMatchesLinearScan pins the single-binary-search
+// responsibility lookup to a linear-scan reference over random tries —
+// including tries large enough to span several leaf-table chunks, keys of
+// every relation (equal, extending, prefix of a leaf), and uncovered keys on
+// deliberately holed tries.
+func TestLeafForHashedMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		depth := 3 + trial%10 // up to 2^12 leaves: multiple chunks
+		leaves := randomTrie(rng, depth)
+		if trial%4 == 3 && len(leaves) > 2 {
+			// Punch a hole: some keys become uncovered, the -1 path.
+			cut := rng.Intn(len(leaves))
+			leaves = append(leaves[:cut], leaves[cut+1:]...)
+		}
+		v := &view{leaves: newLeafTable(leaves)}
+		probe := func(hk keys.Key) {
+			if got, want := v.leafForHashed(hk), leafForHashedRef(v, hk); got != want {
+				t.Fatalf("trial %d (%d leaves): leafForHashed(%s) = %d, linear scan %d",
+					trial, len(leaves), hk, got, want)
+			}
+		}
+		for i := 0; i < 120; i++ {
+			probe(randomBits(rng, rng.Intn(depth+4)))
+		}
+		// Exact leaf paths, their extensions, and their proper prefixes.
+		ll := v.leafList()
+		for i := 0; i < 40; i++ {
+			path := ll[rng.Intn(len(ll))].path
+			probe(path)
+			probe(path.AppendBit(rng.Intn(2)))
+			if path.Len() > 0 {
+				probe(path.Prefix(rng.Intn(path.Len())))
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package pgrid
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/simnet"
@@ -67,14 +66,14 @@ func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
 	if err != nil {
 		return 0, err
 	}
-	host := next.peers[hostID]
+	host := next.peers.at(hostID)
 
-	newID := simnet.NodeID(len(next.peers))
+	newID := simnet.NodeID(next.peers.len())
 	g.net.Grow(int(newID) + 1)
 	np := &Peer{id: newID} // both join paths install the real store below
-	next.peers = append(next.peers, np)
+	next.peers.push(np)
 
-	if len(next.leaves[li].peers) > 1 || next.leaves[li].path.Len() >= g.h.width {
+	if lf := next.leaves.at(li); len(lf.peers) > 1 || lf.path.Len() >= g.h.width {
 		// Replicated partition (or the trie cannot deepen further in the
 		// fixed-width hashed space): join as another replica.
 		g.joinAsReplica(next, t, np, li, host)
@@ -90,12 +89,30 @@ func (g *Grid) Join(t *metrics.Tally) (simnet.NodeID, error) {
 	return newID, nil
 }
 
-// pickHostPartition walks the partitions from most to least loaded and
-// returns the first with a live member, together with that member.
+// pickHostPartition walks the partitions from most to least loaded (average
+// per member, ties by ascending index) and returns the first with a live
+// member, together with that member. Selection is lazy: instead of fully
+// sorting the leaf set per Join, the next-best candidate is drawn by a linear
+// max-scan, so the common all-live case costs one pass and a constant number
+// of allocations however many partitions exist. The candidate order — and
+// with it the seeded RNG draw sequence of pickAlive — is identical to walking
+// a stable descending sort.
 func (g *Grid) pickHostPartition(v *view) (int, simnet.NodeID, error) {
-	for _, li := range v.leavesByLoad() {
-		if id, err := g.pickAlive(v.leaves[li].peers); err == nil {
-			return li, id, nil
+	loads := v.leafLoads()
+	tried := make([]bool, len(loads))
+	for range loads {
+		best := -1
+		for i, ld := range loads {
+			if !tried[i] && (best < 0 || ld > loads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		tried[best] = true
+		if id, err := g.pickAlive(v.leaves.at(best).peers); err == nil {
+			return best, id, nil
 		}
 	}
 	return 0, 0, ErrNoLiveHost
@@ -119,8 +136,9 @@ func (g *Grid) pickAlive(ids []simnet.NodeID) (simnet.NodeID, error) {
 // registers it with every existing member of the partition. All touched
 // members are cloned into the epoch under construction.
 func (g *Grid) joinAsReplica(next *view, t *metrics.Tally, np *Peer, li int, host *Peer) {
-	members := append([]simnet.NodeID(nil), next.leaves[li].peers...)
-	np.path = next.leaves[li].path
+	lf := *next.leaves.at(li)
+	members := append([]simnet.NodeID(nil), lf.peers...)
+	np.path = lf.path
 
 	all := host.allPostings()
 	_ = g.net.Send(t, host.id, np.id, handoverMsg{postings: all.postings})
@@ -129,16 +147,20 @@ func (g *Grid) joinAsReplica(next *view, t *metrics.Tally, np *Peer, li int, hos
 	np.refs = make([][]simnet.NodeID, len(host.refs))
 	for l := range host.refs {
 		np.refs[l] = append([]simnet.NodeID(nil), host.refs[l]...)
+		for _, id := range np.refs[l] {
+			g.noteRef(id, np.id)
+		}
 	}
 	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: len(host.refs)})
 
 	for _, id := range members {
 		np.replicas = append(np.replicas, id)
-		q := next.peers[id].cloneForEpoch()
+		q := next.peers.at(id).cloneForEpoch()
 		q.replicas = append(q.replicas, np.id)
-		next.peers[id] = q
+		next.peers.set(id, q)
 	}
-	next.leaves[li].peers = append(members, np.id)
+	lf.peers = append(members, np.id)
+	next.leaves.set(li, lf)
 }
 
 // splitPartition deepens the trie below the host's partition: host keeps
@@ -147,7 +169,7 @@ func (g *Grid) joinAsReplica(next *view, t *metrics.Tally, np *Peer, li int, hos
 // the new epoch; the pre-split host version keeps its full store for queries
 // still reading the previous epoch.
 func (g *Grid) splitPartition(next *view, t *metrics.Tally, np *Peer, li int, host *Peer) {
-	oldPath := next.leaves[li].path
+	oldPath := next.leaves.at(li).path
 	level := oldPath.Len()
 	path0 := oldPath.AppendBit(0)
 	path1 := oldPath.AppendBit(1)
@@ -167,17 +189,25 @@ func (g *Grid) splitPartition(next *view, t *metrics.Tally, np *Peer, li int, ho
 	np.refs = make([][]simnet.NodeID, level+1)
 	for l := 0; l < level; l++ {
 		np.refs[l] = append([]simnet.NodeID(nil), host.refs[l]...)
+		for _, id := range np.refs[l] {
+			g.noteRef(id, np.id)
+		}
 	}
 	np.refs[level] = []simnet.NodeID{host.id}
+	g.noteRef(host.id, np.id)
 	h2.refs = append(h2.refs, []simnet.NodeID{np.id})
+	g.noteRef(np.id, host.id)
 	_ = g.net.Send(t, host.id, np.id, refExchangeMsg{levels: level + 1})
 
 	// The split dissolves replica relationships (host had none: it was a
-	// sole owner) and rewrites the leaf table.
-	next.peers[host.id] = h2
-	next.leaves[li] = leafInfo{path: path0, peers: []simnet.NodeID{host.id}, items: kept.size}
-	next.leaves = append(next.leaves, leafInfo{path: path1, peers: []simnet.NodeID{np.id}, items: moved.size})
-	sort.Slice(next.leaves, func(i, j int) bool { return next.leaves[i].path.Less(next.leaves[j].path) })
+	// sole owner) and rewrites the leaf table. The sorted positions are known
+	// without re-sorting: the leaf set is prefix-free, so every other path
+	// orders the same way against path0 and path1 as it did against oldPath —
+	// path0 replaces the old leaf in place and path1 slots in directly after
+	// it.
+	next.peers.set(host.id, h2)
+	next.leaves.set(li, leafInfo{path: path0, peers: []simnet.NodeID{host.id}, items: kept.size})
+	next.leaves.insert(li+1, leafInfo{path: path1, peers: []simnet.NodeID{np.id}, items: moved.size})
 }
 
 // Leave removes a peer gracefully: its partition must keep at least one
@@ -193,10 +223,10 @@ func (g *Grid) Leave(t *metrics.Tally, id simnet.NodeID) error {
 	defer g.memberMu.Unlock()
 	g.waitWritesLocked()
 	cur := g.snapshot()
-	if int(id) < 0 || int(id) >= len(cur.peers) {
+	if int(id) < 0 || int(id) >= cur.peers.len() {
 		return fmt.Errorf("%w: %d", ErrNotMember, id)
 	}
-	p := cur.peers[id]
+	p := cur.peers.at(id)
 	if p == nil {
 		return fmt.Errorf("%w: %d", ErrDeparted, id)
 	}
@@ -204,23 +234,27 @@ func (g *Grid) Leave(t *metrics.Tally, id simnet.NodeID) error {
 	if li < 0 {
 		return fmt.Errorf("pgrid: peer %d has no partition", id)
 	}
-	if len(cur.leaves[li].peers) <= 1 {
+	if len(cur.leaves.at(li).peers) <= 1 {
 		return ErrSoleOwner
 	}
 
 	next := cur.clone()
-	members := removeIDCopy(next.leaves[li].peers, id)
-	next.leaves[li].peers = members
+	lf := *next.leaves.at(li)
+	members := removeIDCopy(lf.peers, id)
+	lf.peers = members
+	next.leaves.set(li, lf)
 	for _, other := range members {
-		q := next.peers[other].cloneForEpoch()
+		q := next.peers.at(other).cloneForEpoch()
 		q.replicas = removeIDCopy(q.replicas, id)
-		next.peers[other] = q
+		next.peers.set(other, q)
 	}
-	next.peers[id] = nil // tombstone: the id is never reused
+	next.peers.set(id, nil) // tombstone: the id is never reused
 	next.departed++
 	// Repair routing tables that referenced the departed peer (the tombstone
-	// counts as dead during the repair).
-	g.repairRefs(next)
+	// counts as dead during the repair). The reverse index narrows the sweep
+	// to the peers that actually hold such a reference — at million-peer
+	// scale a full table scan per Leave would dominate every membership op.
+	g.repairRefsTo(next, id)
 	g.publish(next)
 	return nil
 }

@@ -15,7 +15,7 @@ func checkTrieInvariants(t *testing.T, g *Grid) {
 	t.Helper()
 	v := g.snapshot()
 	maxDepth := 0
-	for _, l := range v.leaves {
+	for _, l := range v.leafList() {
 		if l.path.Len() > maxDepth {
 			maxDepth = l.path.Len()
 		}
@@ -24,36 +24,37 @@ func checkTrieInvariants(t *testing.T, g *Grid) {
 		}
 	}
 	var total uint64
-	for _, l := range v.leaves {
+	for _, l := range v.leafList() {
 		total += uint64(1) << uint(maxDepth-l.path.Len())
 	}
 	if total != uint64(1)<<uint(maxDepth) {
 		t.Fatalf("leaves tile %d/%d of key space", total, uint64(1)<<uint(maxDepth))
 	}
-	for i := range v.leaves {
-		for j := range v.leaves {
-			if i != j && v.leaves[j].path.HasPrefix(v.leaves[i].path) {
-				t.Fatalf("leaf %s is prefix of %s", v.leaves[i].path, v.leaves[j].path)
+	leaves := v.leafList()
+	for i := range leaves {
+		for j := range leaves {
+			if i != j && leaves[j].path.HasPrefix(leaves[i].path) {
+				t.Fatalf("leaf %s is prefix of %s", leaves[i].path, leaves[j].path)
 			}
 		}
 	}
 	seen := map[simnet.NodeID]bool{}
 	members := 0
-	for _, l := range v.leaves {
+	for _, l := range v.leafList() {
 		for _, id := range l.peers {
 			if seen[id] {
 				t.Fatalf("peer %d in two partitions", id)
 			}
 			seen[id] = true
-			if v.peers[id] == nil {
+			if v.peers.at(id) == nil {
 				t.Fatalf("leaf %s lists departed peer %d", l.path, id)
 			}
-			if !v.peers[id].path.Equal(l.path) {
-				t.Fatalf("peer %d path %s != leaf %s", id, v.peers[id].path, l.path)
+			if !v.peers.at(id).path.Equal(l.path) {
+				t.Fatalf("peer %d path %s != leaf %s", id, v.peers.at(id).path, l.path)
 			}
 		}
 	}
-	for _, p := range v.peers {
+	for _, p := range v.peerList() {
 		if p != nil {
 			members++
 		}
@@ -68,9 +69,9 @@ func lookupAll(t *testing.T, g *Grid, n int, rng *rand.Rand) {
 	v := g.snapshot()
 	alive := func() simnet.NodeID {
 		for {
-			id := simnet.NodeID(rng.Intn(len(v.peers)))
+			id := simnet.NodeID(rng.Intn(v.peers.len()))
 			// Skip departed slots and crashed peers.
-			if v.peers[id] != nil && !g.net.IsDown(id) {
+			if v.peers.at(id) != nil && !g.net.IsDown(id) {
 				return id
 			}
 		}
@@ -123,7 +124,7 @@ func TestJoinManyPeersKeepsDataReachable(t *testing.T) {
 	// Load must have spread: the max partition load should have dropped
 	// well below the initial (600-ish on 3 peers).
 	maxLoad := 0
-	for _, p := range g.snapshot().peers {
+	for _, p := range g.snapshot().peerList() {
 		if l := p.StoreLen(); l > maxLoad {
 			maxLoad = l
 		}
@@ -166,7 +167,7 @@ func TestLeaveWithReplicaPreservesData(t *testing.T) {
 	g, _ := buildTestGrid(t, 24, 400, cfg)
 	// Find a peer with a replica.
 	var victim simnet.NodeID = -1
-	for _, l := range g.snapshot().leaves {
+	for _, l := range g.snapshot().leafList() {
 		if len(l.peers) >= 2 {
 			victim = l.peers[0]
 			break
@@ -200,7 +201,7 @@ func TestLeaveWithReplicaPreservesData(t *testing.T) {
 
 func TestLeaveSoleOwnerRefused(t *testing.T) {
 	g, _ := buildTestGrid(t, 8, 200, DefaultConfig()) // replication 1
-	err := g.Leave(nil, g.snapshot().leaves[0].peers[0])
+	err := g.Leave(nil, g.snapshot().leaves.at(0).peers[0])
 	if err != ErrSoleOwner {
 		t.Errorf("Leave sole owner = %v, want ErrSoleOwner", err)
 	}

@@ -246,8 +246,8 @@ func (g *Grid) BulkInsert(k keys.Key, posting triples.Posting) error {
 	if li < 0 {
 		return ErrNoPartition
 	}
-	for _, id := range v.leaves[li].peers {
-		v.peers[id].localPut(k, posting)
+	for _, id := range v.leaves.at(li).peers {
+		v.peers.at(id).localPut(k, posting)
 	}
 	return nil
 }

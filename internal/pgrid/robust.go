@@ -260,8 +260,8 @@ func (g *Grid) applyOwnerWrite(v *view, p *Peer, hk keys.Key, apply func(*Peer) 
 		return false
 	}
 	applied, ownerStillThere, fenced := false, false, false
-	for _, id := range cur.leaves[li].peers {
-		q := cur.peers[id]
+	for _, id := range cur.leaves.at(li).peers {
+		q := cur.peers.at(id)
 		switch {
 		case id == p.id:
 			// Still an owner; write through the current version, whose store
@@ -311,9 +311,9 @@ func (g *Grid) applyReplicaWrite(v *view, dst simnet.NodeID, hk keys.Key, apply 
 		return false
 	}
 	if li := cur.leafForHashed(hk); li >= 0 {
-		for _, id := range cur.leaves[li].peers {
+		for _, id := range cur.leaves.at(li).peers {
 			if id == dst {
-				return apply(cur.peers[id])
+				return apply(cur.peers.at(id))
 			}
 		}
 	}

@@ -69,7 +69,7 @@ func TestSendFailoverToReplica(t *testing.T) {
 	// Find a partition with at least two members and crash the first.
 	var down, alt simnet.NodeID
 	found := false
-	for _, l := range v.leaves {
+	for _, l := range v.leafList() {
 		if len(l.peers) >= 2 {
 			down, alt, found = l.peers[0], l.peers[1], true
 			break
@@ -268,7 +268,7 @@ func TestWriteFencingOracle(t *testing.T) {
 					}
 					// Leave any peer whose partition keeps a member.
 					v := g.snapshot()
-					for _, l := range v.leaves {
+					for _, l := range v.leafList() {
 						if len(l.peers) > 1 {
 							if err := g.Leave(&tally, l.peers[0]); err != nil {
 								t.Errorf("Leave: %v", err)
@@ -298,10 +298,10 @@ func TestWriteFencingOracle(t *testing.T) {
 					t.Fatalf("key %d has no responsible partition", i)
 				}
 				member := make(map[simnet.NodeID]bool)
-				for _, id := range v.leaves[li].peers {
+				for _, id := range v.leaves.at(li).peers {
 					member[id] = true
 				}
-				for _, p := range v.peers {
+				for _, p := range v.peerList() {
 					if p == nil {
 						continue
 					}
@@ -342,7 +342,7 @@ func TestFencedWriteRedirectsAcrossEpochMove(t *testing.T) {
 	k := testKey(500)
 	hk := g.h.hash(k)
 	li := v.leafForHashed(hk)
-	owner := mustPeer(t, v, v.leaves[li].peers[0])
+	owner := mustPeer(t, v, v.leaves.at(li).peers[0])
 
 	// Churn until the epoch moves (first Join splits some partition).
 	var tally metrics.Tally
@@ -357,8 +357,8 @@ func TestFencedWriteRedirectsAcrossEpochMove(t *testing.T) {
 
 	cur := g.snapshot()
 	cli := cur.leafForHashed(hk)
-	for _, id := range cur.leaves[cli].peers {
-		if got := countOID(cur.peers[id], k, testPosting(500).Triple.OID); got != 1 {
+	for _, id := range cur.leaves.at(cli).peers {
+		if got := countOID(cur.peers.at(id), k, testPosting(500).Triple.OID); got != 1 {
 			t.Errorf("current member %d holds %d copies, want 1", id, got)
 		}
 	}

@@ -1,0 +1,18 @@
+package pgrid
+
+import "repro/internal/simnet"
+
+// Materializing helpers for tests: flat copies of the chunked membership
+// tables, so structural assertions can range over plain slices.
+
+func (v *view) leafList() []leafInfo {
+	out := make([]leafInfo, 0, v.leaves.len())
+	v.leaves.forEach(func(_ int, l *leafInfo) { out = append(out, *l) })
+	return out
+}
+
+func (v *view) peerList() []*Peer {
+	out := make([]*Peer, 0, v.peers.len())
+	v.peers.forEach(func(_ simnet.NodeID, p *Peer) { out = append(out, p) })
+	return out
+}
